@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: a banner format and the
+ * standard training recipes (authentication net, detection cascade) so
+ * every bench reproduces the same models the tests validate.
+ */
+
+#ifndef INCAM_BENCH_BENCH_COMMON_HH
+#define INCAM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+namespace incam {
+
+/** Print a titled banner for one reproduced artifact. */
+inline void
+banner(const std::string &artifact, const std::string &what)
+{
+    std::printf("\n=================================================="
+                "====================\n");
+    std::printf("%s — %s\n", artifact.c_str(), what.c_str());
+    std::printf("===================================================="
+                "==================\n");
+}
+
+/** One-line annotation of the paper's reference result. */
+inline void
+paperSays(const std::string &claim)
+{
+    std::printf("paper: %s\n", claim.c_str());
+}
+
+} // namespace incam
+
+#endif // INCAM_BENCH_BENCH_COMMON_HH

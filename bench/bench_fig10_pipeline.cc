@@ -1,0 +1,75 @@
+/**
+ * @file
+ * E8 — Fig. 10: "Pipeline configurations with different bilateral
+ * smoothing implementations (CPU, GPU, FPGA), and resulting upload
+ * rates."
+ *
+ * Evaluates the nine configurations of the figure on the 25 GbE
+ * uplink: sensor-only, +B1, +B1+B2, then B3 on {CPU, GPU, FPGA}, then
+ * +B4 on the same platform. Paper reference values (FPS): comm 15.8 /
+ * 15.8 / 3.95 / 11.2 / 31.6; B3 compute 0.09 (CPU), 5.27 (GPU), 31.6
+ * (FPGA). "Only the full pipeline with FPGA acceleration can meet a
+ * 30 FPS upload requirement."
+ */
+
+#include <cmath>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "vr/pipeline_model.hh"
+
+using namespace incam;
+
+namespace {
+
+std::string
+fpsCell(double v)
+{
+    if (std::isinf(v)) {
+        return "inf";
+    }
+    return TableWriter::num(v, 2);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("E8 (Fig. 10)",
+           "nine pipeline configurations on the 25 GbE uplink");
+    paperSays("comm: 15.8/15.8/3.95/11.2/31.6; B3 compute C/G/F = "
+              "0.09/5.27/31.6; only S+B1+B2+B3(F)+B4(F) is real-time");
+
+    const VrPipelineModel model;
+    const double paper_comm[] = {15.8, 15.8, 3.95, 11.2, 11.2,
+                                 11.2, 31.6, 31.6, 31.6};
+    const double paper_compute[] = {-1, -1, -1, 0.09, 5.27,
+                                    31.6, 0.09, 5.27, 31.6};
+
+    TableWriter table({"configuration", "compute FPS", "comm FPS",
+                       "total FPS", ">=30?", "paper compute",
+                       "paper comm"});
+    const auto rows = model.figure10();
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const VrConfigRow &row = rows[i];
+        table.addRow(
+            {row.name, fpsCell(row.compute_fps),
+             TableWriter::num(row.comm_fps, 2),
+             TableWriter::num(row.total_fps, 2),
+             row.realtime ? "REAL-TIME" : "no",
+             paper_compute[i] < 0
+                 ? std::string("(>30)")
+                 : TableWriter::num(paper_compute[i], 2),
+             TableWriter::num(paper_comm[i], 2)});
+    }
+    table.print("Fig. 10: computation vs communication per configuration");
+
+    std::printf("\nFPGA speedup on B3: %.0fx over CPU, %.1fx over GPU "
+                "(paper: 'up to 10x in computation time').\n",
+                model.blockComputeFps(VrBlock::Depth, VrImpl::Fpga) /
+                    model.blockComputeFps(VrBlock::Depth, VrImpl::Cpu),
+                model.blockComputeFps(VrBlock::Depth, VrImpl::Fpga) /
+                    model.blockComputeFps(VrBlock::Depth, VrImpl::Gpu));
+    return 0;
+}

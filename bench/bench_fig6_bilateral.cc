@@ -1,0 +1,74 @@
+/**
+ * @file
+ * E11 — Fig. 6: "The bilateral filter is an edge-aware filter."
+ *
+ * Reproduces the figure's 1-D experiment numerically: a noisy step
+ * signal is smoothed by (b) a moving average, which destroys the edge,
+ * and (d) a bilateral filter computed through the bilateral grid, which
+ * denoises while keeping the edge sharp. Reports noise suppression away
+ * from the edge and fidelity at the edge, plus the grid work involved.
+ */
+
+#include <cmath>
+
+#include "bench_common.hh"
+#include "bilateral/bilateral_filter.hh"
+#include "common/table.hh"
+
+using namespace incam;
+
+namespace {
+
+/** RMS distance to the clean step over a sample range. */
+double
+rmsError(const std::vector<float> &sig, int from, int to, float lo,
+         float hi)
+{
+    double acc = 0.0;
+    int n = 0;
+    const int edge = static_cast<int>(sig.size()) / 2;
+    for (int i = from; i < to; ++i) {
+        const float truth = i < edge ? lo : hi;
+        acc += (sig[static_cast<size_t>(i)] - truth) *
+               (sig[static_cast<size_t>(i)] - truth);
+        ++n;
+    }
+    return std::sqrt(acc / n);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("E11 (Fig. 6)", "edge-aware filtering in bilateral space");
+    paperSays("moving average smooths out the edge; the bilateral "
+              "filter denoises while preserving it");
+
+    const int n = 200;
+    const float lo = 0.25f, hi = 0.75f;
+    const auto noisy = makeNoisyStep(n, lo, hi, 0.05f, 42);
+    const auto averaged = movingAverage1d(noisy, 10);
+    const auto bilateral = bilateralFilter1d(noisy, 8.0, 12, 2);
+
+    TableWriter table({"signal", "RMS err (flat regions)",
+                       "RMS err (edge band)", "edge abs err"});
+    auto row = [&](const char *name, const std::vector<float> &sig) {
+        const double flat = 0.5 * (rmsError(sig, 10, n / 2 - 15, lo, hi) +
+                                   rmsError(sig, n / 2 + 15, n - 10, lo,
+                                            hi));
+        const double edge =
+            rmsError(sig, n / 2 - 12, n / 2 + 12, lo, hi);
+        table.addRow({name, TableWriter::num(flat, 4),
+                      TableWriter::num(edge, 4),
+                      TableWriter::num(stepEdgeError(sig, lo, hi), 4)});
+    };
+    row("(a) noisy input", noisy);
+    row("(b) moving average", averaged);
+    row("(d) bilateral (grid)", bilateral);
+    table.print("Fig. 6: smoothing a noisy step");
+
+    std::printf("\nexpected shape: both filters fix the flat regions; "
+                "only the bilateral filter keeps the edge band clean.\n");
+    return 0;
+}

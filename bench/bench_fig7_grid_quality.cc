@@ -1,0 +1,113 @@
+/**
+ * @file
+ * E6 — Fig. 7: "Using a smaller bilateral grid is cheaper to compute
+ * but degrades the quality of the output depth map, even at high image
+ * resolutions."
+ *
+ * Sweeps the pixels-per-grid-vertex knob (4 .. 64, as in the paper)
+ * for three input resolutions standing in for the 5/7/8 MP sensors,
+ * running real BSSA at proxy scale and reporting MS-SSIM of the depth
+ * map against ground truth. The x-axis "Bilateral Grid Size (GB)" is
+ * computed analytically at full scale the way the paper counts it
+ * (grid x disparity candidates x camera pairs).
+ *
+ * Shapes to reproduce: quality rises and saturates with grid size;
+ * input resolution matters much less than cell size.
+ */
+
+#include "bench_common.hh"
+#include "bilateral/stereo.hh"
+#include "common/table.hh"
+#include "image/metrics.hh"
+#include "vr/geometry.hh"
+#include "workload/stereo_scene.hh"
+
+using namespace incam;
+
+namespace {
+
+/** Proxy resolutions standing in for the paper's 5/7/8 MP frames. */
+struct Resolution
+{
+    const char *label;
+    int w, h;
+    int full_w, full_h; ///< the megapixel geometry it stands for
+};
+
+double
+depthQuality(const StereoPair &scene, double cell, int range_bins)
+{
+    BssaConfig cfg;
+    cfg.max_disparity = 16;
+    cfg.cell_spatial = cell;
+    cfg.range_bins = range_bins;
+    cfg.solver_iterations = 12;
+    const BssaResult res = BssaStereo(cfg).compute(scene.left,
+                                                   scene.right);
+    ImageF got = res.disparity;
+    ImageF want = scene.disparity;
+    for (float &v : got) {
+        v /= 16.0f;
+    }
+    for (float &v : want) {
+        v /= 16.0f;
+    }
+    return msSsim(want, got);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("E6 (Fig. 7)", "depth quality vs bilateral grid size");
+    paperSays("quality (MS-SSIM) degrades as the grid shrinks; "
+              "resolution is less impactful than grid size");
+
+    const Resolution resolutions[] = {
+        {"5 MP", 288, 192, 2880, 1920},
+        {"7 MP", 342, 228, 3420, 2280},
+        {"8 MP", 384, 216, 3840, 2160},
+    };
+
+    TableWriter table({"px/vertex", "resolution", "grid GB (full scale)",
+                       "proxy vertices", "MS-SSIM %"});
+
+    for (const Resolution &res : resolutions) {
+        StereoSceneConfig scfg;
+        scfg.width = res.w;
+        scfg.height = res.h;
+        scfg.max_disparity = 14;
+        scfg.layers = 5;
+        scfg.seed = 77;
+        const StereoPair scene = makeStereoPair(scfg);
+
+        for (int cell : {4, 8, 16, 32, 64}) {
+            // Range bins shrink with the same factor (the paper scales
+            // all three grid dimensions together).
+            const int range_bins = std::max(2, 256 / (cell * 2));
+
+            // Full-scale grid bytes, counted as the paper's x-axis:
+            // per-pair grid x disparity candidates x 16 pairs.
+            VrGeometry g = defaultVrGeometry();
+            g.rect_w = res.full_w;
+            g.rect_h = res.full_h;
+            g.cell_spatial = cell;
+            g.range_bins = range_bins;
+            const double grid_gb = g.aggregateGridBytes().gb();
+
+            const double q = depthQuality(scene, cell, range_bins);
+            const BilateralGrid proxy(res.w, res.h, cell, range_bins);
+            table.addRow({TableWriter::num(cell), res.label,
+                          TableWriter::num(grid_gb, 2),
+                          TableWriter::num(static_cast<long long>(
+                              proxy.vertexCount())),
+                          TableWriter::num(100.0 * q, 1)});
+        }
+    }
+    table.print("Fig. 7: quality vs grid size across resolutions");
+    std::printf("\nread vertically: at fixed px/vertex the three "
+                "resolutions score similarly;\nread horizontally: "
+                "shrinking the grid degrades every resolution.\n");
+    return 0;
+}

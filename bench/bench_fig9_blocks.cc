@@ -1,0 +1,64 @@
+/**
+ * @file
+ * E7 — Fig. 9: "Computation distribution and output data size for
+ * blocks in a VR video pipeline."
+ *
+ * Prints each block's output size and its share of CPU compute time at
+ * the full 16-camera scale, plus the per-2-camera view the figure is
+ * captioned with. Paper reference: compute shares 5% / 20% / 70% / 5%
+ * for B1..B4; B2's output is the largest (the data-expanding stage)
+ * and B4's the smallest.
+ */
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "vr/pipeline_model.hh"
+
+using namespace incam;
+
+int
+main()
+{
+    banner("E7 (Fig. 9)", "per-block compute share and output size");
+    paperSays("compute 5/20/70/5% for B1..B4; B2 output largest, B4 "
+              "smallest (2-of-16-camera view)");
+
+    const VrPipelineModel model;
+    const VrGeometry &g = model.geometry();
+
+    const struct
+    {
+        VrBlock block;
+        const char *name;
+        double paper_share;
+    } blocks[] = {
+        {VrBlock::Sensor, "sensor", 0.0},
+        {VrBlock::Preprocess, "B1 pre-processing", 5.0},
+        {VrBlock::Align, "B2 image alignment", 20.0},
+        {VrBlock::Depth, "B3 depth estimation", 70.0},
+        {VrBlock::Stitch, "B4 image stitching", 5.0},
+    };
+
+    TableWriter table({"block", "output MB (16 cam)", "output MB (2 cam)",
+                       "compute share %", "paper share %"});
+    for (const auto &b : blocks) {
+        const DataSize out = model.outputBytes(b.block);
+        table.addRow({b.name, TableWriter::num(out.mb(), 1),
+                      TableWriter::num(out.mb() / 8.0, 1),
+                      b.block == VrBlock::Sensor
+                          ? std::string("-")
+                          : TableWriter::num(
+                                100.0 * model.cpuShare(b.block), 1),
+                      b.block == VrBlock::Sensor
+                          ? std::string("-")
+                          : TableWriter::num(b.paper_share, 0)});
+    }
+    table.print("Fig. 9: block outputs and CPU compute distribution");
+
+    std::printf("\ntotal CPU work per frame set: %.1f Gops; B2 expands "
+                "the data %.2fx before B3 shrinks it.\n",
+                g.totalCpuOps() / 1e9,
+                g.outputBytes(VrBlock::Align).b() /
+                    g.outputBytes(VrBlock::Sensor).b());
+    return 0;
+}

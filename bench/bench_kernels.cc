@@ -1,0 +1,171 @@
+/**
+ * @file
+ * E12 — kernel microbenchmarks (google-benchmark).
+ *
+ * Wall-clock costs of the substrate kernels on the host. These do not
+ * reproduce paper numbers (the paper's platforms are modeled
+ * analytically); they document the proxy-scale cost of each kernel and
+ * guard against accidental algorithmic regressions (e.g. the integral
+ * image degenerating to O(n^2)).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bilateral/stereo.hh"
+#include "image/integral.hh"
+#include "image/ops.hh"
+#include "motion/motion.hh"
+#include "snnap/accelerator.hh"
+#include "vj/haar.hh"
+#include "workload/stereo_scene.hh"
+#include "workload/texture.hh"
+
+using namespace incam;
+
+namespace {
+
+ImageU8
+benchFrame(int w, int h)
+{
+    return toU8(makeValueNoise(w, h, 24, 3, 99));
+}
+
+void
+BM_IntegralImage(benchmark::State &state)
+{
+    const int side = static_cast<int>(state.range(0));
+    const ImageU8 img = benchFrame(side, side);
+    for (auto _ : state) {
+        IntegralImage ii(img);
+        benchmark::DoNotOptimize(ii.rectSum(0, 0, side, side));
+    }
+    state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_IntegralImage)->Arg(120)->Arg(480);
+
+void
+BM_HaarEvaluate(benchmark::State &state)
+{
+    const ImageU8 img = benchFrame(160, 120);
+    const IntegralImage ii(img);
+    const auto pool = enumerateFeatures(20, 4, 4);
+    const double inv_norm = windowInvNorm(ii, 10, 10, 20);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pool[i % pool.size()].evaluate(ii, 10, 10, 1.0, inv_norm));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HaarEvaluate);
+
+void
+BM_MotionDetect(benchmark::State &state)
+{
+    MotionDetector md;
+    const ImageU8 a = benchFrame(160, 120);
+    ImageU8 b = a;
+    b.at(5, 5) = 255;
+    bool flip = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(md.update(flip ? a : b));
+        flip = !flip;
+    }
+    state.SetItemsProcessed(state.iterations() * 160 * 120);
+}
+BENCHMARK(BM_MotionDetect);
+
+void
+BM_GridSplat(benchmark::State &state)
+{
+    const ImageF img = makeValueNoise(320, 240, 24, 3, 7);
+    for (auto _ : state) {
+        BilateralGrid grid(320, 240, 8.0, 16);
+        grid.splat(img, img, nullptr);
+        benchmark::DoNotOptimize(grid.vertexWeight(0, 0, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * 320 * 240);
+}
+BENCHMARK(BM_GridSplat);
+
+void
+BM_GridBlur(benchmark::State &state)
+{
+    const ImageF img = makeValueNoise(320, 240, 24, 3, 7);
+    BilateralGrid grid(320, 240, 8.0, 16);
+    grid.splat(img, img, nullptr);
+    for (auto _ : state) {
+        grid.blur();
+        benchmark::DoNotOptimize(grid.vertexValue(0, 0, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * grid.vertexCount());
+}
+BENCHMARK(BM_GridBlur);
+
+void
+BM_GridSlice(benchmark::State &state)
+{
+    const ImageF img = makeValueNoise(320, 240, 24, 3, 7);
+    BilateralGrid grid(320, 240, 8.0, 16);
+    grid.splat(img, img, nullptr);
+    grid.blur();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(grid.slice(img));
+    }
+    state.SetItemsProcessed(state.iterations() * 320 * 240);
+}
+BENCHMARK(BM_GridSlice);
+
+void
+BM_BssaFullPair(benchmark::State &state)
+{
+    StereoSceneConfig cfg;
+    cfg.width = 160;
+    cfg.height = 120;
+    const StereoPair pair = makeStereoPair(cfg);
+    BssaConfig bc;
+    bc.max_disparity = 16;
+    bc.solver_iterations = 8;
+    const BssaStereo stereo(bc);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stereo.compute(pair.left, pair.right));
+    }
+}
+BENCHMARK(BM_BssaFullPair);
+
+void
+BM_SnnapInference(benchmark::State &state)
+{
+    const Mlp net(MlpTopology{{400, 8, 1}}, 3);
+    QuantConfig qc;
+    qc.width = static_cast<int>(state.range(0));
+    const QuantizedMlp qnet(net, qc);
+    SnnapConfig sc;
+    sc.num_pes = 8;
+    SnnapAccelerator accel(qnet, sc);
+    const std::vector<int64_t> zeros(400, 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(accel.runRaw(zeros));
+    }
+    state.SetItemsProcessed(state.iterations() * 3208);
+}
+BENCHMARK(BM_SnnapInference)->Arg(8)->Arg(16);
+
+void
+BM_Demosaic(benchmark::State &state)
+{
+    // Stand-in for the B1 kernel: bilinear resize of a Bayer-sized
+    // frame (the full pipeline's demosaic lives in vr/blocks, which
+    // needs a rig; this guards the underlying resample cost).
+    const ImageF img = makeValueNoise(384, 216, 24, 3, 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(resizeBilinear(img, 768, 432));
+    }
+    state.SetItemsProcessed(state.iterations() * 768 * 432);
+}
+BENCHMARK(BM_Demosaic);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * E2 — Section III-A "NN microarchitecture" geometry sweep.
+ *
+ * Fixes the network at 400-8-1 / 8-bit / 30 MHz / 0.9 V (the paper's
+ * operating point) and sweeps the PE count. The paper: "We find an
+ * energy-optimal point at 8 PEs: any lower number of PEs introduces
+ * scheduling inefficiencies, increasing energy consumption; too many
+ * PEs results in underutilized resources and reduced parallelism for
+ * the narrow network."
+ */
+
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "fa/auth.hh"
+#include "snnap/accelerator.hh"
+#include "snnap/energy.hh"
+
+using namespace incam;
+
+int
+main()
+{
+    banner("E2 (Section III-A text)",
+           "SNNAP PE-count sweep at 30 MHz / 0.9 V / 8-bit");
+    paperSays("energy-optimal at 8 PEs; fewer PEs -> scheduling "
+              "inefficiency, more PEs -> underutilization");
+
+    FaceDatasetConfig dc;
+    dc.identities = 24;
+    dc.per_identity = 20;
+    dc.size = 20;
+    dc.seed = 7;
+    const FaceDataset ds = FaceDataset::generate(dc);
+    TrainConfig tc;
+    tc.epochs = 120;
+    const AuthNet auth = trainAuthNet(ds, 0, MlpTopology{{400, 8, 1}}, tc);
+
+    QuantConfig qc;
+    qc.width = 8;
+    const QuantizedMlp qnet(auth.net, qc);
+
+    TableWriter table({"PEs", "cycles", "t/inf (us)", "E/inf (nJ)",
+                       "busy power (uW)", "idle PE-cycles",
+                       "throughput (inf/s)"});
+
+    double best_energy = 1e30;
+    int best_pes = 0;
+    for (int pes : {1, 2, 4, 6, 8, 10, 12, 16, 24, 32}) {
+        SnnapConfig sc;
+        sc.num_pes = pes;
+        SnnapAccelerator accel(qnet, sc);
+        std::vector<int64_t> zeros(400, 0);
+        accel.runRaw(zeros);
+        const SnnapStats &st = accel.lastStats();
+        const SnnapEnergyModel em({}, sc, qc.width);
+        const Energy e = em.energy(st);
+        const Time t = st.execTime(sc.clock);
+        if (e.j() < best_energy) {
+            best_energy = e.j();
+            best_pes = pes;
+        }
+        table.addRow(
+            {TableWriter::num(pes),
+             TableWriter::num(static_cast<long long>(st.total_cycles)),
+             TableWriter::num(t.usec(), 2), TableWriter::num(e.nj(), 2),
+             TableWriter::num(em.averagePower(st).uw(), 1),
+             TableWriter::num(static_cast<long long>(st.idle_pe_cycles)),
+             TableWriter::num(1.0 / t.sec(), 0)});
+    }
+    table.print("400-8-1 inference vs PE count");
+    std::printf("\nmeasured energy-optimal geometry: %d PEs "
+                "(paper: 8 PEs)\n", best_pes);
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * E3 — Section III-A "NN numerical accuracy tradeoffs".
+ *
+ * Two precision knobs on the 400-8-1 accelerator: (1) the 256-entry
+ * sigmoid LUT vs a precise activation, and (2) datapath width in
+ * {16, 8, 4} bits. Paper findings to reproduce:
+ *   - the LUT approximation is accuracy-neutral;
+ *   - 16-bit and 8-bit lose only ~0.4% accuracy vs float; 4-bit loses
+ *     significantly more (>1%);
+ *   - 16 -> 8 bits cuts accelerator power by ~41% at 8 PEs, making
+ *     8-bit the selected energy/accuracy point.
+ */
+
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "fa/auth.hh"
+#include "nn/eval.hh"
+#include "snnap/accelerator.hh"
+#include "snnap/energy.hh"
+
+using namespace incam;
+
+int
+main()
+{
+    banner("E3 (Section III-A text)",
+           "datapath width & sigmoid-LUT accuracy/power study");
+    paperSays("LUT sigmoid negligible; 16b/8b lose ~0.4% accuracy, 4b "
+              ">1%; 8b saves 41% power vs 16b at 8 PEs");
+
+    FaceDatasetConfig dc;
+    dc.identities = 30;
+    dc.per_identity = 24;
+    dc.size = 20;
+    dc.seed = 7;
+    const FaceDataset ds = FaceDataset::generate(dc);
+    TrainConfig tc;
+    tc.epochs = 150;
+    const AuthNet auth = trainAuthNet(ds, 0, MlpTopology{{400, 8, 1}}, tc);
+
+    FaceDataset train_ds, test_ds;
+    ds.split(0.9, train_ds, test_ds);
+    const TrainSet test_set = buildAuthSet(test_ds, 0);
+
+    const Confusion float_ref =
+        evaluateBinary(predictorOf(auth.net), test_set);
+    std::printf("float reference accuracy: %.2f%% (err %.2f%%)\n",
+                100.0 * float_ref.accuracy(),
+                100.0 * float_ref.errorRate());
+
+    struct Variant
+    {
+        const char *name;
+        int width;
+        bool lut;
+    };
+    const std::vector<Variant> variants = {
+        {"16-bit + LUT", 16, true}, {"16-bit precise", 16, false},
+        {"8-bit + LUT", 8, true},   {"8-bit precise", 8, false},
+        {"4-bit + LUT", 4, true},
+    };
+
+    TableWriter table({"datapath", "acc bits", "accuracy %",
+                       "loss vs float (pp)", "E/inf (nJ)",
+                       "busy power (uW)", "power vs 16b"});
+
+    double p16 = 0.0;
+    for (const Variant &v : variants) {
+        QuantConfig qc;
+        qc.width = v.width;
+        qc.lut_sigmoid = v.lut;
+        const QuantizedMlp qnet(auth.net, qc);
+        const Confusion c =
+            evaluateBinary(predictorOf(qnet), test_set);
+
+        SnnapConfig sc;
+        sc.num_pes = 8;
+        SnnapAccelerator accel(qnet, sc);
+        std::vector<int64_t> zeros(400, 0);
+        accel.runRaw(zeros);
+        const SnnapEnergyModel em({}, sc, v.width);
+        const double power_uw =
+            em.averagePower(accel.lastStats()).uw();
+        if (v.width == 16 && v.lut) {
+            p16 = power_uw;
+        }
+        const std::string rel =
+            p16 > 0.0 ? TableWriter::num(100.0 * power_uw / p16, 1) + "%"
+                      : "-";
+        table.addRow({v.name, TableWriter::num(qc.accBits()),
+                      TableWriter::num(100.0 * c.accuracy(), 2),
+                      TableWriter::num(100.0 * (float_ref.accuracy() -
+                                                c.accuracy()),
+                                       2),
+                      TableWriter::num(
+                          em.energy(accel.lastStats()).nj(), 2),
+                      TableWriter::num(power_uw, 1), rel});
+    }
+    table.print("precision variants of the 400-8-1 accelerator (8 PEs)");
+    std::printf("\nnote: our float-trained net degrades catastrophically "
+                "at 4 bits (the paper reports 'over 1%%'); the ordering\n"
+                "16b ~ 8b >> 4b and the ~41%% power saving at 8b are the "
+                "reproduced results (see EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * E1 — Section III-A "NN algorithmic tradeoffs".
+ *
+ * Sweeps the authentication network's input window (5x5 .. 20x20) and
+ * hidden width, training each topology on the LFW-substitute dataset
+ * and costing one inference on the 8-PE / 8-bit SNNAP accelerator.
+ * The paper's findings to reproduce in shape:
+ *   - small input windows are cheap but inaccurate; 20x20 preserves
+ *     detail and classifies well (error ~5.9% on their data);
+ *   - halving classification error costs about an order of magnitude
+ *     in energy across the topology space;
+ *   - 400-8-1 is the selected accuracy/energy compromise.
+ */
+
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "fa/auth.hh"
+#include "snnap/accelerator.hh"
+#include "snnap/energy.hh"
+
+using namespace incam;
+
+namespace {
+
+struct Point
+{
+    int input_side;
+    int hidden;
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("E1 (Section III-A text)", "NN topology accuracy/energy sweep");
+    paperSays("20x20 inputs needed for accuracy; halving error costs "
+              "~10x energy; 400-8-1 chosen (5.9% error on LFW)");
+
+    const std::vector<Point> points = {
+        {5, 8},  {8, 8},  {12, 8}, {16, 8}, {20, 2},
+        {20, 4}, {20, 8}, {20, 16}, {20, 32},
+    };
+
+    TableWriter table({"topology", "input", "hidden", "test err %",
+                       "miss %", "F1", "E/inf (nJ)", "cycles",
+                       "err x E (nJ)"});
+
+    for (const Point &pt : points) {
+        FaceDatasetConfig dc;
+        dc.identities = 30;
+        dc.per_identity = 24;
+        dc.size = pt.input_side;
+        dc.hard = true;
+        dc.seed = 7;
+        const FaceDataset ds = FaceDataset::generate(dc);
+
+        const MlpTopology topo{
+            {pt.input_side * pt.input_side, pt.hidden, 1}};
+        TrainConfig tc;
+        tc.epochs = 150;
+        const AuthNet auth = trainAuthNet(ds, 0, topo, tc);
+
+        QuantConfig qc;
+        qc.width = 8;
+        const QuantizedMlp qnet(auth.net, qc);
+        SnnapConfig sc;
+        sc.num_pes = 8;
+        SnnapAccelerator accel(qnet, sc);
+        std::vector<int64_t> zeros(
+            static_cast<size_t>(topo.inputs()), 0);
+        accel.runRaw(zeros);
+        const SnnapEnergyModel em({}, sc, qc.width);
+        const Energy e = em.energy(accel.lastStats());
+
+        table.addRow({topo.toString(), TableWriter::num(pt.input_side),
+                      TableWriter::num(pt.hidden),
+                      TableWriter::num(100.0 * auth.test_error, 2),
+                      TableWriter::num(
+                          100.0 * auth.test_confusion.missRate(), 1),
+                      TableWriter::num(auth.test_confusion.f1(), 3),
+                      TableWriter::num(e.nj(), 2),
+                      TableWriter::num(static_cast<long long>(
+                          accel.lastStats().total_cycles)),
+                      TableWriter::num(100.0 * auth.test_error * e.nj(),
+                                       2)});
+    }
+    table.print("NN topology sweep (8-bit, 8-PE accelerator)");
+    std::printf("\nselected operating point: 400-8-1 (the paper's "
+                "accuracy/energy compromise)\n");
+    return 0;
+}

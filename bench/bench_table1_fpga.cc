@@ -1,0 +1,55 @@
+/**
+ * @file
+ * E9 — Table I: "Requirements for FPGA acceleration platform".
+ *
+ * Regenerates the resource-utilization table for the evaluation system
+ * (Zynq-7000, one FPGA per two cameras) and the projected target
+ * (Virtex UltraScale+ class, 16 cameras). Paper reference:
+ *   evaluation: logic 45.91%, RAM 6.70%, DSP 94.09%, 125 MHz;
+ *   target:     logic 67.10%, RAM 17.60%, DSP 99.98%, 125 MHz;
+ * and the text's "up to 682 compute units" on the target part.
+ */
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "hw/fpga.hh"
+#include "vr/pipeline_model.hh"
+
+using namespace incam;
+
+int
+main()
+{
+    banner("E9 (Table I)", "FPGA platform requirements");
+    paperSays("eval: 45.91/6.70/94.09%; target: 67.10/17.60/99.98%; "
+              "682 CUs on the target part");
+
+    const VrPipelineModel model;
+    const FpgaUsage eval = model.evaluationUsage();
+    const FpgaUsage target = model.targetUsage();
+
+    TableWriter table({"resource", "evaluation", "paper", "target",
+                       "paper "});
+    table.addRow({"System FPGA model", zynq7020().name, "Zynq-7000",
+                  virtexUltraScalePlus().name, "Virtex UltraScale+"});
+    table.addRow({"FPGA (#)", "1", "1", "16", "16"});
+    table.addRow({"Cameras", "2", "2", "16", "16"});
+    table.addRow({"Compute units", TableWriter::num(eval.compute_units),
+                  "(12 max)", TableWriter::num(target.compute_units),
+                  "682"});
+    table.addRow({"Logic %", TableWriter::num(eval.logic_pct, 2),
+                  "45.91", TableWriter::num(target.logic_pct, 2),
+                  "67.10"});
+    table.addRow({"RAM %", TableWriter::num(eval.ram_pct, 2), "6.70",
+                  TableWriter::num(target.ram_pct, 2), "17.60"});
+    table.addRow({"DSP %", TableWriter::num(eval.dsp_pct, 2), "94.09",
+                  TableWriter::num(target.dsp_pct, 2), "99.98"});
+    table.addRow({"Clock (MHz)", "125", "125", "125", "125"});
+    table.print("Table I: resource requirements per platform");
+
+    std::printf("\neach compute unit: %d DSP slices (Section IV-B), one "
+                "grid-vertex filter per cycle;\nB3 throughput per "
+                "camera-pair board: %.1f FPS.\n",
+                FpgaDesignModel::dsps_per_cu, model.fpgaDepthFps());
+    return 0;
+}

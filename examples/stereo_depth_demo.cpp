@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bilateral-space stereo on a synthetic scene.
+ *
+ * Renders a textured layered stereo pair with exact ground truth, runs
+ * plain winner-take-all block matching and then BSSA refinement, and
+ * reports how much the bilateral-space solver improves the depth map —
+ * plus the Fig. 7 tradeoff in miniature (quality vs grid cell size).
+ * Writes /tmp/incam_stereo_{left,wta,refined,truth}.pgm for visual
+ * inspection.
+ *
+ * Run: ./build/examples/stereo_depth_demo
+ */
+
+#include <cstdio>
+
+#include "bilateral/stereo.hh"
+#include "image/image_io.hh"
+#include "image/metrics.hh"
+#include "image/ops.hh"
+#include "workload/stereo_scene.hh"
+
+using namespace incam;
+
+namespace {
+
+double
+meanAbsError(const ImageF &got, const ImageF &want)
+{
+    double acc = 0.0;
+    int n = 0;
+    for (int y = 4; y < got.height() - 4; ++y) {
+        for (int x = 20; x < got.width() - 4; ++x) {
+            acc += std::fabs(got.at(x, y) - want.at(x, y));
+            ++n;
+        }
+    }
+    return acc / n;
+}
+
+void
+writeDepth(const ImageF &disparity, double max_d, const char *path)
+{
+    ImageF vis = disparity;
+    for (float &v : vis) {
+        v = static_cast<float>(v / max_d);
+    }
+    writePgm(toU8(vis), path);
+    std::printf("wrote %s\n", path);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== bilateral-space stereo (BSSA) demo ==\n\n");
+
+    StereoSceneConfig sc;
+    sc.width = 320;
+    sc.height = 240;
+    sc.layers = 6;
+    sc.max_disparity = 18;
+    sc.noise = 0.015;
+    sc.seed = 123;
+    const StereoPair scene = makeStereoPair(sc);
+    std::printf("scene: %dx%d, %d layers, disparities up to %.0f px\n",
+                sc.width, sc.height, sc.layers, sc.max_disparity);
+
+    BssaConfig cfg;
+    cfg.max_disparity = 20;
+    cfg.cell_spatial = 4.0;
+    cfg.range_bins = 16;
+    cfg.solver_iterations = 12;
+    const BssaStereo stereo(cfg);
+    const BssaResult res = stereo.compute(scene.left, scene.right);
+
+    const double wta_err = meanAbsError(res.raw_disparity,
+                                        scene.disparity);
+    const double refined_err = meanAbsError(res.disparity,
+                                            scene.disparity);
+    std::printf("\nwinner-take-all error: %.2f px\n", wta_err);
+    std::printf("BSSA-refined error:    %.2f px  (%.0f%% better)\n",
+                refined_err, 100.0 * (1.0 - refined_err / wta_err));
+    std::printf("grid: %zu vertices, %llu solver vertex-visits\n",
+                res.grid_vertices,
+                (unsigned long long)res.ops.filterVisits());
+
+    writePgm(toU8(scene.left), "/tmp/incam_stereo_left.pgm");
+    writeDepth(res.raw_disparity, cfg.max_disparity,
+               "/tmp/incam_stereo_wta.pgm");
+    writeDepth(res.disparity, cfg.max_disparity,
+               "/tmp/incam_stereo_refined.pgm");
+    writeDepth(scene.disparity, cfg.max_disparity,
+               "/tmp/incam_stereo_truth.pgm");
+
+    // Fig. 7 in miniature: cell size vs quality.
+    std::printf("\ngrid-size tradeoff (Fig. 7 shape):\n");
+    std::printf("  %-10s %-10s %-10s\n", "px/vertex", "vertices",
+                "err (px)");
+    for (double cell : {4.0, 8.0, 16.0, 32.0}) {
+        BssaConfig c = cfg;
+        c.cell_spatial = cell;
+        c.range_bins = std::max(2, static_cast<int>(16 * 4 / cell));
+        const BssaResult r = BssaStereo(c).compute(scene.left,
+                                                   scene.right);
+        std::printf("  %-10.0f %-10zu %-10.2f\n", cell, r.grid_vertices,
+                    meanAbsError(r.disparity, scene.disparity));
+    }
+    std::printf("\ncoarser grids are cheaper but blur depth edges — "
+                "the computation/quality knob of the paper's Fig. 7.\n");
+    return 0;
+}

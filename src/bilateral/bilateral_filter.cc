@@ -1,0 +1,123 @@
+#include "bilateral/bilateral_filter.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace incam {
+
+ImageF
+bilateralFilterReference(const ImageF &in, double sigma_spatial,
+                         double sigma_range)
+{
+    incam_assert(in.channels() == 1, "expects grayscale input");
+    incam_assert(sigma_spatial > 0.0 && sigma_range > 0.0, "bad sigmas");
+    const int radius =
+        std::max(1, static_cast<int>(std::ceil(2.5 * sigma_spatial)));
+    ImageF out(in.width(), in.height(), 1);
+    for (int y = 0; y < in.height(); ++y) {
+        for (int x = 0; x < in.width(); ++x) {
+            const double center = in.at(x, y);
+            double acc = 0.0;
+            double norm = 0.0;
+            for (int dy = -radius; dy <= radius; ++dy) {
+                for (int dx = -radius; dx <= radius; ++dx) {
+                    const double v = in.atClamped(x + dx, y + dy);
+                    const double ds = (dx * dx + dy * dy) /
+                                      (2.0 * sigma_spatial * sigma_spatial);
+                    const double dr = (v - center) * (v - center) /
+                                      (2.0 * sigma_range * sigma_range);
+                    const double w = std::exp(-ds - dr);
+                    acc += w * v;
+                    norm += w;
+                }
+            }
+            out.at(x, y) = static_cast<float>(acc / norm);
+        }
+    }
+    return out;
+}
+
+ImageF
+bilateralFilterGrid(const ImageF &in, double cell_spatial, int range_bins,
+                    int blur_iterations, GridOpCounts *ops)
+{
+    BilateralGrid grid(in.width(), in.height(), cell_spatial, range_bins);
+    grid.splat(in, in, nullptr, ops);
+    for (int i = 0; i < blur_iterations; ++i) {
+        grid.blur(ops);
+    }
+    return grid.slice(in, 0.0f, ops);
+}
+
+std::vector<float>
+makeNoisyStep(int n, float lo, float hi, float noise, uint64_t seed)
+{
+    incam_assert(n >= 4, "signal too short");
+    Rng rng(seed);
+    std::vector<float> out(n);
+    for (int i = 0; i < n; ++i) {
+        const float base = i < n / 2 ? lo : hi;
+        out[i] = base + static_cast<float>(rng.gaussian(0.0, noise));
+    }
+    return out;
+}
+
+std::vector<float>
+movingAverage1d(const std::vector<float> &in, int radius)
+{
+    incam_assert(radius >= 1, "radius must be >= 1");
+    std::vector<float> out(in.size());
+    const int n = static_cast<int>(in.size());
+    for (int i = 0; i < n; ++i) {
+        double acc = 0.0;
+        int count = 0;
+        for (int d = -radius; d <= radius; ++d) {
+            const int j = std::clamp(i + d, 0, n - 1);
+            acc += in[static_cast<size_t>(j)];
+            ++count;
+        }
+        out[static_cast<size_t>(i)] = static_cast<float>(acc / count);
+    }
+    return out;
+}
+
+std::vector<float>
+bilateralFilter1d(const std::vector<float> &in, double cell_spatial,
+                  int range_bins, int blur_iterations)
+{
+    // Reuse the 2-D grid machinery with a 1-pixel-high image.
+    ImageF img(static_cast<int>(in.size()), 1, 1);
+    for (size_t i = 0; i < in.size(); ++i) {
+        img.at(static_cast<int>(i), 0) = std::clamp(in[i], 0.0f, 1.0f);
+    }
+    const ImageF filtered =
+        bilateralFilterGrid(img, cell_spatial, range_bins, blur_iterations);
+    std::vector<float> out(in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        out[i] = filtered.at(static_cast<int>(i), 0);
+    }
+    return out;
+}
+
+double
+stepEdgeError(const std::vector<float> &filtered, float lo, float hi)
+{
+    const int n = static_cast<int>(filtered.size());
+    const int edge = n / 2;
+    const int band = std::max(2, n / 10);
+    double acc = 0.0;
+    int count = 0;
+    for (int i = edge - band; i < edge + band; ++i) {
+        if (i < 0 || i >= n) {
+            continue;
+        }
+        const float truth = i < edge ? lo : hi;
+        acc += std::fabs(filtered[static_cast<size_t>(i)] - truth);
+        ++count;
+    }
+    return count ? acc / count : 0.0;
+}
+
+} // namespace incam

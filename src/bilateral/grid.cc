@@ -1,0 +1,199 @@
+#include "bilateral/grid.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+BilateralGrid::BilateralGrid(int image_w, int image_h, double cell_spatial,
+                             int range_bins)
+    : cell(cell_spatial)
+{
+    incam_assert(image_w > 0 && image_h > 0, "bad image size");
+    incam_assert(cell_spatial >= 1.0, "spatial cell must be >= 1 px");
+    incam_assert(range_bins >= 2, "need >= 2 range bins");
+    // +1 so the last pixel/intensity has an upper interpolation vertex.
+    nx = static_cast<int>(std::ceil(image_w / cell_spatial)) + 1;
+    ny = static_cast<int>(std::ceil(image_h / cell_spatial)) + 1;
+    nz = range_bins + 1;
+    val.assign(vertexCount(), 0.0f);
+    wgt.assign(vertexCount(), 0.0f);
+}
+
+void
+BilateralGrid::splat(const ImageF &guide, const ImageF &value,
+                     const ImageF *confidence, GridOpCounts *ops)
+{
+    incam_assert(guide.channels() == 1 && value.channels() == 1,
+                 "splat expects single-channel images");
+    incam_assert(guide.sameShape(value), "guide/value shape mismatch");
+    if (confidence) {
+        incam_assert(guide.sameShape(*confidence),
+                     "confidence shape mismatch");
+    }
+
+    const int bins = nz - 1;
+    for (int y = 0; y < guide.height(); ++y) {
+        for (int x = 0; x < guide.width(); ++x) {
+            const float g = std::clamp(guide.at(x, y), 0.0f, 1.0f);
+            const double fx = x / cell;
+            const double fy = y / cell;
+            const double fz = static_cast<double>(g) * bins;
+            const int x0 = std::min(static_cast<int>(fx), nx - 2);
+            const int y0 = std::min(static_cast<int>(fy), ny - 2);
+            const int z0 = std::min(static_cast<int>(fz), nz - 2);
+            const double tx = fx - x0;
+            const double ty = fy - y0;
+            const double tz = fz - z0;
+
+            const float c = confidence ? confidence->at(x, y) : 1.0f;
+            const float v = value.at(x, y) * c;
+
+            for (int dz = 0; dz < 2; ++dz) {
+                const double wz = dz ? tz : 1.0 - tz;
+                for (int dy = 0; dy < 2; ++dy) {
+                    const double wy = dy ? ty : 1.0 - ty;
+                    for (int dx = 0; dx < 2; ++dx) {
+                        const double wx = dx ? tx : 1.0 - tx;
+                        const float w = static_cast<float>(wx * wy * wz);
+                        const size_t idx =
+                            index(x0 + dx, y0 + dy, z0 + dz);
+                        val[idx] += v * w;
+                        wgt[idx] += c * w;
+                    }
+                }
+            }
+        }
+    }
+    if (ops) {
+        // 8 vertices x 2 channels x (1 mul + 1 add) + weight products.
+        ops->splat_ops += static_cast<uint64_t>(guide.pixelCount()) * 40;
+    }
+}
+
+void
+BilateralGrid::blur(GridOpCounts *ops)
+{
+    // Separable [1 2 1] / 4 along x, then y, then z, with clamped ends.
+    auto pass = [&](int axis) {
+        std::vector<float> new_val(val.size());
+        std::vector<float> new_wgt(wgt.size());
+        const int dims[3] = {nx, ny, nz};
+        const size_t strides[3] = {1, static_cast<size_t>(nx),
+                                   static_cast<size_t>(nx) * ny};
+        const int n = dims[axis];
+        const size_t stride = strides[axis];
+        for (int k = 0; k < nz; ++k) {
+            for (int j = 0; j < ny; ++j) {
+                for (int i = 0; i < nx; ++i) {
+                    const size_t idx = index(i, j, k);
+                    const int pos = axis == 0 ? i : axis == 1 ? j : k;
+                    const size_t lo = pos > 0 ? idx - stride : idx;
+                    const size_t hi = pos < n - 1 ? idx + stride : idx;
+                    new_val[idx] = 0.25f * (val[lo] + 2.0f * val[idx] +
+                                            val[hi]);
+                    new_wgt[idx] = 0.25f * (wgt[lo] + 2.0f * wgt[idx] +
+                                            wgt[hi]);
+                }
+            }
+        }
+        val.swap(new_val);
+        wgt.swap(new_wgt);
+    };
+    pass(0);
+    pass(1);
+    pass(2);
+    if (ops) {
+        ops->blur_vertex_visits += vertexCount() * 3;
+    }
+}
+
+ImageF
+BilateralGrid::slice(const ImageF &guide, float fallback,
+                     GridOpCounts *ops) const
+{
+    incam_assert(guide.channels() == 1, "slice expects a grayscale guide");
+    ImageF out(guide.width(), guide.height(), 1);
+    const int bins = nz - 1;
+    for (int y = 0; y < guide.height(); ++y) {
+        for (int x = 0; x < guide.width(); ++x) {
+            const float g = std::clamp(guide.at(x, y), 0.0f, 1.0f);
+            const double fx = x / cell;
+            const double fy = y / cell;
+            const double fz = static_cast<double>(g) * bins;
+            const int x0 = std::min(static_cast<int>(fx), nx - 2);
+            const int y0 = std::min(static_cast<int>(fy), ny - 2);
+            const int z0 = std::min(static_cast<int>(fz), nz - 2);
+            const double tx = fx - x0;
+            const double ty = fy - y0;
+            const double tz = fz - z0;
+
+            double acc_v = 0.0;
+            double acc_w = 0.0;
+            for (int dz = 0; dz < 2; ++dz) {
+                const double wz = dz ? tz : 1.0 - tz;
+                for (int dy = 0; dy < 2; ++dy) {
+                    const double wy = dy ? ty : 1.0 - ty;
+                    for (int dx = 0; dx < 2; ++dx) {
+                        const double wx = dx ? tx : 1.0 - tx;
+                        const double w = wx * wy * wz;
+                        const size_t idx =
+                            index(x0 + dx, y0 + dy, z0 + dz);
+                        acc_v += w * val[idx];
+                        acc_w += w * wgt[idx];
+                    }
+                }
+            }
+            out.at(x, y) = acc_w > 1e-9
+                               ? static_cast<float>(acc_v / acc_w)
+                               : fallback;
+        }
+    }
+    if (ops) {
+        ops->slice_ops += static_cast<uint64_t>(guide.pixelCount()) * 35;
+    }
+    return out;
+}
+
+void
+BilateralGrid::blendData(const BilateralGrid &data, double lambda)
+{
+    incam_assert(nx == data.nx && ny == data.ny && nz == data.nz,
+                 "grid shape mismatch in blendData");
+    incam_assert(lambda >= 0.0, "negative data weight");
+    const float l = static_cast<float>(lambda);
+    for (size_t i = 0; i < val.size(); ++i) {
+        val[i] += l * data.val[i];
+        wgt[i] += l * data.wgt[i];
+    }
+}
+
+float
+BilateralGrid::vertexValue(int i, int j, int k) const
+{
+    incam_assert(i >= 0 && i < nx && j >= 0 && j < ny && k >= 0 && k < nz,
+                 "vertex (", i, ",", j, ",", k, ") out of grid");
+    return val[index(i, j, k)];
+}
+
+float
+BilateralGrid::vertexWeight(int i, int j, int k) const
+{
+    incam_assert(i >= 0 && i < nx && j >= 0 && j < ny && k >= 0 && k < nz,
+                 "vertex (", i, ",", j, ",", k, ") out of grid");
+    return wgt[index(i, j, k)];
+}
+
+void
+BilateralGrid::setVertex(int i, int j, int k, float value_times_weight,
+                         float weight)
+{
+    incam_assert(i >= 0 && i < nx && j >= 0 && j < ny && k >= 0 && k < nz,
+                 "vertex (", i, ",", j, ",", k, ") out of grid");
+    val[index(i, j, k)] = value_times_weight;
+    wgt[index(i, j, k)] = weight;
+}
+
+} // namespace incam

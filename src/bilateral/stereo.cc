@@ -1,0 +1,122 @@
+#include "bilateral/stereo.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+BssaStereo::BssaStereo(BssaConfig cfg) : conf(cfg)
+{
+    incam_assert(conf.max_disparity >= 1, "disparity range must be >= 1");
+    incam_assert(conf.block_radius >= 0, "negative block radius");
+    incam_assert(conf.solver_iterations >= 1, "need >= 1 solver iteration");
+    incam_assert(conf.range_bins >= 2, "need >= 2 range bins");
+    incam_assert(conf.cell_spatial >= 1.0, "cell must be >= 1 px");
+}
+
+void
+BssaStereo::wtaDisparity(const ImageF &left, const ImageF &right,
+                         ImageF &disparity, ImageF &confidence,
+                         uint64_t *matching_ops) const
+{
+    incam_assert(left.sameShape(right), "stereo pair shape mismatch");
+    incam_assert(left.channels() == 1, "stereo expects grayscale views");
+
+    const int w = left.width();
+    const int h = left.height();
+    const int r = conf.block_radius;
+    disparity = ImageF(w, h, 1);
+    confidence = ImageF(w, h, 1);
+
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            double best = 1e30;
+            double second = 1e30;
+            int best_d = 0;
+            const int d_max = std::min(conf.max_disparity, x);
+            for (int d = 0; d <= d_max; ++d) {
+                double sad = 0.0;
+                for (int dy = -r; dy <= r; ++dy) {
+                    for (int dx = -r; dx <= r; ++dx) {
+                        const float lv = left.atClamped(x + dx, y + dy);
+                        const float rv =
+                            right.atClamped(x - d + dx, y + dy);
+                        sad += std::fabs(lv - rv);
+                    }
+                }
+                if (sad < best) {
+                    second = best;
+                    best = sad;
+                    best_d = d;
+                } else if (sad < second) {
+                    second = sad;
+                }
+            }
+            disparity.at(x, y) = static_cast<float>(best_d);
+            // Peak-ratio confidence: decisive minima are trustworthy.
+            const double taps = (2.0 * r + 1.0) * (2.0 * r + 1.0);
+            const double margin = (second - best) / taps;
+            confidence.at(x, y) = static_cast<float>(
+                std::clamp(margin * 12.0, 0.02, 1.0));
+        }
+    }
+    if (matching_ops) {
+        const double taps = (2.0 * r + 1.0) * (2.0 * r + 1.0);
+        *matching_ops += static_cast<uint64_t>(
+            static_cast<double>(w) * h * (conf.max_disparity + 1) * taps *
+            3.0); // sub, abs, accumulate
+    }
+}
+
+ImageF
+BssaStereo::refine(const ImageF &guide, const ImageF &noisy,
+                   const ImageF &confidence, size_t *vertices,
+                   GridOpCounts *ops) const
+{
+    // Normalize disparity into [0, 1] for grid storage.
+    const float inv_range = 1.0f / static_cast<float>(conf.max_disparity);
+    ImageF normalized(noisy.width(), noisy.height(), 1);
+    for (int y = 0; y < noisy.height(); ++y) {
+        for (int x = 0; x < noisy.width(); ++x) {
+            normalized.at(x, y) = noisy.at(x, y) * inv_range;
+        }
+    }
+
+    // Data grid: splatted once, re-attached every round.
+    BilateralGrid data(guide.width(), guide.height(), conf.cell_spatial,
+                       conf.range_bins);
+    data.splat(guide, normalized, &confidence, ops);
+    if (vertices) {
+        *vertices = data.vertexCount();
+    }
+
+    BilateralGrid solution = data;
+    for (int it = 0; it < conf.solver_iterations; ++it) {
+        solution.blur(ops);
+        solution.blendData(data, conf.data_lambda);
+    }
+
+    ImageF sliced = solution.slice(guide, 0.0f, ops);
+    for (int y = 0; y < sliced.height(); ++y) {
+        for (int x = 0; x < sliced.width(); ++x) {
+            sliced.at(x, y) = std::clamp(
+                sliced.at(x, y) * static_cast<float>(conf.max_disparity),
+                0.0f, static_cast<float>(conf.max_disparity));
+        }
+    }
+    return sliced;
+}
+
+BssaResult
+BssaStereo::compute(const ImageF &left, const ImageF &right) const
+{
+    BssaResult res;
+    wtaDisparity(left, right, res.raw_disparity, res.confidence,
+                 &res.ops.matching_ops);
+    res.disparity = refine(left, res.raw_disparity, res.confidence,
+                           &res.grid_vertices, &res.ops.grid);
+    return res;
+}
+
+} // namespace incam

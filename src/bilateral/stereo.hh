@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Bilateral-space stereo (BSSA) — the paper's B3 depth-estimation block.
+ *
+ * Following Barron et al. (CVPR 2015) as summarized in Section IV-A of
+ * the paper, depth estimation proceeds in three phases:
+ *
+ *  1. *Matching*: a local block-matching cost volume over the rectified
+ *     pair produces a noisy winner-take-all disparity map plus a
+ *     per-pixel confidence (how decisive the match was).
+ *  2. *Bilateral-space refinement*: the noisy disparities are splatted
+ *     into a bilateral grid guided by the reference image; an iterative
+ *     smooth-then-reattach-data (Jacobi-style) solver regularizes
+ *     disparity in bilateral space, where simple local blurs equal
+ *     global edge-aware smoothing in pixel space.
+ *  3. *Slicing*: the refined grid is read back at every pixel, yielding
+ *     an edge-aware dense depth map.
+ *
+ * The solver loop over grid vertices is the "millions of blurs" the
+ * paper maps onto FPGA compute units; every phase counts its arithmetic
+ * so the CPU / GPU / FPGA cost models (Fig. 10) price identical work.
+ */
+
+#ifndef INCAM_BILATERAL_STEREO_HH
+#define INCAM_BILATERAL_STEREO_HH
+
+#include "bilateral/grid.hh"
+
+namespace incam {
+
+/** BSSA algorithm parameters. */
+struct BssaConfig
+{
+    int max_disparity = 24;   ///< disparity search range (pixels)
+    int block_radius = 1;     ///< SAD window radius for matching
+    double cell_spatial = 4.0;///< grid: pixels per spatial vertex
+    int range_bins = 16;      ///< grid: intensity bins
+    int solver_iterations = 26; ///< smooth/reattach rounds (3 axis passes
+                               ///< per round — the paper-calibrated count)
+    double data_lambda = 0.30;///< data-fidelity weight per round
+};
+
+/** Work counters for one BSSA execution. */
+struct BssaOpCounts
+{
+    uint64_t matching_ops = 0; ///< cost-volume SAD arithmetic
+    GridOpCounts grid;         ///< splat / blur / slice work
+
+    /** Vertex-stencil visits — what one FPGA CU retires per cycle. */
+    uint64_t
+    filterVisits() const
+    {
+        return grid.blur_vertex_visits;
+    }
+};
+
+/** Output of a BSSA run. */
+struct BssaResult
+{
+    ImageF disparity;      ///< refined, dense (pixels)
+    ImageF raw_disparity;  ///< pre-refinement WTA output (pixels)
+    ImageF confidence;     ///< match confidence in [0, 1]
+    size_t grid_vertices = 0;
+    BssaOpCounts ops;
+};
+
+/** The bilateral-space stereo engine. */
+class BssaStereo
+{
+  public:
+    explicit BssaStereo(BssaConfig cfg = {});
+
+    const BssaConfig &config() const { return conf; }
+
+    /**
+     * Compute a refined disparity map for a rectified pair (left is the
+     * reference view). Images must be same-shape single-channel floats.
+     */
+    BssaResult compute(const ImageF &left, const ImageF &right) const;
+
+    /**
+     * Matching phase only: winner-take-all disparity + confidence.
+     * Exposed separately for tests and for the Fig. 7 sweep.
+     */
+    void wtaDisparity(const ImageF &left, const ImageF &right,
+                      ImageF &disparity, ImageF &confidence,
+                      uint64_t *matching_ops = nullptr) const;
+
+    /**
+     * Refinement phase only: edge-aware smoothing of @p noisy guided by
+     * @p guide, weighted by @p confidence.
+     */
+    ImageF refine(const ImageF &guide, const ImageF &noisy,
+                  const ImageF &confidence, size_t *vertices = nullptr,
+                  GridOpCounts *ops = nullptr) const;
+
+  private:
+    BssaConfig conf;
+};
+
+} // namespace incam
+
+#endif // INCAM_BILATERAL_STEREO_HH

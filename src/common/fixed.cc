@@ -1,0 +1,104 @@
+#include "common/fixed.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+std::string
+FixedFormat::toString() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "Q%d.%d (%db)", width - frac - 1, frac,
+                  width);
+    return buf;
+}
+
+int64_t
+saturate(int64_t raw, const FixedFormat &fmt)
+{
+    if (raw > fmt.maxRaw()) {
+        return fmt.maxRaw();
+    }
+    if (raw < fmt.minRaw()) {
+        return fmt.minRaw();
+    }
+    return raw;
+}
+
+int64_t
+quantize(double value, const FixedFormat &fmt)
+{
+    incam_assert(fmt.width >= 2 && fmt.width <= 32,
+                 "unsupported fixed-point width ", fmt.width);
+    incam_assert(fmt.frac >= 0 && fmt.frac < fmt.width,
+                 "invalid fractional bit count ", fmt.frac);
+    const double scaled = value * static_cast<double>(int64_t{1} << fmt.frac);
+    // Round to nearest, ties away from zero (std::round semantics).
+    const double rounded = std::round(scaled);
+    if (rounded >= static_cast<double>(fmt.maxRaw())) {
+        return fmt.maxRaw();
+    }
+    if (rounded <= static_cast<double>(fmt.minRaw())) {
+        return fmt.minRaw();
+    }
+    return static_cast<int64_t>(rounded);
+}
+
+double
+dequantize(int64_t raw, const FixedFormat &fmt)
+{
+    return static_cast<double>(raw) * fmt.lsb();
+}
+
+double
+roundTrip(double value, const FixedFormat &fmt)
+{
+    return dequantize(quantize(value, fmt), fmt);
+}
+
+int64_t
+fixedMul(int64_t a, int64_t b)
+{
+    return a * b;
+}
+
+int64_t
+rescale(int64_t raw, int from_frac, int to_frac)
+{
+    if (from_frac == to_frac) {
+        return raw;
+    }
+    if (from_frac < to_frac) {
+        return raw << (to_frac - from_frac);
+    }
+    const int shift = from_frac - to_frac;
+    // Round to nearest: add half an LSB in the larger format.
+    const int64_t bias = int64_t{1} << (shift - 1);
+    if (raw >= 0) {
+        return (raw + bias) >> shift;
+    }
+    return -((-raw + bias) >> shift);
+}
+
+FixedFormat
+bestFormatFor(double max_abs, int width)
+{
+    incam_assert(width >= 2 && width <= 32,
+                 "unsupported fixed-point width ", width);
+    // Need int_bits so that 2^int_bits > max_abs; frac = width-1-int_bits.
+    int int_bits = 0;
+    double range = 1.0;
+    while (range <= max_abs && int_bits < width - 1) {
+        ++int_bits;
+        range *= 2.0;
+    }
+    FixedFormat fmt;
+    fmt.width = width;
+    fmt.frac = width - 1 - int_bits;
+    return fmt;
+}
+
+} // namespace incam

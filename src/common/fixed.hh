@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Runtime-parameterized fixed-point arithmetic.
+ *
+ * The paper's NN accelerator study sweeps the datapath width across
+ * {16, 8, 4}-bit fixed point (Section III-A, "NN numerical accuracy
+ * tradeoffs"). Because the width is an experiment parameter, the format is
+ * a runtime value rather than a template parameter: a FixedFormat bundles
+ * a total width and a fractional bit count, and free functions perform
+ * saturating quantization and arithmetic on int64 raw values.
+ *
+ * Conventions:
+ *  - values are signed two's complement with @c width total bits
+ *    (including sign) and @c frac fractional bits;
+ *  - quantization rounds to nearest (ties away from zero) and saturates
+ *    to the representable range, matching typical DSP hardware.
+ */
+
+#ifndef INCAM_COMMON_FIXED_HH
+#define INCAM_COMMON_FIXED_HH
+
+#include <cstdint>
+#include <string>
+
+namespace incam {
+
+/** A signed fixed-point number format: Q(width-frac-1).(frac). */
+struct FixedFormat
+{
+    int width = 8; ///< total bits, including the sign bit
+    int frac = 6;  ///< fractional bits
+
+    /** Largest representable raw integer value. */
+    int64_t maxRaw() const { return (int64_t{1} << (width - 1)) - 1; }
+    /** Smallest (most negative) representable raw integer value. */
+    int64_t minRaw() const { return -(int64_t{1} << (width - 1)); }
+    /** Real value of one least-significant bit. */
+    double lsb() const { return 1.0 / static_cast<double>(int64_t{1} << frac); }
+    /** Largest representable real value. */
+    double maxValue() const { return maxRaw() * lsb(); }
+    /** Smallest representable real value. */
+    double minValue() const { return minRaw() * lsb(); }
+
+    bool operator==(const FixedFormat &) const = default;
+
+    /** e.g. "Q1.6 (8b)". */
+    std::string toString() const;
+};
+
+/** Saturate a raw integer into the representable range of @p fmt. */
+int64_t saturate(int64_t raw, const FixedFormat &fmt);
+
+/** Quantize a real value: round-to-nearest then saturate. */
+int64_t quantize(double value, const FixedFormat &fmt);
+
+/** Convert a raw fixed-point value back to a real number. */
+double dequantize(int64_t raw, const FixedFormat &fmt);
+
+/** Round-trip a real value through the format (quantize + dequantize). */
+double roundTrip(double value, const FixedFormat &fmt);
+
+/**
+ * Fixed-point multiply: (a in fmt_a) * (b in fmt_b) produces a raw value
+ * with fmt_a.frac + fmt_b.frac fractional bits. No saturation — callers
+ * accumulate into a wide accumulator, as hardware does.
+ */
+int64_t fixedMul(int64_t a, int64_t b);
+
+/**
+ * Rescale a raw value from @p from_frac fractional bits to @p to_frac,
+ * rounding to nearest. Used when narrowing a wide accumulator back to the
+ * datapath width.
+ */
+int64_t rescale(int64_t raw, int from_frac, int to_frac);
+
+/**
+ * Choose a fixed-point format of @p width total bits whose range covers
+ * [-|max_abs|, |max_abs|] with as many fractional bits as possible.
+ * Mirrors how the SNNAP toolchain picks per-network weight formats.
+ */
+FixedFormat bestFormatFor(double max_abs, int width);
+
+} // namespace incam
+
+#endif // INCAM_COMMON_FIXED_HH

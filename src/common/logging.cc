@@ -1,0 +1,70 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace incam {
+
+namespace {
+
+std::atomic<bool> verboseFlag{true};
+std::atomic<unsigned long> warnCounter{0};
+
+} // namespace
+
+void
+setLogVerbose(bool verbose)
+{
+    verboseFlag.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+logVerbose()
+{
+    return verboseFlag.load(std::memory_order_relaxed);
+}
+
+unsigned long
+warnCount()
+{
+    return warnCounter.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    warnCounter.fetch_add(1, std::memory_order_relaxed);
+    if (logVerbose()) {
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    }
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (logVerbose()) {
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    }
+}
+
+} // namespace detail
+} // namespace incam

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for the incam library.
+ *
+ * Follows the gem5 convention:
+ *  - panic()  — an internal invariant was violated (a bug in incam itself).
+ *               Aborts so a debugger/core dump can inspect the state.
+ *  - fatal()  — the *user* asked for something impossible (bad parameters,
+ *               inconsistent configuration). Exits with status 1.
+ *  - warn()   — something is suspicious but the run can continue.
+ *  - inform() — purely informational status output.
+ */
+
+#ifndef INCAM_COMMON_LOGGING_HH
+#define INCAM_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace incam {
+
+namespace detail {
+
+/** Append the string form of each argument to an output string stream. */
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+/** Build one string out of an arbitrary argument pack. */
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Control whether warn()/inform() produce output (tests silence them). */
+void setLogVerbose(bool verbose);
+bool logVerbose();
+
+/** Number of warnings emitted since process start (even when silenced). */
+unsigned long warnCount();
+
+} // namespace incam
+
+/** Report an internal incam bug and abort. */
+#define incam_panic(...)                                                     \
+    ::incam::detail::panicImpl(__FILE__, __LINE__,                           \
+                               ::incam::detail::concat(__VA_ARGS__))
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define incam_fatal(...)                                                     \
+    ::incam::detail::fatalImpl(__FILE__, __LINE__,                           \
+                               ::incam::detail::concat(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define incam_warn(...)                                                      \
+    ::incam::detail::warnImpl(::incam::detail::concat(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define incam_inform(...)                                                    \
+    ::incam::detail::informImpl(::incam::detail::concat(__VA_ARGS__))
+
+/** Panic unless the stated internal invariant holds. */
+#define incam_assert(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::incam::detail::panicImpl(                                      \
+                __FILE__, __LINE__,                                          \
+                ::incam::detail::concat("assertion '", #cond,                \
+                                        "' failed: ", ##__VA_ARGS__));       \
+        }                                                                    \
+    } while (0)
+
+#endif // INCAM_COMMON_LOGGING_HH

@@ -1,0 +1,189 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+void
+Accumulator::sample(double v)
+{
+    ++n;
+    total += v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    const double delta = v - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (v - m);
+}
+
+double
+Accumulator::variance() const
+{
+    if (n < 2) {
+        return 0.0;
+    }
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.n == 0) {
+        return;
+    }
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.m - m;
+    const double combined = na + nb;
+    m2 = m2 + other.m2 + delta * delta * na * nb / combined;
+    m = m + delta * nb / combined;
+    total += other.total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    n += other.n;
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+std::string
+Accumulator::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu mean=%.6g sd=%.6g min=%.6g max=%.6g",
+                  static_cast<unsigned long long>(n), mean(), stddev(), min(),
+                  max());
+    return buf;
+}
+
+Histogram::Histogram(double lo_, double hi_, size_t buckets)
+    : lo(lo_), hi(hi_), counts(buckets, 0)
+{
+    incam_assert(hi > lo, "histogram needs hi > lo");
+    incam_assert(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++n;
+    if (v < lo) {
+        ++below;
+        return;
+    }
+    if (v >= hi) {
+        ++above;
+        return;
+    }
+    const double frac = (v - lo) / (hi - lo);
+    size_t idx = static_cast<size_t>(frac * static_cast<double>(counts.size()));
+    idx = std::min(idx, counts.size() - 1);
+    ++counts[idx];
+}
+
+double
+Histogram::cdfAt(double v) const
+{
+    if (n == 0) {
+        return 0.0;
+    }
+    uint64_t acc = below;
+    const double bucket_width = (hi - lo) / static_cast<double>(counts.size());
+    for (size_t i = 0; i < counts.size(); ++i) {
+        const double upper = lo + bucket_width * static_cast<double>(i + 1);
+        if (upper <= v) {
+            acc += counts[i];
+        }
+    }
+    if (v >= hi) {
+        acc += above;
+    }
+    return static_cast<double>(acc) / static_cast<double>(n);
+}
+
+std::string
+Histogram::toString() const
+{
+    std::string out;
+    const double bucket_width = (hi - lo) / static_cast<double>(counts.size());
+    char buf[96];
+    for (size_t i = 0; i < counts.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "[%.3g, %.3g): %llu\n",
+                      lo + bucket_width * static_cast<double>(i),
+                      lo + bucket_width * static_cast<double>(i + 1),
+                      static_cast<unsigned long long>(counts[i]));
+        out += buf;
+    }
+    return out;
+}
+
+double
+Confusion::precision() const
+{
+    const uint64_t denom = tp + fp;
+    return denom ? static_cast<double>(tp) / static_cast<double>(denom) : 0.0;
+}
+
+double
+Confusion::recall() const
+{
+    const uint64_t denom = tp + fn;
+    return denom ? static_cast<double>(tp) / static_cast<double>(denom) : 0.0;
+}
+
+double
+Confusion::f1() const
+{
+    const double p = precision();
+    const double r = recall();
+    return (p + r > 0.0) ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double
+Confusion::accuracy() const
+{
+    const uint64_t denom = total();
+    return denom ? static_cast<double>(tp + tn) / static_cast<double>(denom)
+                 : 0.0;
+}
+
+double
+Confusion::missRate() const
+{
+    const uint64_t denom = tp + fn;
+    return denom ? static_cast<double>(fn) / static_cast<double>(denom) : 0.0;
+}
+
+std::string
+Confusion::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "tp=%llu fp=%llu tn=%llu fn=%llu P=%.3f R=%.3f F1=%.3f",
+                  static_cast<unsigned long long>(tp),
+                  static_cast<unsigned long long>(fp),
+                  static_cast<unsigned long long>(tn),
+                  static_cast<unsigned long long>(fn), precision(), recall(),
+                  f1());
+    return buf;
+}
+
+} // namespace incam

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Lightweight statistics accumulators (gem5-Stats-inspired).
+ *
+ * Used by the simulators to aggregate per-frame measurements — energies,
+ * cycle counts, detection counts — without storing full traces.
+ */
+
+#ifndef INCAM_COMMON_STATS_HH
+#define INCAM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace incam {
+
+/** Streaming accumulator for min/max/mean/variance (Welford's method). */
+class Accumulator
+{
+  public:
+    /** Fold one sample into the running statistics. */
+    void sample(double v);
+
+    uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+    /** Unbiased sample variance (0 for fewer than two samples). */
+    double variance() const;
+    double stddev() const;
+
+    /** Merge another accumulator's samples into this one. */
+    void merge(const Accumulator &other);
+
+    void reset();
+
+    /** "n=… mean=… sd=… min=… max=…". */
+    std::string toString() const;
+
+  private:
+    uint64_t n = 0;
+    double total = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    double m = 0.0;  ///< running mean (Welford)
+    double m2 = 0.0; ///< running sum of squared deviations
+};
+
+/** Fixed-width histogram over [lo, hi) with overflow/underflow buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t buckets);
+
+    void sample(double v);
+
+    size_t bucketCount() const { return counts.size(); }
+    uint64_t bucketValue(size_t i) const { return counts.at(i); }
+    uint64_t underflow() const { return below; }
+    uint64_t overflow() const { return above; }
+    uint64_t total() const { return n; }
+
+    /** Fraction of samples at or below @p v (linear interpolation-free). */
+    double cdfAt(double v) const;
+
+    std::string toString() const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<uint64_t> counts;
+    uint64_t below = 0;
+    uint64_t above = 0;
+    uint64_t n = 0;
+};
+
+/**
+ * Binary-classification tally: true/false positives/negatives plus the
+ * derived precision / recall / F1 used by the Viola-Jones evaluation
+ * (Fig. 4c) and the NN authentication accuracy numbers.
+ */
+struct Confusion
+{
+    uint64_t tp = 0;
+    uint64_t fp = 0;
+    uint64_t tn = 0;
+    uint64_t fn = 0;
+
+    void
+    tally(bool predicted, bool actual)
+    {
+        if (predicted && actual) {
+            ++tp;
+        } else if (predicted && !actual) {
+            ++fp;
+        } else if (!predicted && actual) {
+            ++fn;
+        } else {
+            ++tn;
+        }
+    }
+
+    uint64_t total() const { return tp + fp + tn + fn; }
+    double precision() const;
+    double recall() const;
+    double f1() const;
+    /** Fraction of all decisions that were correct. */
+    double accuracy() const;
+    /** Fraction of all decisions that were wrong (paper's "error"). */
+    double errorRate() const { return 1.0 - accuracy(); }
+    /** Fraction of actual positives that were missed. */
+    double missRate() const;
+
+    std::string toString() const;
+};
+
+} // namespace incam
+
+#endif // INCAM_COMMON_STATS_HH

@@ -1,0 +1,120 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    incam_assert(!header.empty(), "a table needs at least one column");
+}
+
+void
+TableWriter::addRow(std::vector<std::string> cells)
+{
+    incam_assert(cells.size() == header.size(), "row has ", cells.size(),
+                 " cells but table has ", header.size(), " columns");
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TableWriter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TableWriter::num(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+std::string
+TableWriter::render() const
+{
+    std::vector<size_t> widths(header.size());
+    for (size_t c = 0; c < header.size(); ++c) {
+        widths[c] = header[c].size();
+    }
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto render_row = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t c = 0; c < cells.size(); ++c) {
+            line += cells[c];
+            line.append(widths[c] - cells[c].size(), ' ');
+            if (c + 1 < cells.size()) {
+                line += "  ";
+            }
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = render_row(header);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    }
+    out.append(total, '-');
+    out += '\n';
+    for (const auto &row : rows) {
+        out += render_row(row);
+    }
+    return out;
+}
+
+void
+TableWriter::print(const std::string &title) const
+{
+    std::printf("\n== %s ==\n%s", title.c_str(), render().c_str());
+    std::fflush(stdout);
+}
+
+void
+TableWriter::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        incam_warn("cannot open '", path, "' for CSV output");
+        return;
+    }
+    auto csv_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            // Quote cells containing separators.
+            const bool needs_quote =
+                cells[c].find_first_of(",\"\n") != std::string::npos;
+            if (needs_quote) {
+                out << '"';
+                for (char ch : cells[c]) {
+                    if (ch == '"') {
+                        out << '"';
+                    }
+                    out << ch;
+                }
+                out << '"';
+            } else {
+                out << cells[c];
+            }
+            out << (c + 1 < cells.size() ? "," : "\n");
+        }
+    };
+    csv_row(header);
+    for (const auto &row : rows) {
+        csv_row(row);
+    }
+}
+
+} // namespace incam

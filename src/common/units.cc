@@ -1,0 +1,86 @@
+#include "common/units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace incam {
+
+namespace {
+
+/**
+ * Format @p v with an SI prefix chosen so the mantissa lands in [1, 1000).
+ * @p unit is appended after the prefix.
+ */
+std::string
+siFormat(double v, const char *unit)
+{
+    struct Prefix { double scale; const char *sym; };
+    static const Prefix prefixes[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+        {1.0, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+    };
+
+    if (v == 0.0) {
+        return std::string("0 ") + unit;
+    }
+    double mag = std::fabs(v);
+    for (const auto &p : prefixes) {
+        if (mag >= p.scale) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.3g %s%s", v / p.scale, p.sym,
+                          unit);
+            return buf;
+        }
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3g %s", v, unit);
+    return buf;
+}
+
+} // namespace
+
+std::string
+Time::toString() const
+{
+    return siFormat(value, "s");
+}
+
+std::string
+Energy::toString() const
+{
+    return siFormat(value, "J");
+}
+
+std::string
+Power::toString() const
+{
+    return siFormat(value, "W");
+}
+
+std::string
+DataSize::toString() const
+{
+    return siFormat(value, "B");
+}
+
+std::string
+Bandwidth::toString() const
+{
+    return siFormat(value * 8.0, "b/s");
+}
+
+std::string
+Frequency::toString() const
+{
+    return siFormat(value, "Hz");
+}
+
+std::string
+FrameRate::toString() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f FPS", value);
+    return buf;
+}
+
+} // namespace incam

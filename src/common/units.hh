@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Strongly-typed physical quantities used throughout incam.
+ *
+ * The computation-communication cost framework of the paper mixes
+ * energies (the face-authentication case study), throughputs (the VR case
+ * study), data sizes and link bandwidths. Using dedicated types instead of
+ * bare doubles makes cost formulas self-documenting and lets the compiler
+ * catch unit mistakes such as adding Joules to seconds.
+ *
+ * All quantities store SI base values (seconds, joules, watts, bytes,
+ * bytes/second, hertz) and expose named constructors / accessors for the
+ * scaled units that actually appear in the paper (mW, uJ, MB, Gb/s, FPS).
+ */
+
+#ifndef INCAM_COMMON_UNITS_HH
+#define INCAM_COMMON_UNITS_HH
+
+#include <compare>
+#include <string>
+
+namespace incam {
+
+class Power;
+class Energy;
+class Bandwidth;
+class Time;
+
+/** A time duration in seconds. */
+class Time
+{
+  public:
+    constexpr Time() = default;
+
+    static constexpr Time seconds(double s) { return Time(s); }
+    static constexpr Time milliseconds(double ms) { return Time(ms * 1e-3); }
+    static constexpr Time microseconds(double us) { return Time(us * 1e-6); }
+    static constexpr Time nanoseconds(double ns) { return Time(ns * 1e-9); }
+    static constexpr Time minutes(double m) { return Time(m * 60.0); }
+
+    constexpr double sec() const { return value; }
+    constexpr double msec() const { return value * 1e3; }
+    constexpr double usec() const { return value * 1e6; }
+    constexpr double nsec() const { return value * 1e9; }
+
+    constexpr auto operator<=>(const Time &) const = default;
+    constexpr Time operator+(Time o) const { return Time(value + o.value); }
+    constexpr Time operator-(Time o) const { return Time(value - o.value); }
+    constexpr Time operator*(double k) const { return Time(value * k); }
+    constexpr Time operator/(double k) const { return Time(value / k); }
+    constexpr double operator/(Time o) const { return value / o.value; }
+    Time &operator+=(Time o) { value += o.value; return *this; }
+    Time &operator-=(Time o) { value -= o.value; return *this; }
+
+    /** Human-readable value with an auto-selected SI prefix. */
+    std::string toString() const;
+
+  private:
+    explicit constexpr Time(double s) : value(s) {}
+    double value = 0.0;
+};
+
+/** An amount of energy in joules. */
+class Energy
+{
+  public:
+    constexpr Energy() = default;
+
+    static constexpr Energy joules(double j) { return Energy(j); }
+    static constexpr Energy millijoules(double mj) { return Energy(mj*1e-3); }
+    static constexpr Energy microjoules(double uj) { return Energy(uj*1e-6); }
+    static constexpr Energy nanojoules(double nj) { return Energy(nj*1e-9); }
+    static constexpr Energy picojoules(double pj) { return Energy(pj*1e-12); }
+
+    constexpr double j() const { return value; }
+    constexpr double mj() const { return value * 1e3; }
+    constexpr double uj() const { return value * 1e6; }
+    constexpr double nj() const { return value * 1e9; }
+    constexpr double pj() const { return value * 1e12; }
+
+    constexpr auto operator<=>(const Energy &) const = default;
+    constexpr Energy operator+(Energy o) const { return Energy(value+o.value); }
+    constexpr Energy operator-(Energy o) const { return Energy(value-o.value); }
+    constexpr Energy operator*(double k) const { return Energy(value * k); }
+    constexpr Energy operator/(double k) const { return Energy(value / k); }
+    constexpr double operator/(Energy o) const { return value / o.value; }
+    Energy &operator+=(Energy o) { value += o.value; return *this; }
+    Energy &operator-=(Energy o) { value -= o.value; return *this; }
+
+    /** Average power when this energy is spent over a duration. */
+    constexpr Power over(Time t) const;
+
+    std::string toString() const;
+
+  private:
+    explicit constexpr Energy(double j) : value(j) {}
+    double value = 0.0;
+};
+
+/** A power draw (or budget) in watts. */
+class Power
+{
+  public:
+    constexpr Power() = default;
+
+    static constexpr Power watts(double w) { return Power(w); }
+    static constexpr Power milliwatts(double mw) { return Power(mw * 1e-3); }
+    static constexpr Power microwatts(double uw) { return Power(uw * 1e-6); }
+    static constexpr Power nanowatts(double nw) { return Power(nw * 1e-9); }
+
+    constexpr double w() const { return value; }
+    constexpr double mw() const { return value * 1e3; }
+    constexpr double uw() const { return value * 1e6; }
+
+    constexpr auto operator<=>(const Power &) const = default;
+    constexpr Power operator+(Power o) const { return Power(value + o.value); }
+    constexpr Power operator-(Power o) const { return Power(value - o.value); }
+    constexpr Power operator*(double k) const { return Power(value * k); }
+    constexpr Power operator/(double k) const { return Power(value / k); }
+    constexpr double operator/(Power o) const { return value / o.value; }
+    Power &operator+=(Power o) { value += o.value; return *this; }
+
+    /** Energy accumulated when drawing this power for a duration. */
+    constexpr Energy forDuration(Time t) const
+    {
+        return Energy::joules(value * t.sec());
+    }
+
+    std::string toString() const;
+
+  private:
+    explicit constexpr Power(double w) : value(w) {}
+    double value = 0.0;
+};
+
+constexpr Power
+Energy::over(Time t) const
+{
+    return Power::watts(value / t.sec());
+}
+
+/** A quantity of data in bytes. */
+class DataSize
+{
+  public:
+    constexpr DataSize() = default;
+
+    static constexpr DataSize bytes(double b) { return DataSize(b); }
+    static constexpr DataSize kilobytes(double kb) { return DataSize(kb*1e3); }
+    static constexpr DataSize megabytes(double mb) { return DataSize(mb*1e6); }
+    static constexpr DataSize gigabytes(double gb) { return DataSize(gb*1e9); }
+    static constexpr DataSize bits(double b) { return DataSize(b / 8.0); }
+
+    constexpr double b() const { return value; }
+    constexpr double kb() const { return value * 1e-3; }
+    constexpr double mb() const { return value * 1e-6; }
+    constexpr double gb() const { return value * 1e-9; }
+    constexpr double totalBits() const { return value * 8.0; }
+
+    constexpr auto operator<=>(const DataSize &) const = default;
+    constexpr DataSize operator+(DataSize o) const
+    {
+        return DataSize(value + o.value);
+    }
+    constexpr DataSize operator-(DataSize o) const
+    {
+        return DataSize(value - o.value);
+    }
+    constexpr DataSize operator*(double k) const { return DataSize(value*k); }
+    constexpr DataSize operator/(double k) const { return DataSize(value/k); }
+    constexpr double operator/(DataSize o) const { return value / o.value; }
+    DataSize &operator+=(DataSize o) { value += o.value; return *this; }
+
+    std::string toString() const;
+
+  private:
+    explicit constexpr DataSize(double b) : value(b) {}
+    double value = 0.0;
+};
+
+/** A link or bus bandwidth in bytes per second. */
+class Bandwidth
+{
+  public:
+    constexpr Bandwidth() = default;
+
+    static constexpr Bandwidth bytesPerSec(double bps)
+    {
+        return Bandwidth(bps);
+    }
+    static constexpr Bandwidth bitsPerSec(double bps)
+    {
+        return Bandwidth(bps / 8.0);
+    }
+    static constexpr Bandwidth gigabitsPerSec(double gbps)
+    {
+        return Bandwidth(gbps * 1e9 / 8.0);
+    }
+    static constexpr Bandwidth megabitsPerSec(double mbps)
+    {
+        return Bandwidth(mbps * 1e6 / 8.0);
+    }
+
+    constexpr double bytesPerSecond() const { return value; }
+    constexpr double gbps() const { return value * 8.0 * 1e-9; }
+
+    constexpr auto operator<=>(const Bandwidth &) const = default;
+    constexpr Bandwidth operator*(double k) const { return Bandwidth(value*k); }
+    constexpr Bandwidth operator/(double k) const { return Bandwidth(value/k); }
+
+    /** Time to move a given amount of data over this link. */
+    constexpr Time transferTime(DataSize s) const
+    {
+        return Time::seconds(s.b() / value);
+    }
+
+    std::string toString() const;
+
+  private:
+    explicit constexpr Bandwidth(double bytes_per_sec) : value(bytes_per_sec) {}
+    double value = 0.0;
+};
+
+/** A clock frequency in hertz. */
+class Frequency
+{
+  public:
+    constexpr Frequency() = default;
+
+    static constexpr Frequency hertz(double hz) { return Frequency(hz); }
+    static constexpr Frequency kilohertz(double k) { return Frequency(k*1e3); }
+    static constexpr Frequency megahertz(double m) { return Frequency(m*1e6); }
+    static constexpr Frequency gigahertz(double g) { return Frequency(g*1e9); }
+
+    constexpr double hz() const { return value; }
+    constexpr double mhz() const { return value * 1e-6; }
+
+    constexpr auto operator<=>(const Frequency &) const = default;
+
+    /** Duration of one clock period. */
+    constexpr Time period() const { return Time::seconds(1.0 / value); }
+
+    /** Wall-clock time for a cycle count at this frequency. */
+    constexpr Time cyclesToTime(double cycles) const
+    {
+        return Time::seconds(cycles / value);
+    }
+
+    std::string toString() const;
+
+  private:
+    explicit constexpr Frequency(double hz) : value(hz) {}
+    double value = 0.0;
+};
+
+/**
+ * Frames per second — the throughput currency of the VR case study.
+ * Kept distinct from Frequency because the two are never interchangeable
+ * in cost formulas.
+ */
+class FrameRate
+{
+  public:
+    constexpr FrameRate() = default;
+
+    static constexpr FrameRate fps(double f) { return FrameRate(f); }
+
+    /** Rate achieved when each frame takes @p per_frame to produce. */
+    static constexpr FrameRate fromPeriod(Time per_frame)
+    {
+        return FrameRate(1.0 / per_frame.sec());
+    }
+
+    constexpr double perSecond() const { return value; }
+    constexpr Time framePeriod() const { return Time::seconds(1.0 / value); }
+
+    constexpr auto operator<=>(const FrameRate &) const = default;
+    constexpr FrameRate operator*(double k) const { return FrameRate(value*k); }
+
+    std::string toString() const;
+
+  private:
+    explicit constexpr FrameRate(double f) : value(f) {}
+    double value = 0.0;
+};
+
+} // namespace incam
+
+#endif // INCAM_COMMON_UNITS_HH

@@ -1,0 +1,57 @@
+#include "core/block.hh"
+
+#include "common/logging.hh"
+
+namespace incam {
+
+const char *
+implName(Impl impl)
+{
+    switch (impl) {
+      case Impl::Asic:
+        return "ASIC";
+      case Impl::Fpga:
+        return "FPGA";
+      case Impl::Gpu:
+        return "GPU";
+      case Impl::Cpu:
+        return "CPU";
+      case Impl::Mcu:
+        return "MCU";
+    }
+    return "?";
+}
+
+Block::Block(std::string name, bool optional, DataSize output_bytes)
+    : label(std::move(name)), is_optional(optional), out_bytes(output_bytes)
+{
+    incam_assert(!label.empty(), "a block needs a name");
+}
+
+Block &
+Block::setPassFraction(double f)
+{
+    incam_assert(f >= 0.0 && f <= 1.0, "pass fraction must be in [0, 1]");
+    pass_fraction = f;
+    return *this;
+}
+
+Block &
+Block::addImpl(Impl impl, ImplCost cost)
+{
+    incam_assert(cost.time.sec() >= 0.0 && cost.energy.j() >= 0.0,
+                 "negative cost for block '", label, "'");
+    impls[impl] = cost;
+    return *this;
+}
+
+const ImplCost &
+Block::cost(Impl impl) const
+{
+    const auto it = impls.find(impl);
+    incam_assert(it != impls.end(), "block '", label, "' has no ",
+                 implName(impl), " implementation");
+    return it->second;
+}
+
+} // namespace incam

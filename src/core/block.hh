@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Pipeline blocks — the unit of the paper's cost framework (Fig. 1).
+ *
+ * A camera application decomposes into a chain of functional blocks
+ * (B1..Bn). Each block can be implemented on one or more platform
+ * classes (ASIC, FPGA, GPU, CPU, MCU), each with its own per-frame time
+ * and energy; *core* blocks are essential to the application while
+ * *optional* blocks (motion detection, face detection, compression)
+ * only filter or transform data to make the rest of the pipeline
+ * cheaper. A block also declares its output size — the quantity that
+ * becomes the communication cost if the pipeline is cut there — and a
+ * pass fraction, the share of frames it lets through to downstream
+ * blocks (the progressive-filtering mechanism of the FA case study).
+ */
+
+#ifndef INCAM_CORE_BLOCK_HH
+#define INCAM_CORE_BLOCK_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/units.hh"
+
+namespace incam {
+
+/** Implementation platform classes considered by the paper. */
+enum class Impl
+{
+    Asic,
+    Fpga,
+    Gpu,
+    Cpu,
+    Mcu,
+};
+
+/** Short display name for an implementation class. */
+const char *implName(Impl impl);
+
+/** Per-frame cost of running a block on one implementation. */
+struct ImplCost
+{
+    Time time;     ///< occupancy per frame (sets throughput)
+    Energy energy; ///< energy per frame (sets power)
+};
+
+/** One functional block of an in-camera pipeline. */
+class Block
+{
+  public:
+    Block(std::string name, bool optional, DataSize output_bytes);
+
+    const std::string &name() const { return label; }
+    bool optional() const { return is_optional; }
+    DataSize outputBytes() const { return out_bytes; }
+
+    /**
+     * Fraction of frames this block forwards downstream (1.0 for pure
+     * transforms; < 1 for filters like motion detection).
+     */
+    double passFraction() const { return pass_fraction; }
+    Block &setPassFraction(double f);
+
+    /** Register an implementation option. Returns *this for chaining. */
+    Block &addImpl(Impl impl, ImplCost cost);
+
+    bool hasImpl(Impl impl) const { return impls.count(impl) > 0; }
+    const ImplCost &cost(Impl impl) const;
+
+    /** All registered implementations. */
+    const std::map<Impl, ImplCost> &implementations() const
+    {
+        return impls;
+    }
+
+  private:
+    std::string label;
+    bool is_optional;
+    DataSize out_bytes;
+    double pass_fraction = 1.0;
+    std::map<Impl, ImplCost> impls;
+};
+
+} // namespace incam
+
+#endif // INCAM_CORE_BLOCK_HH

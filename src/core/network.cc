@@ -1,0 +1,51 @@
+#include "core/network.hh"
+
+namespace incam {
+
+NetworkLink
+twentyFiveGbE()
+{
+    NetworkLink l;
+    l.name = "25 GbE";
+    l.bandwidth = Bandwidth::gigabitsPerSec(25.0);
+    // Wired, externally powered PHY: camera-side per-bit energy is
+    // negligible next to the compute blocks; keep a small realistic
+    // MAC/serdes figure.
+    l.energy_per_bit = Energy::picojoules(40.0);
+    return l;
+}
+
+NetworkLink
+fourHundredGbE()
+{
+    NetworkLink l;
+    l.name = "400 GbE";
+    l.bandwidth = Bandwidth::gigabitsPerSec(400.0);
+    l.energy_per_bit = Energy::picojoules(25.0);
+    return l;
+}
+
+NetworkLink
+backscatterUplink()
+{
+    NetworkLink l;
+    l.name = "RF backscatter";
+    l.bandwidth = Bandwidth::megabitsPerSec(0.25);
+    // Modulating the reflection is nearly free; the effective figure is
+    // dominated by clocking frame memory and reader handshakes.
+    l.energy_per_bit = Energy::nanojoules(0.40);
+    return l;
+}
+
+NetworkLink
+wifiUplink()
+{
+    NetworkLink l;
+    l.name = "Wi-Fi (802.11n)";
+    l.bandwidth = Bandwidth::megabitsPerSec(72.0);
+    l.protocol_efficiency = 0.6;
+    l.energy_per_bit = Energy::nanojoules(5.0);
+    return l;
+}
+
+} // namespace incam

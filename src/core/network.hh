@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Uplink models for the offload side of the cost framework.
+ *
+ * The paper treats cloud computation as free but the *transport* as
+ * costly: the camera pays time (bandwidth) and energy (radio joules per
+ * bit) to move whatever data crosses the offload cut. The two case
+ * studies sit at opposite ends: a WISPCam backscatter uplink measured
+ * in kb/s and nJ/bit, and a wired 25 GbE link where only throughput
+ * matters. Section IV-C's sensitivity analysis sweeps this link.
+ */
+
+#ifndef INCAM_CORE_NETWORK_HH
+#define INCAM_CORE_NETWORK_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace incam {
+
+/** A camera-to-cloud link. */
+struct NetworkLink
+{
+    std::string name;
+    Bandwidth bandwidth;
+    Energy energy_per_bit;            ///< camera-side cost to transmit
+    double protocol_efficiency = 1.0; ///< goodput / line rate
+
+    /** Effective goodput. */
+    Bandwidth
+    goodput() const
+    {
+        return bandwidth * protocol_efficiency;
+    }
+
+    /** Time to move @p s across the link. */
+    Time
+    transferTime(DataSize s) const
+    {
+        return goodput().transferTime(s);
+    }
+
+    /** Frames per second the link sustains at @p s bytes per frame. */
+    double
+    framesPerSecond(DataSize s) const
+    {
+        return goodput().bytesPerSecond() / s.b();
+    }
+
+    /** Camera-side energy to transmit @p s. */
+    Energy
+    transferEnergy(DataSize s) const
+    {
+        return energy_per_bit * s.totalBits();
+    }
+};
+
+/** 25 Gigabit Ethernet — the VR rig's uplink. */
+NetworkLink twentyFiveGbE();
+
+/** Hypothetical 400 Gb Ethernet (the Section IV-C projection). */
+NetworkLink fourHundredGbE();
+
+/** WISPCam-class RF backscatter uplink. */
+NetworkLink backscatterUplink();
+
+/** 802.11n-class Wi-Fi, a mid-range reference point. */
+NetworkLink wifiUplink();
+
+} // namespace incam
+
+#endif // INCAM_CORE_NETWORK_HH

@@ -1,0 +1,115 @@
+#include "core/optimizer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+PipelineOptimizer::PipelineOptimizer(const Pipeline &pipeline,
+                                     NetworkLink link)
+    : evaluator(pipeline, std::move(link))
+{
+}
+
+namespace {
+
+/**
+ * Recursively assign implementations to in-camera included blocks,
+ * invoking @p emit for every complete assignment.
+ */
+template <typename EmitFn>
+void
+assignImpls(const Pipeline &pipe, PipelineConfig &cfg, int index,
+            const EmitFn &emit)
+{
+    if (index >= cfg.cut) {
+        emit(cfg);
+        return;
+    }
+    const size_t i = static_cast<size_t>(index);
+    if (!cfg.include[i]) {
+        assignImpls(pipe, cfg, index + 1, emit);
+        return;
+    }
+    for (const auto &[impl, cost] : pipe.block(index).implementations()) {
+        (void)cost;
+        cfg.impl[i] = impl;
+        assignImpls(pipe, cfg, index + 1, emit);
+    }
+}
+
+} // namespace
+
+std::vector<ConfigResult>
+PipelineOptimizer::enumerate(const OptimizerGoal &goal) const
+{
+    const Pipeline &pipe = evaluator.pipeline();
+    const int n = pipe.blockCount();
+
+    // Optional-block subset masks.
+    std::vector<int> optional_indices;
+    for (int i = 0; i < n; ++i) {
+        if (pipe.block(i).optional()) {
+            optional_indices.push_back(i);
+        }
+    }
+
+    std::vector<ConfigResult> results;
+    const size_t subsets = size_t{1} << optional_indices.size();
+    for (size_t mask = 0; mask < subsets; ++mask) {
+        PipelineConfig cfg;
+        cfg.include.assign(static_cast<size_t>(n), true);
+        cfg.impl.assign(static_cast<size_t>(n), Impl::Cpu);
+        for (size_t b = 0; b < optional_indices.size(); ++b) {
+            cfg.include[static_cast<size_t>(optional_indices[b])] =
+                (mask >> b) & 1;
+        }
+        for (int cut = 0; cut <= n; ++cut) {
+            cfg.cut = cut;
+            assignImpls(pipe, cfg, 0, [&](const PipelineConfig &done) {
+                ConfigResult r;
+                r.config = done;
+                r.energy = evaluator.evaluateEnergy(done);
+                r.throughput = evaluator.evaluateThroughput(done);
+                r.feasible = goal.min_fps <= 0.0 ||
+                             r.throughput.total_fps >= goal.min_fps;
+                r.objective = goal.kind == OptimizerGoal::Kind::MinEnergy
+                                  ? r.energy.total().j()
+                                  : -r.throughput.total_fps;
+                results.push_back(std::move(r));
+            });
+        }
+    }
+
+    std::stable_sort(results.begin(), results.end(),
+                     [](const ConfigResult &a, const ConfigResult &b) {
+                         if (a.feasible != b.feasible) {
+                             return a.feasible;
+                         }
+                         return a.objective < b.objective;
+                     });
+    return results;
+}
+
+ConfigResult
+PipelineOptimizer::best(const OptimizerGoal &goal) const
+{
+    const auto all = enumerate(goal);
+    incam_assert(!all.empty(), "pipeline has no configurations");
+    if (!all.front().feasible) {
+        incam_fatal("no configuration of '",
+                    evaluator.pipeline().name(),
+                    "' satisfies the throughput floor");
+    }
+    return all.front();
+}
+
+size_t
+PipelineOptimizer::configurationCount() const
+{
+    OptimizerGoal goal;
+    return enumerate(goal).size();
+}
+
+} // namespace incam

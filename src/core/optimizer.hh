@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Exhaustive configuration search over an in-camera pipeline.
+ *
+ * The design question the paper poses — which blocks belong in the
+ * camera, on what hardware, and where should the pipeline be cut for
+ * offload? — is a discrete search over (optional-block inclusion) x
+ * (implementation per included block) x (cut position). The spaces are
+ * small (Fig. 10 enumerates nine points of one such space by hand), so
+ * the optimizer enumerates exhaustively and ranks by the chosen
+ * objective; its results are cross-checked against the hand-built
+ * configurations in the tests.
+ */
+
+#ifndef INCAM_CORE_OPTIMIZER_HH
+#define INCAM_CORE_OPTIMIZER_HH
+
+#include <vector>
+
+#include "core/pipeline.hh"
+
+namespace incam {
+
+/** Objective for ranking configurations. */
+struct OptimizerGoal
+{
+    enum class Kind
+    {
+        MinEnergy,     ///< minimize J/frame (FA case study)
+        MaxThroughput, ///< maximize total FPS (VR case study)
+    };
+    Kind kind = Kind::MinEnergy;
+    /** Throughput floor a MinEnergy config must still satisfy (0=none). */
+    double min_fps = 0.0;
+    /** Frame rate used to convert energy to power (reporting only). */
+    FrameRate frame_rate = FrameRate::fps(1.0);
+};
+
+/** One enumerated configuration with its evaluated costs. */
+struct ConfigResult
+{
+    PipelineConfig config;
+    EnergyReport energy;
+    ThroughputReport throughput;
+
+    /** Objective value (lower is better for both kinds). */
+    double objective = 0.0;
+    bool feasible = true;
+};
+
+/** Enumerates and ranks pipeline configurations. */
+class PipelineOptimizer
+{
+  public:
+    PipelineOptimizer(const Pipeline &pipeline, NetworkLink link);
+
+    /**
+     * Enumerate every legal configuration: all optional-block subsets,
+     * every implementation assignment for in-camera blocks, every cut.
+     * Results are sorted best-first under @p goal; infeasible configs
+     * (violating min_fps) sort last.
+     */
+    std::vector<ConfigResult> enumerate(const OptimizerGoal &goal) const;
+
+    /** The best feasible configuration. Fatal if none is feasible. */
+    ConfigResult best(const OptimizerGoal &goal) const;
+
+    /** Number of legal configurations (sanity checks / reporting). */
+    size_t configurationCount() const;
+
+  private:
+    PipelineEvaluator evaluator;
+};
+
+} // namespace incam
+
+#endif // INCAM_CORE_OPTIMIZER_HH

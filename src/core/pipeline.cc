@@ -1,0 +1,146 @@
+#include "core/pipeline.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+Pipeline::Pipeline(std::string name, DataSize source_bytes)
+    : label(std::move(name)), src_bytes(source_bytes)
+{
+    incam_assert(src_bytes.b() > 0.0, "pipeline '", label,
+                 "' needs a positive source size");
+}
+
+Pipeline &
+Pipeline::add(Block block)
+{
+    chain.push_back(std::move(block));
+    return *this;
+}
+
+std::string
+PipelineConfig::toString(const Pipeline &p) const
+{
+    std::string out = "S";
+    for (int i = 0; i < p.blockCount(); ++i) {
+        if (i == cut) {
+            out += " || ";
+        }
+        if (!include[static_cast<size_t>(i)]) {
+            continue;
+        }
+        out += " + " + p.block(i).name();
+        if (i < cut) {
+            out += std::string("(") +
+                   implName(impl[static_cast<size_t>(i)]) + ")";
+        }
+    }
+    if (cut == p.blockCount()) {
+        out += " ||";
+    }
+    return out;
+}
+
+PipelineEvaluator::PipelineEvaluator(const Pipeline &pipeline,
+                                     NetworkLink link)
+    : pipe(pipeline), net(std::move(link))
+{
+}
+
+void
+PipelineEvaluator::check(const PipelineConfig &cfg) const
+{
+    const size_t n = static_cast<size_t>(pipe.blockCount());
+    incam_assert(cfg.include.size() == n && cfg.impl.size() == n,
+                 "config vectors must match the block count");
+    incam_assert(cfg.cut >= 0 && cfg.cut <= pipe.blockCount(),
+                 "cut ", cfg.cut, " out of range");
+    for (size_t i = 0; i < n; ++i) {
+        const Block &b = pipe.block(static_cast<int>(i));
+        incam_assert(cfg.include[i] || b.optional(), "core block '",
+                     b.name(), "' cannot be excluded");
+        if (cfg.include[i] && static_cast<int>(i) < cfg.cut) {
+            incam_assert(b.hasImpl(cfg.impl[i]), "block '", b.name(),
+                         "' lacks a ", implName(cfg.impl[i]),
+                         " implementation");
+        }
+    }
+}
+
+DataSize
+PipelineEvaluator::cutBytes(const PipelineConfig &cfg) const
+{
+    // The data crossing the cut is the output of the last *included*
+    // block before the cut, or the raw source if none is included.
+    DataSize bytes = pipe.sourceBytes();
+    for (int i = 0; i < cfg.cut; ++i) {
+        if (cfg.include[static_cast<size_t>(i)]) {
+            bytes = pipe.block(i).outputBytes();
+        }
+    }
+    return bytes;
+}
+
+EnergyReport
+PipelineEvaluator::evaluateEnergy(const PipelineConfig &cfg) const
+{
+    check(cfg);
+    EnergyReport rep;
+    rep.per_block.assign(static_cast<size_t>(pipe.blockCount()), Energy{});
+
+    // Duty: fraction of frames reaching each successive block; upstream
+    // filters (pass fraction < 1) gate everything downstream.
+    double duty = 1.0;
+    for (int i = 0; i < cfg.cut; ++i) {
+        if (!cfg.include[static_cast<size_t>(i)]) {
+            continue;
+        }
+        const Block &b = pipe.block(i);
+        const ImplCost &c = b.cost(cfg.impl[static_cast<size_t>(i)]);
+        const Energy e = c.energy * duty;
+        rep.per_block[static_cast<size_t>(i)] = e;
+        rep.compute += e;
+        duty *= b.passFraction();
+    }
+
+    rep.cut_duty = duty;
+    rep.cut_bytes = cutBytes(cfg);
+    if (cfg.cut < pipe.blockCount()) {
+        // Something is offloaded: pay radio energy for frames that
+        // survive the in-camera filters.
+        rep.communication = net.transferEnergy(rep.cut_bytes) * duty;
+    } else {
+        // Fully in-camera: only the final verdict leaves the node; the
+        // paper treats that cost as negligible, and so do we.
+        rep.communication = Energy{};
+    }
+    return rep;
+}
+
+ThroughputReport
+PipelineEvaluator::evaluateThroughput(const PipelineConfig &cfg) const
+{
+    check(cfg);
+    ThroughputReport rep;
+    rep.compute_fps = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < cfg.cut; ++i) {
+        if (!cfg.include[static_cast<size_t>(i)]) {
+            continue;
+        }
+        const Block &b = pipe.block(i);
+        const ImplCost &c = b.cost(cfg.impl[static_cast<size_t>(i)]);
+        if (c.time.sec() > 0.0) {
+            rep.compute_fps =
+                std::min(rep.compute_fps, 1.0 / c.time.sec());
+        }
+    }
+    // Even a fully in-camera pipeline ships its product (the stereo
+    // video stream), so the link cost applies at every cut position.
+    rep.comm_fps = net.framesPerSecond(cutBytes(cfg));
+    rep.total_fps = std::min(rep.compute_fps, rep.comm_fps);
+    return rep;
+}
+
+} // namespace incam

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * In-camera processing pipelines and their cost semantics.
+ *
+ * This is the paper's analytical contribution made executable. A
+ * Pipeline is a source (the sensor) followed by blocks; a
+ * PipelineConfig decides, per block, whether it is included (core
+ * blocks always are), which implementation runs it, and where the
+ * offload *cut* falls — blocks at or after the cut execute in the
+ * cloud, whose computation is free, but the data crossing the cut pays
+ * the link's communication cost.
+ *
+ * Two cost semantics, one per case study:
+ *
+ *  - *Energy* (face authentication): total J/frame = sum of in-camera
+ *    block energies, each scaled by the fraction of frames that
+ *    actually reach it (upstream filters gate downstream work), plus
+ *    radio J/bit for the bytes crossing the cut (also duty-scaled).
+ *    Average power follows at a given frame rate.
+ *
+ *  - *Throughput* (VR video): the pipeline is pipelined across frames,
+ *    so total FPS = min(per-block compute FPS, link FPS at the cut) —
+ *    "the slowest step dominates overall throughput" (Section IV).
+ */
+
+#ifndef INCAM_CORE_PIPELINE_HH
+#define INCAM_CORE_PIPELINE_HH
+
+#include <vector>
+
+#include "core/block.hh"
+#include "core/network.hh"
+
+namespace incam {
+
+/** A sensor source plus an ordered chain of candidate blocks. */
+class Pipeline
+{
+  public:
+    Pipeline(std::string name, DataSize source_bytes);
+
+    const std::string &name() const { return label; }
+    DataSize sourceBytes() const { return src_bytes; }
+
+    Pipeline &add(Block block);
+
+    int blockCount() const { return static_cast<int>(chain.size()); }
+    const Block &block(int i) const { return chain.at(i); }
+    const std::vector<Block> &blocks() const { return chain; }
+
+  private:
+    std::string label;
+    DataSize src_bytes;
+    std::vector<Block> chain;
+};
+
+/** One point in the configuration space of a pipeline. */
+struct PipelineConfig
+{
+    /** Include flag per block (core blocks must be true). */
+    std::vector<bool> include;
+    /** Implementation per block (ignored for excluded/cloud blocks). */
+    std::vector<Impl> impl;
+    /**
+     * Offload cut: blocks with index < cut run in camera, the rest in
+     * the cloud. cut == 0 streams raw sensor data; cut == blockCount()
+     * runs everything in camera and uploads the final product.
+     */
+    int cut = 0;
+
+    /** Compact display string, e.g. "S|B1(ASIC)+B3(ASIC)||B4". */
+    std::string toString(const Pipeline &p) const;
+};
+
+/** Energy-semantics evaluation result. */
+struct EnergyReport
+{
+    Energy compute;          ///< in-camera compute, duty-scaled
+    Energy communication;    ///< radio cost at the cut, duty-scaled
+    std::vector<Energy> per_block; ///< in-camera blocks (0 elsewhere)
+    double cut_duty = 1.0;   ///< fraction of frames crossing the cut
+    DataSize cut_bytes;      ///< bytes per crossing frame
+
+    Energy
+    total() const
+    {
+        return compute + communication;
+    }
+
+    /** Average power at a steady frame rate. */
+    Power
+    averagePower(FrameRate rate) const
+    {
+        return Power::watts(total().j() * rate.perSecond());
+    }
+};
+
+/** Throughput-semantics evaluation result. */
+struct ThroughputReport
+{
+    double compute_fps = 0.0; ///< min over in-camera blocks
+    double comm_fps = 0.0;    ///< link FPS at the cut
+    double total_fps = 0.0;   ///< min of the two
+
+    bool
+    meets(double target) const
+    {
+        return total_fps >= target;
+    }
+};
+
+/** Evaluates configurations of a pipeline against a link. */
+class PipelineEvaluator
+{
+  public:
+    PipelineEvaluator(const Pipeline &pipeline, NetworkLink link);
+
+    const Pipeline &pipeline() const { return pipe; }
+    const NetworkLink &link() const { return net; }
+
+    /** Validate structural rules; fatal on broken configs. */
+    void check(const PipelineConfig &cfg) const;
+
+    /** Energy semantics (the FA case study). */
+    EnergyReport evaluateEnergy(const PipelineConfig &cfg) const;
+
+    /** Throughput semantics (the VR case study). */
+    ThroughputReport evaluateThroughput(const PipelineConfig &cfg) const;
+
+    /** Bytes crossing the cut for a configuration. */
+    DataSize cutBytes(const PipelineConfig &cfg) const;
+
+  private:
+    const Pipeline &pipe;
+    NetworkLink net;
+};
+
+} // namespace incam
+
+#endif // INCAM_CORE_PIPELINE_HH

@@ -1,0 +1,87 @@
+#include "fa/auth.hh"
+
+#include "image/ops.hh"
+
+namespace incam {
+
+std::vector<float>
+cropToInput(const ImageF &crop)
+{
+    incam_assert(crop.channels() == 1, "NN input must be grayscale");
+    std::vector<float> input;
+    input.reserve(crop.sampleCount());
+    for (float v : crop) {
+        input.push_back(v);
+    }
+    return input;
+}
+
+ImageF
+extractCrop(const ImageU8 &frame, const Rect &box, int size)
+{
+    // Square up and clamp the region.
+    const int side = std::max(box.w, box.h);
+    Rect r{box.x + (box.w - side) / 2, box.y + (box.h - side) / 2, side,
+           side};
+    r.x = std::clamp(r.x, 0, std::max(0, frame.width() - side));
+    r.y = std::clamp(r.y, 0, std::max(0, frame.height() - side));
+    r.w = std::min(side, frame.width() - r.x);
+    r.h = std::min(side, frame.height() - r.y);
+    incam_assert(r.w > 0 && r.h > 0, "degenerate crop");
+    const ImageF full = toFloat(frame);
+    return resizeBilinear(crop(full, r), size, size);
+}
+
+TrainSet
+buildAuthSet(const FaceDataset &ds, uint64_t enrolled)
+{
+    TrainSet set;
+    for (const auto &sample : ds.samples()) {
+        const bool positive = sample.is_face && sample.identity == enrolled;
+        set.add(cropToInput(sample.image),
+                {positive ? 1.0f : 0.0f});
+    }
+    return set;
+}
+
+AuthNet
+trainAuthNet(const FaceDataset &ds, uint64_t enrolled,
+             const MlpTopology &topo, const TrainConfig &tc, uint64_t seed)
+{
+    FaceDataset train_ds, test_ds;
+    ds.split(0.9, train_ds, test_ds);
+    TrainSet train_set = buildAuthSet(train_ds, enrolled);
+    const TrainSet test_set = buildAuthSet(test_ds, enrolled);
+
+    // The enrolled class is a small minority (one identity among many);
+    // replicate its samples so MSE training cannot collapse to the
+    // always-reject solution.
+    const size_t base = train_set.size();
+    size_t positives = 0;
+    for (size_t i = 0; i < base; ++i) {
+        if (train_set.targets[i][0] > 0.5f) {
+            ++positives;
+        }
+    }
+    if (positives > 0) {
+        const size_t replicas =
+            positives * 4 < base ? base / (positives * 4) : 0;
+        for (size_t r = 0; r < replicas; ++r) {
+            for (size_t i = 0; i < base; ++i) {
+                if (train_set.targets[i][0] > 0.5f) {
+                    train_set.add(train_set.inputs[i],
+                                  train_set.targets[i]);
+                }
+            }
+        }
+    }
+
+    AuthNet result{Mlp(topo, seed), {}, 0.0, 0.0};
+    result.train_mse = result.net.train(train_set, tc);
+    result.test_confusion =
+        evaluateBinary(predictorOf(result.net), test_set);
+    result.test_error = result.test_confusion.errorRate();
+    return result;
+}
+
+} // namespace incam

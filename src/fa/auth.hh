@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Authentication-network glue: datasets to train sets, crops to inputs.
+ *
+ * Reproduces the paper's NN protocol: the network sees a base_size x
+ * base_size grayscale crop (the paper's sweet spot is 20x20 -> the
+ * 400-8-1 topology) and answers "is this the enrolled user?". Training
+ * uses a stratified 90/10 split of the LFW-substitute dataset.
+ */
+
+#ifndef INCAM_FA_AUTH_HH
+#define INCAM_FA_AUTH_HH
+
+#include "common/stats.hh"
+#include "nn/eval.hh"
+#include "nn/mlp.hh"
+#include "workload/dataset.hh"
+
+namespace incam {
+
+/** Flatten a square grayscale crop into an NN input vector. */
+std::vector<float> cropToInput(const ImageF &crop);
+
+/**
+ * Extract a square region around @p box from @p frame, clamped to the
+ * frame, and resample it to @p size for the NN.
+ */
+ImageF extractCrop(const ImageU8 &frame, const Rect &box, int size);
+
+/**
+ * Build a supervised set: target 1.0 for @p enrolled faces, 0.0 for
+ * other identities and distractors.
+ */
+TrainSet buildAuthSet(const FaceDataset &ds, uint64_t enrolled);
+
+/** A trained authenticator plus its held-out evaluation. */
+struct AuthNet
+{
+    Mlp net;
+    Confusion test_confusion;
+    double test_error = 0.0; ///< misclassification rate on the test split
+    double train_mse = 0.0;
+};
+
+/**
+ * Train an authentication MLP for @p enrolled on @p ds using the
+ * paper's 90/10 stratified split.
+ */
+AuthNet trainAuthNet(const FaceDataset &ds, uint64_t enrolled,
+                     const MlpTopology &topo, const TrainConfig &tc,
+                     uint64_t seed = 42);
+
+} // namespace incam
+
+#endif // INCAM_FA_AUTH_HH

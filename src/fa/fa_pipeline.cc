@@ -1,0 +1,193 @@
+#include "fa/fa_pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fa/auth.hh"
+#include "image/ops.hh"
+
+namespace incam {
+
+FaCameraSim::FaCameraSim(const FaConfig &cfg, const Cascade *cascade,
+                         const Mlp &net)
+    : conf(cfg), vj_cascade(cascade), qnet(net, cfg.quant),
+      accel(qnet, cfg.snnap),
+      accel_energy(AsicEnergyModel{}, cfg.snnap, cfg.quant.width),
+      motion_energy(), vj_energy(), sensor(), mcu(gpMicrocontroller()),
+      asic()
+{
+    incam_assert(!cfg.use_facedetect || cascade != nullptr,
+                 "face detection enabled but no cascade supplied");
+    const int expected = cfg.nn_input * cfg.nn_input;
+    incam_assert(net.topology().inputs() == expected,
+                 "NN expects ", net.topology().inputs(),
+                 " inputs but crops provide ", expected);
+}
+
+Energy
+FaCameraSim::nnInferenceEnergy() const
+{
+    if (conf.nn_platform == NnPlatform::Mcu) {
+        // Software fixed-point NN: ~2 instructions of useful work per
+        // MAC after the ProcessorModel's per-op discounting.
+        const double ops =
+            2.0 * static_cast<double>(qnet.topology().macCount());
+        return mcu.energyForOps(ops);
+    }
+    // Representative accelerator inference (cycle counts don't depend
+    // on data, so any input gives the same stats).
+    SnnapAccelerator probe(qnet, conf.snnap);
+    std::vector<int64_t> zeros(
+        static_cast<size_t>(qnet.topology().inputs()), 0);
+    probe.runRaw(zeros);
+    return accel_energy.energy(probe.lastStats());
+}
+
+std::vector<Rect>
+FaCameraSim::scanWindows(int w, int h) const
+{
+    std::vector<Rect> windows;
+    double window = conf.scan_window;
+    while (window <= std::min(w, h)) {
+        const int side = static_cast<int>(window);
+        const int step = conf.scan_step;
+        for (int y = 0; y + side <= h; y += step) {
+            for (int x = 0; x + side <= w; x += step) {
+                windows.push_back(Rect{x, y, side, side});
+            }
+        }
+        window *= conf.scan_scale_factor;
+    }
+    return windows;
+}
+
+double
+FaCameraSim::inferCrop(const ImageF &crop_img, FaRunResult &result)
+{
+    // Candidate extraction datapath: one multiply-add per output pixel
+    // for the bilinear taps (4 MACs) — a tiny fixed-function resizer.
+    const double resize_px =
+        static_cast<double>(conf.nn_input) * conf.nn_input;
+    result.energy.crop += asic.mac(8) * (4.0 * resize_px);
+
+    ++result.counts.nn_inferences;
+    const std::vector<float> input = cropToInput(crop_img);
+    if (conf.nn_platform == NnPlatform::Mcu) {
+        const double ops =
+            2.0 * static_cast<double>(qnet.topology().macCount());
+        result.energy.nn += mcu.energyForOps(ops);
+        // The MCU executes the same quantized math as the accelerator.
+        return qnet.forward(input).front();
+    }
+    const auto out = accel.run(input);
+    result.energy.nn += accel_energy.energy(accel.lastStats());
+    return dequantize(out.front(), qnet.activationFormat());
+}
+
+FaRunResult
+FaCameraSim::run(const SecurityVideo &video)
+{
+    FaRunResult result;
+    MotionDetector md(conf.motion);
+
+    const int w = video.cfg().width;
+    const int h = video.cfg().height;
+
+    // Visit (event) tracking state.
+    bool in_visit = false;
+    bool visit_enrolled = false;
+    int visit_accepts = 0;
+    auto closeVisit = [&]() {
+        if (!in_visit) {
+            return;
+        }
+        const bool caught = visit_accepts >= conf.visit_confirmations;
+        if (visit_enrolled) {
+            ++result.enrolled_visits;
+            result.caught_visits += caught ? 1 : 0;
+        } else {
+            ++result.stranger_visits;
+            result.false_visits += caught ? 1 : 0;
+        }
+        in_visit = false;
+        visit_accepts = 0;
+    };
+
+    for (int f = 0; f < video.frameCount(); ++f) {
+        const VideoFrame frame = video.frame(f);
+        ++result.counts.frames;
+        result.energy.sensor += sensor.captureEnergy(w, h);
+
+        bool proceed = true;
+        if (conf.use_motion) {
+            result.energy.motion += motion_energy.frameEnergy(w, h);
+            proceed = md.update(frame.image);
+        }
+
+        bool authenticated = false;
+        if (proceed) {
+            ++result.counts.motion_frames;
+
+            std::vector<Rect> candidates;
+            if (conf.use_facedetect) {
+                ++result.counts.vj_frames;
+                CascadeStats stats;
+                Detector detector(*vj_cascade, conf.detector);
+                auto detections = detector.detect(frame.image, &stats);
+                result.energy.facedetect +=
+                    vj_energy.frameEnergy(w, h, stats);
+                // Strongest detections first: the NN budget goes to the
+                // candidates with the most raw-hit support.
+                std::sort(detections.begin(), detections.end(),
+                          [](const Detection &a, const Detection &b) {
+                              return a.neighbors > b.neighbors;
+                          });
+                for (const auto &d : detections) {
+                    candidates.push_back(d.box);
+                    if (static_cast<int>(candidates.size()) >=
+                        conf.max_detections) {
+                        break;
+                    }
+                }
+                result.counts.vj_detections += detections.size();
+            } else {
+                candidates = scanWindows(w, h);
+            }
+
+            for (const auto &box : candidates) {
+                const ImageF crop_img =
+                    extractCrop(frame.image, box, conf.nn_input);
+                const double score = inferCrop(crop_img, result);
+                if (score > conf.auth_threshold) {
+                    authenticated = true;
+                    // The camera's job is a yes/no per frame; stop at
+                    // the first accepted candidate.
+                    break;
+                }
+            }
+        }
+
+        if (authenticated) {
+            ++result.counts.authenticated_frames;
+        }
+        const bool truth_positive =
+            frame.truth.has_face && frame.truth.is_enrolled;
+        result.auth.tally(authenticated, truth_positive);
+
+        // Event bookkeeping: visit boundaries come from ground truth.
+        if (frame.truth.has_face) {
+            if (!in_visit) {
+                in_visit = true;
+                visit_enrolled = frame.truth.is_enrolled;
+                visit_accepts = 0;
+            }
+            visit_accepts += authenticated ? 1 : 0;
+        } else {
+            closeVisit();
+        }
+    }
+    closeVisit();
+    return result;
+}
+
+} // namespace incam

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The face-authentication camera simulator (case study 1, Fig. 2).
+ *
+ * Executes the full pipeline frame by frame on a synthetic security
+ * video: sensor capture -> [motion detection] -> [Viola-Jones face
+ * detection] -> NN face authentication on the SNNAP accelerator
+ * simulator — with every stage's energy drawn from the hardware models.
+ * Optional blocks are exactly that: disabling them reproduces the
+ * paper's comparison points, where the NN must instead scan candidate
+ * windows across every frame (there is no face detector to tell it
+ * where, and no motion detector to tell it when).
+ *
+ * The simulator reports the per-stage funnel (frames -> motion frames
+ * -> detected faces -> authentications), the per-stage energy ledger,
+ * and the authentication confusion against the video's ground truth.
+ */
+
+#ifndef INCAM_FA_FA_PIPELINE_HH
+#define INCAM_FA_FA_PIPELINE_HH
+
+#include <optional>
+
+#include "common/stats.hh"
+#include "hw/device.hh"
+#include "hw/rf_harvest.hh"
+#include "hw/sensor.hh"
+#include "motion/motion.hh"
+#include "snnap/accelerator.hh"
+#include "snnap/energy.hh"
+#include "vj/accel.hh"
+#include "vj/detector.hh"
+#include "workload/video.hh"
+
+namespace incam {
+
+/** Where the authentication NN executes. */
+enum class NnPlatform
+{
+    SnnapAsic, ///< the cycle-level accelerator simulator
+    Mcu,       ///< software loop on a GP microcontroller (baseline)
+};
+
+/** Pipeline composition and parameters. */
+struct FaConfig
+{
+    bool use_motion = true;
+    bool use_facedetect = true;
+    NnPlatform nn_platform = NnPlatform::SnnapAsic;
+
+    int nn_input = 20;          ///< NN crop side (20 -> 400 inputs)
+    QuantConfig quant;          ///< accelerator numerics (8-bit default)
+    SnnapConfig snnap;          ///< accelerator geometry (8 PEs default)
+    MotionConfig motion;        ///< frame-difference thresholds
+    DetectorParams detector;    ///< VJ scan parameters
+    double auth_threshold = 0.5;
+    int max_detections = 4;     ///< NN budget per frame with VJ
+    /**
+     * Debounce: a visit counts as authenticated only after this many
+     * accepted frames. Enrolled visits span many frames and re-confirm
+     * repeatedly; a single spurious NN accept on a stranger does not.
+     */
+    int visit_confirmations = 2;
+
+    /**
+     * Without VJ the NN itself must find the face: it scans this window
+     * grid over every (motion-passing) frame. The stride is chosen so a
+     * face cannot slip between windows — the honest cost of running the
+     * core block blind, which is exactly what the optional face-
+     * detection block exists to avoid.
+     */
+    int scan_window = 48;       ///< candidate window side, pixels
+    int scan_step = 8;
+    double scan_scale_factor = 1.6;
+};
+
+/** Per-stage event funnel. */
+struct FaCounts
+{
+    uint64_t frames = 0;
+    uint64_t motion_frames = 0;   ///< frames passing motion detection
+    uint64_t vj_frames = 0;       ///< frames the detector ran on
+    uint64_t vj_detections = 0;   ///< candidate faces found
+    uint64_t nn_inferences = 0;
+    uint64_t authenticated_frames = 0;
+};
+
+/** Per-stage energy ledger. */
+struct FaEnergy
+{
+    Energy sensor;
+    Energy motion;
+    Energy facedetect;
+    Energy crop; ///< candidate extraction / rescale datapath
+    Energy nn;
+
+    Energy
+    total() const
+    {
+        return sensor + motion + facedetect + crop + nn;
+    }
+};
+
+/** Result of running a video through the camera. */
+struct FaRunResult
+{
+    FaCounts counts;
+    FaEnergy energy;
+    Confusion auth; ///< frame-level: predicted vs enrolled-face truth
+
+    /**
+     * Event-level accounting: a *visit* is a contiguous run of frames
+     * by one person. The paper's "true miss rate of 0%" is an event
+     * metric — a visit is caught if any of its frames authenticates.
+     */
+    uint64_t enrolled_visits = 0;
+    uint64_t caught_visits = 0;   ///< enrolled visits authenticated
+    uint64_t stranger_visits = 0;
+    uint64_t false_visits = 0;    ///< stranger visits authenticated
+
+    /** Fraction of enrolled visits the camera failed to authenticate. */
+    double
+    visitMissRate() const
+    {
+        return enrolled_visits
+                   ? 1.0 - static_cast<double>(caught_visits) /
+                               static_cast<double>(enrolled_visits)
+                   : 0.0;
+    }
+
+    /** Mean energy per captured frame. */
+    Energy
+    perFrame() const
+    {
+        return counts.frames ? energy.total() / double(counts.frames)
+                             : Energy{};
+    }
+
+    /** Average power at the capture frame rate. */
+    Power
+    averagePower(FrameRate rate) const
+    {
+        return Power::watts(perFrame().j() * rate.perSecond());
+    }
+
+    /**
+     * Frame rate sustainable on a harvested-power budget (the
+     * WISPCam deployment question).
+     */
+    double
+    sustainableFps(Power harvested) const
+    {
+        return harvested.w() / perFrame().j();
+    }
+};
+
+/** The camera simulator. */
+class FaCameraSim
+{
+  public:
+    /**
+     * @param cfg      pipeline composition
+     * @param cascade  trained VJ cascade (required when use_facedetect)
+     * @param net      trained float authenticator (quantized internally)
+     */
+    FaCameraSim(const FaConfig &cfg, const Cascade *cascade,
+                const Mlp &net);
+
+    /** Run a full video; returns the funnel, ledger and confusion. */
+    FaRunResult run(const SecurityVideo &video);
+
+    /** Energy of one NN inference on the configured platform. */
+    Energy nnInferenceEnergy() const;
+
+    /** The quantized network the accelerator executes. */
+    const QuantizedMlp &quantizedNet() const { return qnet; }
+
+  private:
+    /** Run the NN on one crop; returns the authentication score. */
+    double inferCrop(const ImageF &crop_img, FaRunResult &result);
+
+    /** Candidate windows for the no-VJ configuration. */
+    std::vector<Rect> scanWindows(int w, int h) const;
+
+    FaConfig conf;
+    const Cascade *vj_cascade;
+    QuantizedMlp qnet;
+    SnnapAccelerator accel;
+    SnnapEnergyModel accel_energy;
+    MotionAccelModel motion_energy;
+    VjAccelModel vj_energy;
+    SensorModel sensor;
+    ProcessorModel mcu;
+    AsicEnergyModel asic;
+};
+
+} // namespace incam
+
+#endif // INCAM_FA_FA_PIPELINE_HH

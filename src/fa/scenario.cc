@@ -1,0 +1,81 @@
+#include "fa/scenario.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+FaMeasurements
+measureFa(const FaRunResult &with_all_blocks, const FaRunResult &md_nn_scan,
+          const FaRunResult &md_nn_scan_mcu,
+          const SecurityVideoConfig &video_cfg, int nn_input)
+{
+    const FaCounts &c = with_all_blocks.counts;
+    incam_assert(c.frames > 0, "empty measurement run");
+    incam_assert(md_nn_scan.counts.motion_frames > 0,
+                 "scan run saw no motion frames");
+
+    FaMeasurements m;
+    m.frame_w = video_cfg.width;
+    m.frame_h = video_cfg.height;
+    m.frame_bytes = DataSize::bytes(
+        static_cast<double>(video_cfg.width) * video_cfg.height);
+    m.crop_bytes =
+        DataSize::bytes(static_cast<double>(nn_input) * nn_input);
+
+    m.motion_per_frame =
+        with_all_blocks.energy.motion / static_cast<double>(c.frames);
+    m.motion_pass = static_cast<double>(c.motion_frames) /
+                    static_cast<double>(c.frames);
+
+    // NN cost of a frame when nothing upstream localizes the face: the
+    // blind window scan of the MD+NN configuration.
+    const Energy scan_per_frame =
+        (md_nn_scan.energy.nn + md_nn_scan.energy.crop) /
+        static_cast<double>(md_nn_scan.counts.motion_frames);
+    m.nn_asic_per_frame = scan_per_frame;
+    m.nn_mcu_per_frame =
+        (md_nn_scan_mcu.energy.nn + md_nn_scan_mcu.energy.crop) /
+        static_cast<double>(md_nn_scan_mcu.counts.motion_frames);
+
+    if (c.vj_frames > 0 && scan_per_frame.j() > 0.0) {
+        m.vj_per_frame = with_all_blocks.energy.facedetect /
+                         static_cast<double>(c.vj_frames);
+        // How much NN work remains when VJ points at the candidates.
+        const Energy guided_per_frame =
+            (with_all_blocks.energy.nn + with_all_blocks.energy.crop) /
+            static_cast<double>(c.vj_frames);
+        m.vj_pass =
+            std::min(1.0, guided_per_frame.j() / scan_per_frame.j());
+    }
+    return m;
+}
+
+Pipeline
+buildFaPipeline(const FaMeasurements &m)
+{
+    Pipeline pipe("face-authentication", m.frame_bytes);
+
+    Block motion("MotionDetect", /*optional=*/true, m.frame_bytes);
+    motion.setPassFraction(m.motion_pass);
+    motion.addImpl(Impl::Asic,
+                   {Time::microseconds(640), m.motion_per_frame});
+    pipe.add(motion);
+
+    Block facedetect("FaceDetect", /*optional=*/true, m.crop_bytes);
+    facedetect.setPassFraction(m.vj_pass);
+    facedetect.addImpl(Impl::Asic,
+                       {Time::milliseconds(2), m.vj_per_frame});
+    pipe.add(facedetect);
+
+    Block auth("FaceAuth", /*optional=*/false,
+               DataSize::bytes(1)); // the verdict
+    auth.addImpl(Impl::Asic, {Time::microseconds(20), m.nn_asic_per_frame});
+    auth.addImpl(Impl::Mcu, {Time::milliseconds(2), m.nn_mcu_per_frame});
+    pipe.add(auth);
+
+    return pipe;
+}
+
+} // namespace incam

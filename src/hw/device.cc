@@ -1,0 +1,62 @@
+#include "hw/device.hh"
+
+namespace incam {
+
+ProcessorModel
+armCortexA9()
+{
+    ProcessorModel m;
+    m.name = "ARM Cortex-A9 (dual, Zynq-7020 PS)";
+    m.clock = Frequency::megahertz(667);
+    // Two cores, NEON-vectorized Halide schedules, discounted for the
+    // gather-heavy access patterns of grid splat/slice: ~2.6 ops/cycle.
+    m.ops_per_cycle = 2.6;
+    m.active_power = Power::milliwatts(1250);
+    m.idle_power = Power::milliwatts(80);
+    return m;
+}
+
+ProcessorModel
+quadroK2200()
+{
+    ProcessorModel m;
+    m.name = "NVIDIA Quadro K2200";
+    m.clock = Frequency::megahertz(1045);
+    // 640 CUDA cores * 2 (FMA) = 1280 peak ops/cycle; bilateral-grid
+    // kernels are scatter/gather bound, sustaining roughly 10% of peak.
+    m.ops_per_cycle = 131.0;
+    m.active_power = Power::watts(68);
+    m.idle_power = Power::watts(10);
+    return m;
+}
+
+ProcessorModel
+gpMicrocontroller()
+{
+    ProcessorModel m;
+    m.name = "GP microcontroller (Cortex-M0-class)";
+    m.clock = Frequency::megahertz(48);
+    // Software fixed-point NN: multiply, accumulate, two loads and loop
+    // control come to ~8 cycles per useful MAC.
+    m.ops_per_cycle = 1.0 / 8.0;
+    m.active_power = Power::milliwatts(3.0);
+    m.idle_power = Power::microwatts(20);
+    return m;
+}
+
+ProcessorModel
+fpgaComputeUnit()
+{
+    ProcessorModel m;
+    m.name = "FPGA compute unit (18 DSP, 125 MHz)";
+    m.clock = Frequency::megahertz(125);
+    // One fully-pipelined grid-vertex filter evaluation per cycle; the
+    // 18 DSP slices together perform the multi-tap blur, so the unit's
+    // useful throughput is 18 ops/cycle.
+    m.ops_per_cycle = 18.0;
+    m.active_power = Power::milliwatts(95);
+    m.idle_power = Power::milliwatts(5);
+    return m;
+}
+
+} // namespace incam

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Programmable-processor throughput/energy models.
+ *
+ * The VR case study compares B3 (bilateral-space stereo) on three
+ * implementations: the Zynq's dual ARM Cortex-A9 (the "mobile-grade CPU"
+ * baseline), an NVIDIA Quadro K2200 GPU, and the FPGA accelerator. The
+ * FA case study additionally compares the NN accelerator against a
+ * general-purpose microcontroller. These models convert kernel operation
+ * counts into time and energy using sustained-throughput parameters —
+ * the same first-order methodology the paper applies when it treats each
+ * block's cost as (work) / (platform throughput).
+ */
+
+#ifndef INCAM_HW_DEVICE_HH
+#define INCAM_HW_DEVICE_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace incam {
+
+/** A processor characterized by sustained op throughput and power. */
+struct ProcessorModel
+{
+    std::string name;
+    Frequency clock;
+    /**
+     * Sustained useful operations per cycle on the image-processing
+     * kernels of this study (accounts for SIMD, memory stalls, and
+     * utilization — not a peak number).
+     */
+    double ops_per_cycle = 1.0;
+    Power active_power;
+    Power idle_power;
+
+    /** Sustained operation throughput in ops/s. */
+    double
+    opsPerSecond() const
+    {
+        return clock.hz() * ops_per_cycle;
+    }
+
+    /** Time to execute @p ops operations. */
+    Time
+    timeForOps(double ops) const
+    {
+        return Time::seconds(ops / opsPerSecond());
+    }
+
+    /** Active energy to execute @p ops operations. */
+    Energy
+    energyForOps(double ops) const
+    {
+        return active_power.forDuration(timeForOps(ops));
+    }
+
+    /** Average energy per operation. */
+    Energy
+    energyPerOp() const
+    {
+        return Energy::joules(active_power.w() / opsPerSecond());
+    }
+};
+
+/**
+ * Dual ARM Cortex-A9 at 667 MHz (Zynq-7020 PS) running Halide-tuned
+ * float kernels: both cores, NEON, ~2.6 sustained ops/cycle aggregate.
+ */
+ProcessorModel armCortexA9();
+
+/**
+ * NVIDIA Quadro K2200: 640 CUDA cores at 1.05 GHz. Sustained efficiency
+ * on the memory-bound bilateral-grid kernels is far below peak; the
+ * model uses ~10% of peak FMA throughput.
+ */
+ProcessorModel quadroK2200();
+
+/**
+ * General-purpose low-power microcontroller (Cortex-M0-class, 48 MHz):
+ * the paper's point of comparison for the FA accelerator.
+ */
+ProcessorModel gpMicrocontroller();
+
+/** One 125 MHz FPGA compute unit consuming a vertex per cycle. */
+ProcessorModel fpgaComputeUnit();
+
+} // namespace incam
+
+#endif // INCAM_HW_DEVICE_HH

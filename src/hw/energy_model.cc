@@ -1,0 +1,8 @@
+#include "hw/energy_model.hh"
+
+// All members are currently inline constexpr-style accessors; this
+// translation unit exists so the library has a stable archive member for
+// the model and future non-inline calibration tables.
+
+namespace incam {
+} // namespace incam

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * ASIC per-operation energy model (28 nm-class, 0.9 V, 30 MHz).
+ *
+ * The paper evaluates its face-authentication accelerators with
+ * post-synthesis physical simulation at TSMC 28 nm; this reproduction
+ * has no synthesis flow, so accelerator energy is computed analytically
+ * from event counts (MACs, SRAM accesses, cycles) using per-operation
+ * energies. Constants are anchored to publicly documented 28/45 nm
+ * figures (e.g. Horowitz, "Computing's energy problem", ISSCC'14:
+ * ~0.2 pJ for an 8-bit multiply-add class operation, ~1 pJ for a small
+ * SRAM access) and calibrated so the paper's *relative* results hold:
+ *
+ *  - 16-bit -> 8-bit datapath narrowing cuts accelerator power by ~41%
+ *    for the 8-PE configuration (Section III-A);
+ *  - the 400-8-1 network's energy-vs-PE-count curve bottoms out at 8 PEs.
+ *
+ * Energy scales linearly with operand width plus a width-independent
+ * control overhead — the standard first-order model for datapath logic.
+ */
+
+#ifndef INCAM_HW_ENERGY_MODEL_HH
+#define INCAM_HW_ENERGY_MODEL_HH
+
+#include "common/units.hh"
+
+namespace incam {
+
+/** Per-event energies for a fixed-function ASIC datapath. */
+class AsicEnergyModel
+{
+  public:
+    /** Default model: 28 nm-class logic at 0.9 V. */
+    AsicEnergyModel() = default;
+
+    /** Multiply-accumulate of two @p bits -wide operands. */
+    Energy
+    mac(int bits) const
+    {
+        return Energy::picojoules(0.030 * bits + 0.045);
+    }
+
+    /** Plain add/subtract/compare of @p bits -wide operands. */
+    Energy
+    alu(int bits) const
+    {
+        return Energy::picojoules(0.006 * bits + 0.020);
+    }
+
+    /** Read of a @p bits -wide word from a small (<=4 KB) local SRAM. */
+    Energy
+    sramRead(int bits) const
+    {
+        return Energy::picojoules(0.100 * bits + 0.200);
+    }
+
+    /** Write of a @p bits -wide word to a small local SRAM. */
+    Energy
+    sramWrite(int bits) const
+    {
+        return Energy::picojoules(0.120 * bits + 0.250);
+    }
+
+    /** One lookup in a 256-entry LUT (the sigmoid unit). */
+    Energy lutLookup() const { return Energy::picojoules(0.35); }
+
+    /** Moving one @p bits -wide word across the accelerator bus. */
+    Energy
+    busTransfer(int bits) const
+    {
+        return Energy::picojoules(0.020 * bits + 0.050);
+    }
+
+    /**
+     * Clock/register energy per active cycle for one PE with a
+     * @p bits -wide datapath.
+     */
+    Energy
+    peClockActive(int bits) const
+    {
+        return Energy::picojoules(0.050 * bits + 0.200);
+    }
+
+    /**
+     * Clock-tree energy per cycle for an *idle* PE (clock still toggling
+     * but datapath gated) — what makes over-provisioned PE arrays lose.
+     */
+    Energy
+    peClockIdle(int bits) const
+    {
+        return peClockActive(bits) * 0.5;
+    }
+
+    /**
+     * Per-cycle energy of the width-independent control plane: the
+     * vertically micro-coded sequencer, bus scheduler and FIFO control.
+     * This is the overhead that keeps the 16->8-bit power saving at ~41%
+     * instead of the naive 50%.
+     */
+    Energy sequencerPerCycle() const { return Energy::picojoules(1.60); }
+
+    /** Static leakage of one PE (area, and thus leakage, scales w/ width). */
+    Power
+    peLeakage(int bits) const
+    {
+        return Power::nanowatts(150.0 * bits);
+    }
+
+    /** Static leakage of the shared control plane and sigmoid unit. */
+    Power baseLeakage() const { return Power::microwatts(4.0); }
+};
+
+} // namespace incam
+
+#endif // INCAM_HW_ENERGY_MODEL_HH

@@ -1,0 +1,87 @@
+#include "hw/fpga.hh"
+
+#include "common/logging.hh"
+
+namespace incam {
+
+FpgaPart
+zynq7020()
+{
+    FpgaPart p;
+    p.name = "Zynq-7000 (XC7Z020)";
+    p.luts = 53200;
+    p.bram36 = 140;
+    p.dsps = 220;
+    p.fmax = Frequency::megahertz(125);
+    return p;
+}
+
+FpgaPart
+virtexUltraScalePlus()
+{
+    FpgaPart p;
+    p.name = "Virtex UltraScale+ (VU13P-class)";
+    p.luts = 1728000;
+    p.bram36 = 2688;
+    p.dsps = 12288;
+    p.fmax = Frequency::megahertz(125);
+    return p;
+}
+
+FpgaDesignModel::FpgaDesignModel(FpgaPart part, int cameras)
+    : device(std::move(part)), n_cameras(cameras)
+{
+    incam_assert(cameras > 0, "design needs at least one camera");
+    incam_assert(device.dsps > shell_dsps, "part too small for the shell");
+}
+
+int
+FpgaDesignModel::maxComputeUnits() const
+{
+    const long dsp_budget = device.dsps - shell_dsps;
+    const long lut_budget =
+        device.luts - shell_luts -
+        static_cast<long>(n_cameras) * luts_per_camera;
+    const double bram_budget = static_cast<double>(device.bram36) -
+                               shell_bram;
+    const long by_dsp = dsp_budget / dsps_per_cu;
+    const long by_lut = lut_budget / luts_per_cu;
+    const long by_bram = static_cast<long>(bram_budget / bram_per_cu);
+    long cus = by_dsp;
+    cus = std::min(cus, by_lut);
+    cus = std::min(cus, by_bram);
+    return static_cast<int>(std::max(0L, cus));
+}
+
+FpgaUsage
+FpgaDesignModel::usage(int cus) const
+{
+    incam_assert(cus >= 0 && cus <= maxComputeUnits(), "design with ", cus,
+                 " compute units does not fit on ", device.name);
+    FpgaUsage u;
+    u.compute_units = cus;
+    const double used_luts = shell_luts +
+                             static_cast<double>(n_cameras) *
+                                 luts_per_camera +
+                             static_cast<double>(cus) * luts_per_cu;
+    const double used_dsps =
+        shell_dsps + static_cast<double>(cus) * dsps_per_cu;
+    const double used_bram = shell_bram + static_cast<double>(cus) *
+                                              bram_per_cu;
+    u.logic_pct = 100.0 * used_luts / static_cast<double>(device.luts);
+    u.dsp_pct = 100.0 * used_dsps / static_cast<double>(device.dsps);
+    u.ram_pct = 100.0 * used_bram / static_cast<double>(device.bram36);
+    return u;
+}
+
+Power
+FpgaDesignModel::powerFor(int cus) const
+{
+    // Static power scales with device size; dynamic with active CUs.
+    const double static_w = 0.10 + 0.05 * static_cast<double>(device.luts) /
+                                       53200.0;
+    const double dynamic_w = 0.095 * static_cast<double>(cus);
+    return Power::watts(static_w + dynamic_w);
+}
+
+} // namespace incam

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * FPGA resource and throughput model for the BSSA accelerator.
+ *
+ * Reproduces Table I of the paper: the evaluation platform is a Xilinx
+ * Zynq-7020 (ZC702) hosting the depth-refinement compute units for a
+ * two-camera pipeline; the projected target is a top-of-the-line Virtex
+ * UltraScale+ part (VU13P-class — the only member of the family whose
+ * 12,288 DSP slices admit the paper's "up to 682 compute units" at
+ * 18 DSPs each) serving all 16 cameras.
+ *
+ * Each compute unit filters one bilateral-grid vertex per cycle at
+ * 125 MHz and costs 18 DSP slices plus calibrated LUT/BRAM overheads.
+ * Shell logic (DMA, HDMI cores, AXI interconnect, per-camera I/O) is
+ * modeled separately so utilization percentages track the paper's.
+ */
+
+#ifndef INCAM_HW_FPGA_HH
+#define INCAM_HW_FPGA_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace incam {
+
+/** Resource inventory of one FPGA part. */
+struct FpgaPart
+{
+    std::string name;
+    long luts = 0;   ///< 6-input LUT count
+    long bram36 = 0; ///< 36 Kb block-RAM count
+    long dsps = 0;   ///< DSP48-class slice count
+    Frequency fmax;  ///< design clock
+};
+
+/** Xilinx Zynq-7020 (ZC702 board) programmable logic. */
+FpgaPart zynq7020();
+
+/** Virtex UltraScale+ VU13P-class part (the paper's projection target). */
+FpgaPart virtexUltraScalePlus();
+
+/** Utilization summary in the units Table I reports. */
+struct FpgaUsage
+{
+    int compute_units = 0;
+    double logic_pct = 0.0;
+    double ram_pct = 0.0;
+    double dsp_pct = 0.0;
+};
+
+/** The BSSA accelerator design mapped onto a part. */
+class FpgaDesignModel
+{
+  public:
+    /** Per-compute-unit resource cost (Section IV-B: 18 DSPs each). */
+    static constexpr int dsps_per_cu = 18;
+    static constexpr int luts_per_cu = 1690;
+    static constexpr double bram_per_cu = 0.69;
+
+    /** Shell overhead: DMA, interconnect, HDMI/Ethernet cores. */
+    static constexpr int shell_luts = 5680;
+    static constexpr int shell_dsps = 9;
+    static constexpr double shell_bram = 1.9;
+    /** Per-camera input logic (CSI/HDMI ingest, line buffers). */
+    static constexpr int luts_per_camera = 77;
+
+    FpgaDesignModel(FpgaPart part, int cameras);
+
+    const FpgaPart &part() const { return device; }
+    int cameras() const { return n_cameras; }
+
+    /** Largest compute-unit count the part can host. */
+    int maxComputeUnits() const;
+
+    /** Utilization for a design instantiating @p cus compute units. */
+    FpgaUsage usage(int cus) const;
+
+    /** Vertex-filter throughput: one vertex per CU per cycle. */
+    double
+    verticesPerSecond(int cus) const
+    {
+        return static_cast<double>(cus) * device.fmax.hz();
+    }
+
+    /** Dynamic + static power for @p cus active compute units. */
+    Power powerFor(int cus) const;
+
+  private:
+    FpgaPart device;
+    int n_cameras;
+};
+
+} // namespace incam
+
+#endif // INCAM_HW_FPGA_HH

@@ -1,0 +1,97 @@
+#include "hw/rf_harvest.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+Power
+harvestedPower(const RfHarvesterConfig &cfg, double distance_m)
+{
+    incam_assert(distance_m > 0.0, "distance must be positive");
+    constexpr double c = 299792458.0;
+    const double wavelength = c / cfg.frequency_hz;
+    // Friis: P_r = EIRP * G_tag * (lambda / 4 pi d)^2, then rectifier.
+    const double path = wavelength / (4.0 * M_PI * distance_m);
+    const double received_w =
+        cfg.reader_eirp.w() * cfg.tag_antenna_gain * path * path;
+    return Power::watts(received_w * cfg.rectifier_efficiency);
+}
+
+double
+harvestingRange(const RfHarvesterConfig &cfg, Power target)
+{
+    incam_assert(target.w() > 0.0, "target power must be positive");
+    constexpr double c = 299792458.0;
+    const double wavelength = c / cfg.frequency_hz;
+    const double k = cfg.reader_eirp.w() * cfg.tag_antenna_gain *
+                     cfg.rectifier_efficiency;
+    return wavelength / (4.0 * M_PI) * std::sqrt(k / target.w());
+}
+
+StorageCapacitor::StorageCapacitor(double farads, double v_full,
+                                   double v_cutoff)
+    : cap_f(farads), v_full_(v_full), v_cutoff_(v_cutoff), v_now(v_full)
+{
+    incam_assert(farads > 0.0, "capacitance must be positive");
+    incam_assert(v_full > v_cutoff && v_cutoff >= 0.0,
+                 "need v_full > v_cutoff >= 0");
+}
+
+Energy
+StorageCapacitor::usableEnergy() const
+{
+    const double e =
+        0.5 * cap_f * (v_now * v_now - v_cutoff_ * v_cutoff_);
+    return Energy::joules(std::max(0.0, e));
+}
+
+Energy
+StorageCapacitor::usableCapacity() const
+{
+    return Energy::joules(0.5 * cap_f *
+                          (v_full_ * v_full_ - v_cutoff_ * v_cutoff_));
+}
+
+void
+StorageCapacitor::charge(Power p, Time dt)
+{
+    incam_assert(p.w() >= 0.0 && dt.sec() >= 0.0,
+                 "charge needs non-negative power and time");
+    const double e_now = 0.5 * cap_f * v_now * v_now;
+    const double e_new = e_now + p.w() * dt.sec();
+    v_now = std::min(v_full_, std::sqrt(2.0 * e_new / cap_f));
+}
+
+bool
+StorageCapacitor::discharge(Energy e)
+{
+    incam_assert(e.j() >= 0.0, "cannot discharge negative energy");
+    if (e > usableEnergy()) {
+        return false;
+    }
+    const double e_now = 0.5 * cap_f * v_now * v_now;
+    v_now = std::sqrt(2.0 * (e_now - e.j()) / cap_f);
+    return true;
+}
+
+Time
+StorageCapacitor::rechargeTime(Power p) const
+{
+    incam_assert(p.w() > 0.0, "recharge needs positive power");
+    return Time::seconds(usableCapacity().j() / p.w());
+}
+
+double
+sustainableRate(Power harvested, Power standby, Energy per_event)
+{
+    incam_assert(per_event.j() > 0.0, "event cost must be positive");
+    const double surplus_w = harvested.w() - standby.w();
+    if (surplus_w <= 0.0) {
+        return 0.0;
+    }
+    return surplus_w / per_event.j();
+}
+
+} // namespace incam

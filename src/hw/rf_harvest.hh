@@ -1,0 +1,91 @@
+/**
+ * @file
+ * RF energy harvesting and storage-capacitor model.
+ *
+ * The paper's first case study runs a WISPCam-class camera "solely on
+ * energy harvested from RFID readers" — the accelerator SoC must operate
+ * in the sub-mW envelope that UHF RFID harvesting provides. We have no
+ * RF testbed, so this module substitutes the standard analytical chain:
+ * Friis free-space path loss from a 4 W EIRP 915 MHz reader, a rectifier
+ * efficiency factor, and a storage capacitor that charges continuously
+ * and pays for bursty work (frame capture, accelerator runs, radio
+ * packets). The harvested power is the *budget knob* the FA evaluation
+ * sweeps; the paper uses it the same way (deployment distance determines
+ * the achievable duty cycle).
+ */
+
+#ifndef INCAM_HW_RF_HARVEST_HH
+#define INCAM_HW_RF_HARVEST_HH
+
+#include "common/units.hh"
+
+namespace incam {
+
+/** UHF RFID harvesting front-end parameters. */
+struct RfHarvesterConfig
+{
+    Power reader_eirp = Power::watts(4.0); ///< FCC-limit reader EIRP
+    double frequency_hz = 915e6;           ///< US UHF RFID band
+    double tag_antenna_gain = 1.64;        ///< dipole-class tag antenna
+    double rectifier_efficiency = 0.30;    ///< RF->DC conversion
+};
+
+/** DC power available at @p distance_m from the reader (Friis). */
+Power harvestedPower(const RfHarvesterConfig &cfg, double distance_m);
+
+/** Distance at which harvesting delivers exactly @p target power. */
+double harvestingRange(const RfHarvesterConfig &cfg, Power target);
+
+/**
+ * Storage capacitor with an operating voltage window. Usable energy is
+ * the (1/2)CV^2 difference between the full and cutoff voltages —
+ * charge below the cutoff cannot power the load.
+ */
+class StorageCapacitor
+{
+  public:
+    StorageCapacitor(double farads, double v_full, double v_cutoff);
+
+    double capacitanceFarads() const { return cap_f; }
+    double voltage() const { return v_now; }
+    bool full() const { return v_now >= v_full_; }
+
+    /** Energy the load could draw right now before hitting cutoff. */
+    Energy usableEnergy() const;
+
+    /** Usable energy when charged to the full voltage. */
+    Energy usableCapacity() const;
+
+    /** Integrate harvested power for @p dt (clamps at full). */
+    void charge(Power p, Time dt);
+
+    /**
+     * Try to draw @p e for a burst of work. Returns false (and leaves
+     * the charge untouched) if the capacitor cannot supply it.
+     */
+    bool discharge(Energy e);
+
+    /** Time to charge from cutoff to full at constant @p p. */
+    Time rechargeTime(Power p) const;
+
+    /** Reset to the full state. */
+    void refill() { v_now = v_full_; }
+
+  private:
+    double cap_f;
+    double v_full_;
+    double v_cutoff_;
+    double v_now;
+};
+
+/**
+ * Sustainable event rate for a duty-cycled load: events of cost
+ * @p per_event on a continuous budget of @p harvested, with
+ * @p standby drawn at all times. Returns 0 when standby alone
+ * exceeds the budget.
+ */
+double sustainableRate(Power harvested, Power standby, Energy per_event);
+
+} // namespace incam
+
+#endif // INCAM_HW_RF_HARVEST_HH

@@ -1,0 +1,7 @@
+#include "hw/sensor.hh"
+
+// SensorModel and RadioModel are aggregate models with inline methods;
+// this translation unit anchors the library archive.
+
+namespace incam {
+} // namespace incam

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Image-sensor readout and radio-link cost models.
+ *
+ * Both case studies start at a sensor and may end at a radio:
+ *  - the FA camera reads QQVGA-class frames over a CSI-2-style interface
+ *    and, in its offload configurations, backscatters image data to the
+ *    RFID reader (the original WISPCam's only mode of operation);
+ *  - the VR rig reads 16x 4K sensors and uploads over wired Ethernet.
+ *
+ * These models convert pixel/byte counts into energy and time so the
+ * pipeline framework can price the "do nothing in camera" configurations.
+ */
+
+#ifndef INCAM_HW_SENSOR_HH
+#define INCAM_HW_SENSOR_HH
+
+#include "common/units.hh"
+
+namespace incam {
+
+/** A CMOS sensor + serial-interface readout model. */
+struct SensorModel
+{
+    std::string name = "low-power CMOS sensor";
+    int bits_per_pixel = 8;
+    /** Exposure/ADC energy per pixel (dominated by the ADC). */
+    Energy per_pixel = Energy::picojoules(18.0);
+    /** Fixed per-frame cost: row drivers, PLL spin-up, control. */
+    Energy per_frame = Energy::nanojoules(120.0);
+    /** CSI-2-style link energy per transferred bit. */
+    Energy link_per_bit = Energy::picojoules(2.0);
+
+    /** Raw frame size for a w x h capture. */
+    DataSize
+    frameBytes(int w, int h) const
+    {
+        return DataSize::bytes(static_cast<double>(w) * h *
+                               bits_per_pixel / 8.0);
+    }
+
+    /** Total energy to expose and read out one w x h frame. */
+    Energy
+    captureEnergy(int w, int h) const
+    {
+        const double pixels = static_cast<double>(w) * h;
+        return per_frame + per_pixel * pixels +
+               link_per_bit * (pixels * bits_per_pixel);
+    }
+};
+
+/** A low-power radio (WISPCam-class backscatter uplink with overheads). */
+struct RadioModel
+{
+    std::string name = "backscatter uplink";
+    /** Effective energy per transmitted bit, including protocol overhead
+     *  and retransmissions. Backscatter modulation itself is nearly
+     *  free; the cost is dominated by clocking data out of frame memory
+     *  and the handshake with the reader. */
+    Energy per_bit = Energy::nanojoules(0.40);
+    /** Sustained uplink goodput. */
+    Bandwidth rate = Bandwidth::megabitsPerSec(0.25);
+
+    Energy
+    transmitEnergy(DataSize s) const
+    {
+        return per_bit * s.totalBits();
+    }
+
+    Time
+    transmitTime(DataSize s) const
+    {
+        return rate.transferTime(s);
+    }
+};
+
+} // namespace incam
+
+#endif // INCAM_HW_SENSOR_HH

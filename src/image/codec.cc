@@ -1,0 +1,483 @@
+#include "image/codec.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+namespace {
+
+/** Paeth predictor (PNG filter type 4). */
+uint8_t
+paeth(int a, int b, int c)
+{
+    const int p = a + b - c;
+    const int pa = std::abs(p - a);
+    const int pb = std::abs(p - b);
+    const int pc = std::abs(p - c);
+    if (pa <= pb && pa <= pc) {
+        return static_cast<uint8_t>(a);
+    }
+    if (pb <= pc) {
+        return static_cast<uint8_t>(b);
+    }
+    return static_cast<uint8_t>(c);
+}
+
+/** Map a signed residual to an unsigned code (zig-zag). */
+uint32_t
+zigzagEncode(int v)
+{
+    return static_cast<uint32_t>((v << 1) ^ (v >> 31));
+}
+
+int
+zigzagDecode(uint32_t u)
+{
+    return static_cast<int>(u >> 1) ^ -static_cast<int>(u & 1);
+}
+
+/** MSB-first bit sink. */
+class BitWriter
+{
+  public:
+    explicit BitWriter(std::vector<uint8_t> &sink) : out(sink) {}
+
+    void
+    putBit(int bit)
+    {
+        acc = static_cast<uint8_t>((acc << 1) | (bit & 1));
+        if (++filled == 8) {
+            out.push_back(acc);
+            acc = 0;
+            filled = 0;
+        }
+    }
+
+    void
+    putBits(uint32_t value, int bits)
+    {
+        for (int b = bits - 1; b >= 0; --b) {
+            putBit(static_cast<int>((value >> b) & 1));
+        }
+    }
+
+    /** Unary: @p n ones then a zero. */
+    void
+    putUnary(uint32_t n)
+    {
+        for (uint32_t i = 0; i < n; ++i) {
+            putBit(1);
+        }
+        putBit(0);
+    }
+
+    void
+    flush()
+    {
+        while (filled != 0) {
+            putBit(0);
+        }
+    }
+
+  private:
+    std::vector<uint8_t> &out;
+    uint8_t acc = 0;
+    int filled = 0;
+};
+
+/** MSB-first bit source. */
+class BitReader
+{
+  public:
+    BitReader(const std::vector<uint8_t> &src, size_t start)
+        : in(src), pos(start)
+    {
+    }
+
+    int
+    getBit()
+    {
+        incam_assert(pos < in.size(), "truncated bit stream");
+        const int bit = (in[pos] >> (7 - filled)) & 1;
+        if (++filled == 8) {
+            filled = 0;
+            ++pos;
+        }
+        return bit;
+    }
+
+    uint32_t
+    getBits(int bits)
+    {
+        uint32_t v = 0;
+        for (int b = 0; b < bits; ++b) {
+            v = (v << 1) | static_cast<uint32_t>(getBit());
+        }
+        return v;
+    }
+
+    uint32_t
+    getUnary()
+    {
+        uint32_t n = 0;
+        while (getBit()) {
+            ++n;
+            incam_assert(n < 1u << 24, "runaway unary code");
+        }
+        return n;
+    }
+
+  private:
+    const std::vector<uint8_t> &in;
+    size_t pos;
+    int filled = 0;
+};
+
+/**
+ * Rice/Golomb coding of a symbol stream — the entropy stage used by
+ * real lossless camera codecs (e.g. JPEG-LS, CCSDS-123): each symbol u
+ * is coded as (u >> k) in unary plus the k low bits, with k chosen per
+ * image from the mean symbol magnitude. Smooth content (mean residual
+ * ~1) costs ~3 bits/symbol; white noise degrades gracefully to ~9.
+ */
+int
+riceParameter(const std::vector<uint32_t> &symbols)
+{
+    double mean = 0.0;
+    for (uint32_t s : symbols) {
+        mean += s;
+    }
+    mean /= std::max<size_t>(1, symbols.size());
+    int k = 0;
+    while ((1u << k) < mean && k < 14) {
+        ++k;
+    }
+    return k;
+}
+
+/**
+ * Zero runs are collapsed before entropy coding (JPEG-LS-style run
+ * mode): a 0 token is always followed by a run-length token. Flat
+ * regions and zeroed DCT tails then cost a couple of tokens total
+ * instead of one bit per symbol.
+ */
+std::vector<uint32_t>
+collapseZeroRuns(const std::vector<uint32_t> &symbols)
+{
+    std::vector<uint32_t> tokens;
+    tokens.reserve(symbols.size());
+    size_t i = 0;
+    while (i < symbols.size()) {
+        if (symbols[i] == 0) {
+            uint32_t run = 1;
+            while (i + run < symbols.size() && symbols[i + run] == 0) {
+                ++run;
+            }
+            tokens.push_back(0);
+            tokens.push_back(run);
+            i += run;
+        } else {
+            tokens.push_back(symbols[i]);
+            ++i;
+        }
+    }
+    return tokens;
+}
+
+void
+riceEncode(std::vector<uint8_t> &out, const std::vector<uint32_t> &symbols)
+{
+    const std::vector<uint32_t> tokens = collapseZeroRuns(symbols);
+    const int k = riceParameter(tokens);
+    out.push_back(static_cast<uint8_t>(k));
+    BitWriter bw(out);
+    for (uint32_t t : tokens) {
+        bw.putUnary(t >> k);
+        bw.putBits(t, k);
+    }
+    bw.flush();
+}
+
+std::vector<uint32_t>
+riceDecode(const std::vector<uint8_t> &in, size_t &pos, size_t expected)
+{
+    incam_assert(pos < in.size(), "missing Rice parameter");
+    const int k = in[pos++];
+    incam_assert(k >= 0 && k <= 14, "corrupt Rice parameter");
+    BitReader br(in, pos);
+    auto next = [&]() {
+        const uint32_t high = br.getUnary();
+        return (high << k) | br.getBits(k);
+    };
+    std::vector<uint32_t> symbols;
+    symbols.reserve(expected);
+    while (symbols.size() < expected) {
+        const uint32_t t = next();
+        if (t == 0) {
+            const uint32_t run = next();
+            incam_assert(run > 0 && symbols.size() + run <= expected,
+                         "corrupt zero run");
+            symbols.insert(symbols.end(), run, 0);
+        } else {
+            symbols.push_back(t);
+        }
+    }
+    // The payload holds exactly one stream; callers never read past it.
+    pos = in.size();
+    return symbols;
+}
+
+} // namespace
+
+EncodedImage
+LosslessCodec::encode(const ImageU8 &img)
+{
+    incam_assert(img.channels() == 1, "codec expects grayscale input");
+    EncodedImage enc;
+    enc.width = img.width();
+    enc.height = img.height();
+
+    std::vector<uint32_t> symbols;
+    symbols.reserve(img.pixelCount());
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            const int a = x > 0 ? img.at(x - 1, y) : 0;
+            const int b = y > 0 ? img.at(x, y - 1) : 0;
+            const int c = (x > 0 && y > 0) ? img.at(x - 1, y - 1) : 0;
+            const int pred = paeth(a, b, c);
+            // Residual in [-255, 255]; zig-zag to unsigned.
+            symbols.push_back(
+                zigzagEncode(static_cast<int>(img.at(x, y)) - pred));
+        }
+    }
+    riceEncode(enc.bytes, symbols);
+    // ~6 ops/px: predictor compares + subtract + zig-zag.
+    enc.ops = img.pixelCount() * 6;
+    return enc;
+}
+
+ImageU8
+LosslessCodec::decode(const EncodedImage &enc)
+{
+    incam_assert(enc.width > 0 && enc.height > 0, "empty encoded image");
+    size_t pos = 0;
+    const std::vector<uint32_t> symbols =
+        riceDecode(enc.bytes, pos,
+                  static_cast<size_t>(enc.width) * enc.height);
+    ImageU8 img(enc.width, enc.height, 1);
+    size_t i = 0;
+    for (int y = 0; y < enc.height; ++y) {
+        for (int x = 0; x < enc.width; ++x) {
+            const int a = x > 0 ? img.at(x - 1, y) : 0;
+            const int b = y > 0 ? img.at(x, y - 1) : 0;
+            const int c = (x > 0 && y > 0) ? img.at(x - 1, y - 1) : 0;
+            const int v = paeth(a, b, c) + zigzagDecode(symbols[i++]);
+            incam_assert(v >= 0 && v <= 255, "corrupt residual stream");
+            img.at(x, y) = static_cast<uint8_t>(v);
+        }
+    }
+    return img;
+}
+
+namespace {
+
+constexpr int kBlock = 8;
+
+/** Zig-zag scan order for an 8x8 block. */
+const int kZigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+};
+
+/** Forward 8x8 DCT-II (separable, double precision). */
+void
+forwardDct(const double in[kBlock][kBlock], double out[kBlock][kBlock])
+{
+    double tmp[kBlock][kBlock];
+    for (int u = 0; u < kBlock; ++u) {
+        for (int x = 0; x < kBlock; ++x) {
+            double acc = 0.0;
+            for (int y = 0; y < kBlock; ++y) {
+                acc += in[y][x] *
+                       std::cos((2 * y + 1) * u * M_PI / (2.0 * kBlock));
+            }
+            tmp[u][x] = acc * (u == 0 ? std::sqrt(1.0 / kBlock)
+                                      : std::sqrt(2.0 / kBlock));
+        }
+    }
+    for (int u = 0; u < kBlock; ++u) {
+        for (int v = 0; v < kBlock; ++v) {
+            double acc = 0.0;
+            for (int x = 0; x < kBlock; ++x) {
+                acc += tmp[u][x] *
+                       std::cos((2 * x + 1) * v * M_PI / (2.0 * kBlock));
+            }
+            out[u][v] = acc * (v == 0 ? std::sqrt(1.0 / kBlock)
+                                      : std::sqrt(2.0 / kBlock));
+        }
+    }
+}
+
+/** Inverse 8x8 DCT-II. */
+void
+inverseDct(const double in[kBlock][kBlock], double out[kBlock][kBlock])
+{
+    double tmp[kBlock][kBlock];
+    for (int y = 0; y < kBlock; ++y) {
+        for (int v = 0; v < kBlock; ++v) {
+            double acc = 0.0;
+            for (int u = 0; u < kBlock; ++u) {
+                acc += in[u][v] *
+                       (u == 0 ? std::sqrt(1.0 / kBlock)
+                               : std::sqrt(2.0 / kBlock)) *
+                       std::cos((2 * y + 1) * u * M_PI / (2.0 * kBlock));
+            }
+            tmp[y][v] = acc;
+        }
+    }
+    for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+            double acc = 0.0;
+            for (int v = 0; v < kBlock; ++v) {
+                acc += tmp[y][v] *
+                       (v == 0 ? std::sqrt(1.0 / kBlock)
+                               : std::sqrt(2.0 / kBlock)) *
+                       std::cos((2 * x + 1) * v * M_PI / (2.0 * kBlock));
+            }
+            out[y][x] = acc;
+        }
+    }
+}
+
+/** Quantization step for a coefficient index at a quality level. */
+double
+quantStep(int zigzag_index, int quality)
+{
+    // Flat base step that grows with frequency; the quality knob scales
+    // it hyperbolically as JPEG's quality parameter does.
+    const double base = 2.0 + 0.55 * zigzag_index;
+    const double scale = quality >= 50
+                             ? (100.0 - quality) / 50.0
+                             : 50.0 / quality;
+    return std::max(0.5, base * scale);
+}
+
+} // namespace
+
+EncodedImage
+DctCodec::encode(const ImageU8 &img, int quality)
+{
+    incam_assert(img.channels() == 1, "codec expects grayscale input");
+    incam_assert(quality >= 1 && quality <= 100, "quality must be 1..100");
+    EncodedImage enc;
+    enc.width = img.width();
+    enc.height = img.height();
+    enc.bytes.push_back(static_cast<uint8_t>(quality));
+
+    const int bw = (img.width() + kBlock - 1) / kBlock;
+    const int bh = (img.height() + kBlock - 1) / kBlock;
+    std::vector<uint32_t> symbols;
+    symbols.reserve(static_cast<size_t>(bw) * bh * 64);
+
+    // DC coefficients are DPCM-coded across blocks (as in JPEG): flat
+    // regions then cost a single near-zero symbol per block.
+    int prev_dc = 0;
+    for (int by = 0; by < bh; ++by) {
+        for (int bx = 0; bx < bw; ++bx) {
+            double block[kBlock][kBlock];
+            for (int y = 0; y < kBlock; ++y) {
+                for (int x = 0; x < kBlock; ++x) {
+                    block[y][x] =
+                        img.atClamped(bx * kBlock + x, by * kBlock + y) -
+                        128.0;
+                }
+            }
+            double coeffs[kBlock][kBlock];
+            forwardDct(block, coeffs);
+            for (int i = 0; i < 64; ++i) {
+                const int u = kZigzag[i] / kBlock;
+                const int v = kZigzag[i] % kBlock;
+                const int q = static_cast<int>(
+                    std::lround(coeffs[u][v] / quantStep(i, quality)));
+                if (i == 0) {
+                    symbols.push_back(zigzagEncode(q - prev_dc));
+                    prev_dc = q;
+                } else {
+                    symbols.push_back(zigzagEncode(q));
+                }
+            }
+        }
+    }
+    riceEncode(enc.bytes, symbols);
+    // 2 x separable DCT: ~2*8 MACs per sample, plus quantization.
+    enc.ops = static_cast<uint64_t>(bw) * bh * 64 * 33;
+    return enc;
+}
+
+ImageU8
+DctCodec::decode(const EncodedImage &enc)
+{
+    incam_assert(enc.width > 0 && enc.height > 0, "empty encoded image");
+    incam_assert(!enc.bytes.empty(), "missing payload");
+    const int quality = enc.bytes.front();
+    incam_assert(quality >= 1 && quality <= 100, "corrupt quality field");
+
+    const int bw = (enc.width + kBlock - 1) / kBlock;
+    const int bh = (enc.height + kBlock - 1) / kBlock;
+    size_t pos = 1;
+    const std::vector<uint32_t> symbols =
+        riceDecode(enc.bytes, pos, static_cast<size_t>(bw) * bh * 64);
+
+    ImageU8 img(enc.width, enc.height, 1);
+    size_t s = 0;
+    int prev_dc = 0;
+    for (int by = 0; by < bh; ++by) {
+        for (int bx = 0; bx < bw; ++bx) {
+            double coeffs[kBlock][kBlock] = {};
+            for (int i = 0; i < 64; ++i) {
+                const int u = kZigzag[i] / kBlock;
+                const int v = kZigzag[i] % kBlock;
+                int q = zigzagDecode(symbols[s++]);
+                if (i == 0) {
+                    q += prev_dc;
+                    prev_dc = q;
+                }
+                coeffs[u][v] = q * quantStep(i, quality);
+            }
+            double block[kBlock][kBlock];
+            inverseDct(coeffs, block);
+            for (int y = 0; y < kBlock; ++y) {
+                const int py = by * kBlock + y;
+                if (py >= enc.height) {
+                    continue;
+                }
+                for (int x = 0; x < kBlock; ++x) {
+                    const int px = bx * kBlock + x;
+                    if (px >= enc.width) {
+                        continue;
+                    }
+                    img.at(px, py) = static_cast<uint8_t>(std::lround(
+                        std::clamp(block[y][x] + 128.0, 0.0, 255.0)));
+                }
+            }
+        }
+    }
+    return img;
+}
+
+ImageU8
+DctCodec::roundTrip(const ImageU8 &img, int quality, EncodedImage *encoded)
+{
+    EncodedImage enc = encode(img, quality);
+    ImageU8 out = decode(enc);
+    if (encoded) {
+        *encoded = std::move(enc);
+    }
+    return out;
+}
+
+} // namespace incam

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * In-camera image compression — the paper's "optional block" extension.
+ *
+ * Section II: "compression can be treated as an optional block in
+ * in-camera processing pipelines", trading computation (encode cost)
+ * for communication (fewer bytes across the offload cut), with lossy
+ * modes additionally trading quality. This module provides two codecs
+ * designed like camera-ISP hardware blocks:
+ *
+ *  - a *lossless* predictive coder: Paeth-style spatial prediction,
+ *    residuals zig-zag-mapped and run-length/varint coded — a few ops
+ *    per pixel, streamable, bit-exact round trip;
+ *  - a *lossy* 8x8 DCT coder: JPEG-like blockwise transform with a
+ *    uniform quantizer driven by a quality knob, run-length coding of
+ *    the zig-zag-ordered coefficients, and exact reconstruction of
+ *    what the decoder would see (for quality metrics).
+ *
+ * Both report encoded sizes and operation counts so the pipeline
+ * framework can price them as blocks.
+ */
+
+#ifndef INCAM_IMAGE_CODEC_HH
+#define INCAM_IMAGE_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "image/image.hh"
+
+namespace incam {
+
+/** Outcome of an encode: the payload plus bookkeeping. */
+struct EncodedImage
+{
+    std::vector<uint8_t> bytes;
+    int width = 0;
+    int height = 0;
+    uint64_t ops = 0; ///< arithmetic operations spent encoding
+
+    DataSize
+    byteSize() const
+    {
+        return DataSize::bytes(static_cast<double>(bytes.size()));
+    }
+
+    /** Compression ratio vs the raw 8-bit raster. */
+    double
+    ratio() const
+    {
+        const double raw = static_cast<double>(width) * height;
+        return bytes.empty() ? 0.0 : raw / static_cast<double>(bytes.size());
+    }
+};
+
+/** Lossless predictive coder (grayscale). */
+class LosslessCodec
+{
+  public:
+    /** Encode with Paeth prediction + RLE/varint residual coding. */
+    static EncodedImage encode(const ImageU8 &img);
+
+    /** Exact inverse of encode(). Fatal on malformed payloads. */
+    static ImageU8 decode(const EncodedImage &enc);
+};
+
+/** Lossy 8x8 DCT coder (grayscale). */
+class DctCodec
+{
+  public:
+    /**
+     * Encode at @p quality in (0, 100]: higher keeps more coefficient
+     * precision. ~50 corresponds to visually-transparent quantization
+     * on natural textures.
+     */
+    static EncodedImage encode(const ImageU8 &img, int quality);
+
+    /** Decode to the reconstruction the quantizer permits. */
+    static ImageU8 decode(const EncodedImage &enc);
+
+    /**
+     * Convenience: encode then decode, returning the reconstruction and
+     * (optionally) the encoded size — what a quality-vs-bytes sweep
+     * needs.
+     */
+    static ImageU8 roundTrip(const ImageU8 &img, int quality,
+                             EncodedImage *encoded = nullptr);
+};
+
+} // namespace incam
+
+#endif // INCAM_IMAGE_CODEC_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Planar image container used by every vision substrate in incam.
+ *
+ * Pixels are stored interleaved in row-major order with a small
+ * channel count (1 for grayscale/disparity, 3 for RGB). The container is
+ * deliberately minimal — algorithms live in image/ops.hh and the domain
+ * libraries — but it owns bounds checking and the byte-size accounting
+ * that the communication-cost models rely on.
+ */
+
+#ifndef INCAM_IMAGE_IMAGE_HH
+#define INCAM_IMAGE_IMAGE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace incam {
+
+/** A width x height x channels raster of pixel type T. */
+template <typename T>
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Allocate a raster filled with @p fill. */
+    Image(int width, int height, int channels = 1, T fill = T{})
+        : w(width), h(height), c(channels),
+          data(static_cast<size_t>(width) * height * channels, fill)
+    {
+        incam_assert(width > 0 && height > 0, "image dimensions must be "
+                     "positive, got ", width, "x", height);
+        incam_assert(channels > 0 && channels <= 4,
+                     "unsupported channel count ", channels);
+    }
+
+    int width() const { return w; }
+    int height() const { return h; }
+    int channels() const { return c; }
+    bool empty() const { return data.empty(); }
+
+    /** Number of pixels (not samples): width * height. */
+    size_t pixelCount() const { return static_cast<size_t>(w) * h; }
+
+    /** Number of scalar samples: width * height * channels. */
+    size_t sampleCount() const { return data.size(); }
+
+    /** In-memory footprint, used as the raw communication size. */
+    DataSize byteSize() const
+    {
+        return DataSize::bytes(static_cast<double>(data.size() * sizeof(T)));
+    }
+
+    /** Mutable sample access with bounds checking in debug builds. */
+    T &
+    at(int x, int y, int ch = 0)
+    {
+        incam_assert(inBounds(x, y) && ch >= 0 && ch < c, "pixel (", x, ",",
+                     y, ",", ch, ") out of ", w, "x", h, "x", c);
+        return data[(static_cast<size_t>(y) * w + x) * c + ch];
+    }
+
+    const T &
+    at(int x, int y, int ch = 0) const
+    {
+        incam_assert(inBounds(x, y) && ch >= 0 && ch < c, "pixel (", x, ",",
+                     y, ",", ch, ") out of ", w, "x", h, "x", c);
+        return data[(static_cast<size_t>(y) * w + x) * c + ch];
+    }
+
+    /** Read with clamp-to-edge border handling. */
+    T
+    atClamped(int x, int y, int ch = 0) const
+    {
+        x = std::clamp(x, 0, w - 1);
+        y = std::clamp(y, 0, h - 1);
+        return data[(static_cast<size_t>(y) * w + x) * c + ch];
+    }
+
+    bool
+    inBounds(int x, int y) const
+    {
+        return x >= 0 && x < w && y >= 0 && y < h;
+    }
+
+    /** True when both rasters have identical geometry. */
+    template <typename U>
+    bool
+    sameShape(const Image<U> &o) const
+    {
+        return w == o.width() && h == o.height() && c == o.channels();
+    }
+
+    void fill(T v) { std::fill(data.begin(), data.end(), v); }
+
+    T *raw() { return data.data(); }
+    const T *raw() const { return data.data(); }
+
+    typename std::vector<T>::iterator begin() { return data.begin(); }
+    typename std::vector<T>::iterator end() { return data.end(); }
+    typename std::vector<T>::const_iterator begin() const
+    {
+        return data.begin();
+    }
+    typename std::vector<T>::const_iterator end() const { return data.end(); }
+
+  private:
+    int w = 0;
+    int h = 0;
+    int c = 0;
+    std::vector<T> data;
+};
+
+using ImageU8 = Image<uint8_t>;
+using ImageU16 = Image<uint16_t>;
+using ImageF = Image<float>;
+
+/** An axis-aligned rectangle (pixel units), used for detections and ROIs. */
+struct Rect
+{
+    int x = 0;
+    int y = 0;
+    int w = 0;
+    int h = 0;
+
+    int area() const { return w * h; }
+    int x2() const { return x + w; } ///< one-past-right
+    int y2() const { return y + h; } ///< one-past-bottom
+
+    bool operator==(const Rect &) const = default;
+
+    /** Intersection area between two rectangles. */
+    int
+    intersectionArea(const Rect &o) const
+    {
+        const int ix = std::max(0, std::min(x2(), o.x2()) - std::max(x, o.x));
+        const int iy = std::max(0, std::min(y2(), o.y2()) - std::max(y, o.y));
+        return ix * iy;
+    }
+
+    /** Intersection-over-union, the standard detection-match score. */
+    double
+    iou(const Rect &o) const
+    {
+        const int inter = intersectionArea(o);
+        const int uni = area() + o.area() - inter;
+        return uni > 0 ? static_cast<double>(inter) / uni : 0.0;
+    }
+};
+
+} // namespace incam
+
+#endif // INCAM_IMAGE_IMAGE_HH

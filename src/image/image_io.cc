@@ -1,0 +1,105 @@
+#include "image/image_io.hh"
+
+#include <cctype>
+#include <fstream>
+
+namespace incam {
+
+namespace {
+
+void
+writePnm(const ImageU8 &img, const std::string &path, const char *magic,
+         int channels)
+{
+    incam_assert(img.channels() == channels, "expected ", channels,
+                 "-channel image, got ", img.channels());
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        incam_fatal("cannot open '", path, "' for writing");
+    }
+    out << magic << "\n" << img.width() << " " << img.height() << "\n255\n";
+    out.write(reinterpret_cast<const char *>(img.raw()),
+              static_cast<std::streamsize>(img.sampleCount()));
+    if (!out) {
+        incam_fatal("short write to '", path, "'");
+    }
+}
+
+/** Skip whitespace and '#' comments between PNM header tokens. */
+void
+skipPnmSpace(std::istream &in)
+{
+    for (;;) {
+        int ch = in.peek();
+        if (ch == '#') {
+            std::string line;
+            std::getline(in, line);
+        } else if (std::isspace(ch)) {
+            in.get();
+        } else {
+            return;
+        }
+    }
+}
+
+ImageU8
+readPnm(const std::string &path, const char *magic, int channels)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        incam_fatal("cannot open '", path, "' for reading");
+    }
+    std::string got_magic;
+    in >> got_magic;
+    if (got_magic != magic) {
+        incam_fatal("'", path, "': expected ", magic, " file, got '",
+                    got_magic, "'");
+    }
+    skipPnmSpace(in);
+    int w = 0, h = 0, maxval = 0;
+    in >> w;
+    skipPnmSpace(in);
+    in >> h;
+    skipPnmSpace(in);
+    in >> maxval;
+    if (!in || w <= 0 || h <= 0 || maxval != 255) {
+        incam_fatal("'", path, "': malformed header (", w, "x", h, " max ",
+                    maxval, ")");
+    }
+    in.get(); // single whitespace after maxval
+    ImageU8 img(w, h, channels);
+    in.read(reinterpret_cast<char *>(img.raw()),
+            static_cast<std::streamsize>(img.sampleCount()));
+    if (in.gcount() != static_cast<std::streamsize>(img.sampleCount())) {
+        incam_fatal("'", path, "': truncated pixel data");
+    }
+    return img;
+}
+
+} // namespace
+
+void
+writePgm(const ImageU8 &img, const std::string &path)
+{
+    writePnm(img, path, "P5", 1);
+}
+
+void
+writePpm(const ImageU8 &img, const std::string &path)
+{
+    writePnm(img, path, "P6", 3);
+}
+
+ImageU8
+readPgm(const std::string &path)
+{
+    return readPnm(path, "P5", 1);
+}
+
+ImageU8
+readPpm(const std::string &path)
+{
+    return readPnm(path, "P6", 3);
+}
+
+} // namespace incam

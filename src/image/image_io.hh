@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Minimal binary PGM (P5) / PPM (P6) reader and writer.
+ *
+ * The examples write their outputs (depth maps, stitched panoramas,
+ * detection overlays) as netpbm files so results can be inspected with
+ * any image viewer without adding an image-codec dependency.
+ */
+
+#ifndef INCAM_IMAGE_IMAGE_IO_HH
+#define INCAM_IMAGE_IMAGE_IO_HH
+
+#include <string>
+
+#include "image/image.hh"
+
+namespace incam {
+
+/** Write a 1-channel image as binary PGM. Fatal on unwritable path. */
+void writePgm(const ImageU8 &img, const std::string &path);
+
+/** Write a 3-channel image as binary PPM. Fatal on unwritable path. */
+void writePpm(const ImageU8 &img, const std::string &path);
+
+/** Read a binary PGM (P5) file. Fatal on malformed input. */
+ImageU8 readPgm(const std::string &path);
+
+/** Read a binary PPM (P6) file. Fatal on malformed input. */
+ImageU8 readPpm(const std::string &path);
+
+} // namespace incam
+
+#endif // INCAM_IMAGE_IMAGE_IO_HH

@@ -1,0 +1,44 @@
+#include "image/integral.hh"
+
+#include <cmath>
+
+namespace incam {
+
+IntegralImage::IntegralImage(const ImageU8 &img)
+    : w(img.width()), h(img.height()),
+      sum(static_cast<size_t>(w + 1) * (h + 1), 0),
+      sq(static_cast<size_t>(w + 1) * (h + 1), 0)
+{
+    incam_assert(img.channels() == 1,
+                 "integral image needs grayscale input, got ",
+                 img.channels(), " channels");
+    for (int y = 0; y < h; ++y) {
+        int64_t row_sum = 0;
+        int64_t row_sq = 0;
+        for (int x = 0; x < w; ++x) {
+            const int64_t v = img.at(x, y);
+            row_sum += v;
+            row_sq += v * v;
+            const size_t idx = static_cast<size_t>(y + 1) * (w + 1) + (x + 1);
+            sum[idx] = sum[idx - (w + 1)] + row_sum;
+            sq[idx] = sq[idx - (w + 1)] + row_sq;
+        }
+    }
+}
+
+double
+IntegralImage::rectStddev(int x, int y, int rw, int rh) const
+{
+    const int64_t area = static_cast<int64_t>(rw) * rh;
+    if (area <= 0) {
+        return 0.0;
+    }
+    const double mean = static_cast<double>(rectSum(x, y, rw, rh)) /
+                        static_cast<double>(area);
+    const double mean_sq = static_cast<double>(rectSumSq(x, y, rw, rh)) /
+                           static_cast<double>(area);
+    const double var = mean_sq - mean * mean;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+} // namespace incam

@@ -1,0 +1,145 @@
+#include "image/metrics.hh"
+
+#include <cmath>
+
+#include "image/ops.hh"
+
+namespace incam {
+
+double
+mse(const ImageF &a, const ImageF &b)
+{
+    incam_assert(a.sameShape(b), "mse shape mismatch: ", a.width(), "x",
+                 a.height(), " vs ", b.width(), "x", b.height());
+    double acc = 0.0;
+    const float *pa = a.raw();
+    const float *pb = b.raw();
+    for (size_t i = 0; i < a.sampleCount(); ++i) {
+        const double d = static_cast<double>(pa[i]) - pb[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(a.sampleCount());
+}
+
+double
+psnr(const ImageF &a, const ImageF &b)
+{
+    const double err = mse(a, b);
+    if (err <= 0.0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    return 10.0 * std::log10(1.0 / err);
+}
+
+namespace {
+
+/**
+ * Compute mean SSIM and mean contrast-structure (CS) term in one pass.
+ * The CS term is what MS-SSIM uses at all but the coarsest scale.
+ */
+void
+ssimComponents(const ImageF &a, const ImageF &b, double &mean_ssim,
+               double &mean_cs)
+{
+    incam_assert(a.sameShape(b), "ssim shape mismatch");
+    incam_assert(a.channels() == 1, "ssim expects grayscale input");
+
+    constexpr double k1 = 0.01;
+    constexpr double k2 = 0.03;
+    constexpr double c1 = (k1 * 1.0) * (k1 * 1.0);
+    constexpr double c2 = (k2 * 1.0) * (k2 * 1.0);
+    const double sigma = 1.5;
+
+    // Gaussian-weighted local moments via separable blur of the raw,
+    // squared, and cross images — the standard SSIM formulation.
+    ImageF a_sq(a.width(), a.height(), 1);
+    ImageF b_sq(a.width(), a.height(), 1);
+    ImageF ab(a.width(), a.height(), 1);
+    for (int y = 0; y < a.height(); ++y) {
+        for (int x = 0; x < a.width(); ++x) {
+            const float va = a.at(x, y);
+            const float vb = b.at(x, y);
+            a_sq.at(x, y) = va * va;
+            b_sq.at(x, y) = vb * vb;
+            ab.at(x, y) = va * vb;
+        }
+    }
+    const ImageF mu_a = gaussianBlur(a, sigma);
+    const ImageF mu_b = gaussianBlur(b, sigma);
+    const ImageF mu_a2 = gaussianBlur(a_sq, sigma);
+    const ImageF mu_b2 = gaussianBlur(b_sq, sigma);
+    const ImageF mu_ab = gaussianBlur(ab, sigma);
+
+    double ssim_acc = 0.0;
+    double cs_acc = 0.0;
+    for (int y = 0; y < a.height(); ++y) {
+        for (int x = 0; x < a.width(); ++x) {
+            const double ma = mu_a.at(x, y);
+            const double mb = mu_b.at(x, y);
+            const double var_a = std::max(0.0, mu_a2.at(x, y) - ma * ma);
+            const double var_b = std::max(0.0, mu_b2.at(x, y) - mb * mb);
+            const double cov = mu_ab.at(x, y) - ma * mb;
+            const double cs = (2.0 * cov + c2) / (var_a + var_b + c2);
+            const double lum = (2.0 * ma * mb + c1) / (ma * ma + mb * mb + c1);
+            ssim_acc += lum * cs;
+            cs_acc += cs;
+        }
+    }
+    const double npix = static_cast<double>(a.pixelCount());
+    mean_ssim = ssim_acc / npix;
+    mean_cs = cs_acc / npix;
+}
+
+} // namespace
+
+double
+ssim(const ImageF &a, const ImageF &b)
+{
+    double s, cs;
+    ssimComponents(a, b, s, cs);
+    return s;
+}
+
+double
+msSsim(const ImageF &a, const ImageF &b)
+{
+    static const double weights[5] = {0.0448, 0.2856, 0.3001, 0.2363, 0.1333};
+
+    ImageF cur_a = a;
+    ImageF cur_b = b;
+    double cs_terms[5];
+    double ssim_term = 1.0;
+    int levels = 0;
+    for (int lvl = 0; lvl < 5; ++lvl) {
+        double s, cs;
+        ssimComponents(cur_a, cur_b, s, cs);
+        cs_terms[lvl] = cs;
+        ssim_term = s;
+        levels = lvl + 1;
+        const bool last = lvl == 4 || cur_a.width() < 32 || cur_a.height() < 32;
+        if (last) {
+            break;
+        }
+        cur_a = downsample2x(cur_a);
+        cur_b = downsample2x(cur_b);
+    }
+
+    // Renormalize weights if the pyramid terminated early.
+    double wsum = 0.0;
+    for (int lvl = 0; lvl < levels; ++lvl) {
+        wsum += weights[lvl];
+    }
+
+    double result = 1.0;
+    for (int lvl = 0; lvl < levels - 1; ++lvl) {
+        // CS terms can be slightly negative in pathological cases; clamp so
+        // the weighted geometric mean stays defined.
+        const double term = std::max(1e-6, cs_terms[lvl]);
+        result *= std::pow(term, weights[lvl] / wsum);
+    }
+    result *= std::pow(std::max(1e-6, ssim_term),
+                       weights[levels - 1] / wsum);
+    return result;
+}
+
+} // namespace incam

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Full-reference image quality metrics.
+ *
+ * Fig. 7 of the paper scores depth-map quality with MS-SSIM (Wang,
+ * Simoncelli & Bovik, 2003) as the bilateral grid is coarsened; this
+ * header provides PSNR, single-scale SSIM, and the five-scale MS-SSIM
+ * used there. All metrics operate on single-channel float images with
+ * values nominally in [0, 1].
+ */
+
+#ifndef INCAM_IMAGE_METRICS_HH
+#define INCAM_IMAGE_METRICS_HH
+
+#include "image/image.hh"
+
+namespace incam {
+
+/** Mean squared error between two same-shape images. */
+double mse(const ImageF &a, const ImageF &b);
+
+/** Peak signal-to-noise ratio in dB assuming unit dynamic range. */
+double psnr(const ImageF &a, const ImageF &b);
+
+/**
+ * Single-scale SSIM with the standard 11x11 sigma-1.5 Gaussian window,
+ * K1 = 0.01, K2 = 0.03, L = 1. Returns the mean SSIM over the image.
+ */
+double ssim(const ImageF &a, const ImageF &b);
+
+/**
+ * Multi-scale SSIM with the canonical five-scale weights
+ * (0.0448, 0.2856, 0.3001, 0.2363, 0.1333). Images smaller than 16 px in
+ * either dimension at a scale terminate the pyramid early, renormalizing
+ * the remaining weights, so the metric stays defined for small inputs.
+ */
+double msSsim(const ImageF &a, const ImageF &b);
+
+} // namespace incam
+
+#endif // INCAM_IMAGE_METRICS_HH

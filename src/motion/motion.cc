@@ -1,0 +1,49 @@
+#include "motion/motion.hh"
+
+#include <cstdlib>
+
+namespace incam {
+
+MotionDetector::MotionDetector(MotionConfig cfg) : conf(cfg)
+{
+    incam_assert(conf.pixel_threshold >= 0 && conf.pixel_threshold <= 255,
+                 "pixel threshold out of range");
+    incam_assert(conf.area_threshold >= 0.0 && conf.area_threshold <= 1.0,
+                 "area threshold out of range");
+}
+
+bool
+MotionDetector::update(const ImageU8 &frame)
+{
+    incam_assert(frame.channels() == 1,
+                 "motion detection expects grayscale frames");
+    if (!has_reference || !reference.sameShape(frame)) {
+        reference = frame;
+        has_reference = true;
+        changed_fraction = 0.0;
+        return false;
+    }
+
+    size_t changed = 0;
+    const uint8_t *cur = frame.raw();
+    const uint8_t *ref = reference.raw();
+    for (size_t i = 0; i < frame.sampleCount(); ++i) {
+        const int diff = std::abs(static_cast<int>(cur[i]) - ref[i]);
+        if (diff > conf.pixel_threshold) {
+            ++changed;
+        }
+    }
+    changed_fraction =
+        static_cast<double>(changed) / static_cast<double>(frame.sampleCount());
+    reference = frame;
+    return changed_fraction > conf.area_threshold;
+}
+
+void
+MotionDetector::reset()
+{
+    has_reference = false;
+    changed_fraction = 0.0;
+}
+
+} // namespace incam

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Frame-difference motion detection — the cheapest optional block.
+ *
+ * Section II of the paper: "While the core block of the pipeline, face
+ * authentication, operates on every input frame, an optional motion
+ * detection block can reduce the bandwidth and ensuing power consumption
+ * of core blocks." The detector compares each frame against a reference
+ * (the previous frame) pixel-by-pixel and declares motion when the
+ * changed-pixel fraction crosses a threshold. It is deliberately crude:
+ * its entire value is being ~three ALU ops per pixel on an always-on
+ * path, which the accompanying accelerator model prices.
+ */
+
+#ifndef INCAM_MOTION_MOTION_HH
+#define INCAM_MOTION_MOTION_HH
+
+#include "hw/energy_model.hh"
+#include "image/image.hh"
+
+namespace incam {
+
+/** Motion-detection thresholds. */
+struct MotionConfig
+{
+    int pixel_threshold = 14;    ///< |cur - prev| > this counts as changed
+    double area_threshold = 0.01;///< changed-pixel fraction to fire
+};
+
+/** Stateful frame-difference detector. */
+class MotionDetector
+{
+  public:
+    explicit MotionDetector(MotionConfig cfg = {});
+
+    /**
+     * Compare @p frame against the stored reference and update the
+     * reference. The first frame never reports motion (no reference).
+     */
+    bool update(const ImageU8 &frame);
+
+    /** Changed-pixel fraction of the last update. */
+    double lastChangedFraction() const { return changed_fraction; }
+
+    /** Forget the reference frame. */
+    void reset();
+
+    const MotionConfig &config() const { return conf; }
+
+  private:
+    MotionConfig conf;
+    ImageU8 reference;
+    bool has_reference = false;
+    double changed_fraction = 0.0;
+};
+
+/** Energy/latency model of the motion-detection ASIC block. */
+class MotionAccelModel
+{
+  public:
+    explicit MotionAccelModel(AsicEnergyModel asic = {},
+                              Frequency clock = Frequency::megahertz(30))
+        : model(asic), clk(clock)
+    {
+    }
+
+    /** Per-frame energy: subtract, abs, compare, count per pixel, plus
+     *  one 8-bit reference-memory read and write. */
+    Energy
+    frameEnergy(int width, int height) const
+    {
+        const double pixels = static_cast<double>(width) * height;
+        const Energy per_pixel = model.alu(8) * 3.0 + model.sramRead(8) +
+                                 model.sramWrite(8);
+        return per_pixel * pixels;
+    }
+
+    /** Per-frame latency: one pixel per cycle, streaming. */
+    Time
+    frameTime(int width, int height) const
+    {
+        return clk.cyclesToTime(static_cast<double>(width) * height);
+    }
+
+  private:
+    AsicEnergyModel model;
+    Frequency clk;
+};
+
+} // namespace incam
+
+#endif // INCAM_MOTION_MOTION_HH

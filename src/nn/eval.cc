@@ -1,0 +1,50 @@
+#include "nn/eval.hh"
+
+#include "common/logging.hh"
+
+namespace incam {
+
+Predictor
+predictorOf(const Mlp &net)
+{
+    return [&net](const std::vector<float> &in) {
+        return static_cast<double>(net.forward(in).front());
+    };
+}
+
+Predictor
+predictorOf(const QuantizedMlp &net)
+{
+    return [&net](const std::vector<float> &in) {
+        return net.forward(in).front();
+    };
+}
+
+Confusion
+evaluateBinary(const Predictor &predict, const TrainSet &set,
+               double threshold)
+{
+    incam_assert(set.size() > 0, "empty evaluation set");
+    Confusion c;
+    for (size_t i = 0; i < set.size(); ++i) {
+        incam_assert(set.targets[i].size() == 1,
+                     "binary evaluation needs scalar targets");
+        const bool actual = set.targets[i][0] > 0.5f;
+        const bool predicted = predict(set.inputs[i]) > threshold;
+        c.tally(predicted, actual);
+    }
+    return c;
+}
+
+double
+accuracyLoss(const Mlp &reference, const QuantizedMlp &quantized,
+             const TrainSet &set, double threshold)
+{
+    const Confusion ref = evaluateBinary(predictorOf(reference), set,
+                                         threshold);
+    const Confusion quant = evaluateBinary(predictorOf(quantized), set,
+                                           threshold);
+    return ref.accuracy() - quant.accuracy();
+}
+
+} // namespace incam

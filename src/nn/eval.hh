@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Binary-classifier evaluation helpers.
+ *
+ * The paper reports the authentication NN's quality as classification
+ * error (5.9% for the 400-8-1 topology on the LFW split) and as accuracy
+ * loss relative to a float implementation for the quantized datapaths.
+ * These helpers score any scalar predictor against a 0/1-target TrainSet
+ * and compute the float-vs-quantized accuracy delta.
+ */
+
+#ifndef INCAM_NN_EVAL_HH
+#define INCAM_NN_EVAL_HH
+
+#include <functional>
+
+#include "common/stats.hh"
+#include "nn/mlp.hh"
+#include "nn/quantized.hh"
+
+namespace incam {
+
+/** A predictor maps an input vector to a score in [0, 1]. */
+using Predictor = std::function<double(const std::vector<float> &)>;
+
+/** Wrap a float MLP (first output neuron) as a Predictor. */
+Predictor predictorOf(const Mlp &net);
+
+/** Wrap a quantized MLP (first output neuron) as a Predictor. */
+Predictor predictorOf(const QuantizedMlp &net);
+
+/**
+ * Score a predictor against a set whose targets are 0/1 scalars.
+ * A sample counts positive when the score exceeds @p threshold.
+ */
+Confusion evaluateBinary(const Predictor &predict, const TrainSet &set,
+                         double threshold = 0.5);
+
+/**
+ * Absolute accuracy loss of @p quantized relative to @p reference on
+ * @p set — the paper's precision-study metric ("0.4% accuracy loss").
+ * Positive values mean the quantized network is less accurate.
+ */
+double accuracyLoss(const Mlp &reference, const QuantizedMlp &quantized,
+                    const TrainSet &set, double threshold = 0.5);
+
+} // namespace incam
+
+#endif // INCAM_NN_EVAL_HH

@@ -1,0 +1,332 @@
+#include "nn/mlp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+size_t
+MlpTopology::weightCount() const
+{
+    size_t n = 0;
+    for (size_t l = 0; l + 1 < layers.size(); ++l) {
+        n += static_cast<size_t>(layers[l] + 1) * layers[l + 1];
+    }
+    return n;
+}
+
+size_t
+MlpTopology::macCount() const
+{
+    size_t n = 0;
+    for (size_t l = 0; l + 1 < layers.size(); ++l) {
+        n += static_cast<size_t>(layers[l]) * layers[l + 1];
+    }
+    return n;
+}
+
+size_t
+MlpTopology::neuronCount() const
+{
+    size_t n = 0;
+    for (size_t l = 1; l < layers.size(); ++l) {
+        n += static_cast<size_t>(layers[l]);
+    }
+    return n;
+}
+
+std::string
+MlpTopology::toString() const
+{
+    std::string out;
+    for (size_t l = 0; l < layers.size(); ++l) {
+        out += std::to_string(layers[l]);
+        if (l + 1 < layers.size()) {
+            out += "-";
+        }
+    }
+    return out;
+}
+
+Mlp::Mlp(MlpTopology topology, uint64_t seed) : topo(std::move(topology))
+{
+    incam_assert(topo.layers.size() >= 2, "an MLP needs >= 2 layers");
+    for (int n : topo.layers) {
+        incam_assert(n > 0, "layer sizes must be positive");
+    }
+    Rng rng(seed);
+    weights.resize(topo.layers.size() - 1);
+    for (size_t l = 0; l + 1 < topo.layers.size(); ++l) {
+        const int fan_in = topo.layers[l];
+        const int fan_out = topo.layers[l + 1];
+        weights[l].resize(static_cast<size_t>(fan_in + 1) * fan_out);
+        // Xavier-style range keeps sigmoids out of saturation at init.
+        const double range = std::sqrt(6.0 / (fan_in + fan_out));
+        for (auto &w : weights[l]) {
+            w = static_cast<float>(rng.uniform(-range, range));
+        }
+    }
+}
+
+float
+Mlp::weight(int layer, int from, int to) const
+{
+    const int fan_in = topo.layers[layer];
+    incam_assert(layer >= 0 && layer + 1 < topo.layerCount(), "bad layer");
+    incam_assert(from >= 0 && from <= fan_in, "bad 'from' index");
+    incam_assert(to >= 0 && to < topo.layers[layer + 1], "bad 'to' index");
+    return weights[layer][static_cast<size_t>(to) * (fan_in + 1) + from];
+}
+
+void
+Mlp::setWeight(int layer, int from, int to, float w)
+{
+    const int fan_in = topo.layers[layer];
+    incam_assert(layer >= 0 && layer + 1 < topo.layerCount(), "bad layer");
+    incam_assert(from >= 0 && from <= fan_in, "bad 'from' index");
+    incam_assert(to >= 0 && to < topo.layers[layer + 1], "bad 'to' index");
+    weights[layer][static_cast<size_t>(to) * (fan_in + 1) + from] = w;
+}
+
+double
+Mlp::maxAbsWeight(int layer) const
+{
+    incam_assert(layer >= 0 && layer + 1 < topo.layerCount(), "bad layer");
+    double m = 0.0;
+    for (float w : weights[layer]) {
+        m = std::max(m, std::fabs(static_cast<double>(w)));
+    }
+    return m;
+}
+
+const std::vector<float> &
+Mlp::layerWeights(int layer) const
+{
+    incam_assert(layer >= 0 && layer + 1 < topo.layerCount(), "bad layer");
+    return weights[layer];
+}
+
+std::vector<std::vector<float>>
+Mlp::forwardAll(const std::vector<float> &input) const
+{
+    incam_assert(static_cast<int>(input.size()) == topo.inputs(),
+                 "input size ", input.size(), " != topology input ",
+                 topo.inputs());
+    std::vector<std::vector<float>> acts;
+    acts.push_back(input);
+    for (size_t l = 0; l + 1 < topo.layers.size(); ++l) {
+        const int fan_in = topo.layers[l];
+        const int fan_out = topo.layers[l + 1];
+        std::vector<float> next(fan_out);
+        const std::vector<float> &prev = acts.back();
+        for (int to = 0; to < fan_out; ++to) {
+            const float *row =
+                &weights[l][static_cast<size_t>(to) * (fan_in + 1)];
+            double acc = row[fan_in]; // bias
+            for (int from = 0; from < fan_in; ++from) {
+                acc += static_cast<double>(row[from]) * prev[from];
+            }
+            next[to] = static_cast<float>(sigmoid(acc));
+        }
+        acts.push_back(std::move(next));
+    }
+    return acts;
+}
+
+std::vector<float>
+Mlp::forward(const std::vector<float> &input) const
+{
+    return forwardAll(input).back();
+}
+
+void
+Mlp::clipWeights(double bound)
+{
+    if (bound <= 0.0) {
+        return;
+    }
+    const float b = static_cast<float>(bound);
+    for (auto &layer : weights) {
+        for (auto &w : layer) {
+            w = std::clamp(w, -b, b);
+        }
+    }
+}
+
+double
+Mlp::evaluateMse(const TrainSet &set) const
+{
+    incam_assert(set.size() > 0, "empty evaluation set");
+    double acc = 0.0;
+    size_t n = 0;
+    for (size_t i = 0; i < set.size(); ++i) {
+        const std::vector<float> out = forward(set.inputs[i]);
+        incam_assert(out.size() == set.targets[i].size(),
+                     "target size mismatch");
+        for (size_t o = 0; o < out.size(); ++o) {
+            const double d =
+                static_cast<double>(out[o]) - set.targets[i][o];
+            acc += d * d;
+            ++n;
+        }
+    }
+    return acc / static_cast<double>(n);
+}
+
+std::vector<std::vector<float>>
+Mlp::batchGradient(const TrainSet &set) const
+{
+    std::vector<std::vector<float>> grad(weights.size());
+    for (size_t l = 0; l < weights.size(); ++l) {
+        grad[l].assign(weights[l].size(), 0.0f);
+    }
+
+    for (size_t s = 0; s < set.size(); ++s) {
+        const auto acts = forwardAll(set.inputs[s]);
+        // Output deltas: dE/dnet = (y - t) * y(1-y) for MSE + sigmoid.
+        std::vector<float> delta(acts.back().size());
+        for (size_t o = 0; o < delta.size(); ++o) {
+            const float y = acts.back()[o];
+            delta[o] = (y - set.targets[s][o]) * y * (1.0f - y);
+        }
+        for (int l = static_cast<int>(weights.size()) - 1; l >= 0; --l) {
+            const int fan_in = topo.layers[l];
+            const int fan_out = topo.layers[l + 1];
+            const std::vector<float> &prev = acts[l];
+            for (int to = 0; to < fan_out; ++to) {
+                float *grow =
+                    &grad[l][static_cast<size_t>(to) * (fan_in + 1)];
+                const float d = delta[to];
+                for (int from = 0; from < fan_in; ++from) {
+                    grow[from] += d * prev[from];
+                }
+                grow[fan_in] += d; // bias
+            }
+            if (l > 0) {
+                // Back-propagate delta through layer l's weights.
+                std::vector<float> prev_delta(fan_in, 0.0f);
+                for (int to = 0; to < fan_out; ++to) {
+                    const float *row =
+                        &weights[l][static_cast<size_t>(to) * (fan_in + 1)];
+                    for (int from = 0; from < fan_in; ++from) {
+                        prev_delta[from] += delta[to] * row[from];
+                    }
+                }
+                for (int from = 0; from < fan_in; ++from) {
+                    const float a = acts[l][from];
+                    prev_delta[from] *= a * (1.0f - a);
+                }
+                delta = std::move(prev_delta);
+            }
+        }
+    }
+    const float scale = 1.0f / static_cast<float>(set.size());
+    for (auto &layer : grad) {
+        for (auto &g : layer) {
+            g *= scale;
+        }
+    }
+    return grad;
+}
+
+void
+Mlp::trainRprop(const TrainSet &set, const TrainConfig &cfg)
+{
+    // iRPROP- (Igel & Huesken): sign-based full-batch updates.
+    constexpr double eta_plus = 1.2;
+    constexpr double eta_minus = 0.5;
+    constexpr double delta_max = 50.0;
+    constexpr double delta_min = 1e-6;
+
+    std::vector<std::vector<double>> step(weights.size());
+    std::vector<std::vector<float>> prev_grad(weights.size());
+    for (size_t l = 0; l < weights.size(); ++l) {
+        step[l].assign(weights[l].size(), 0.0125);
+        prev_grad[l].assign(weights[l].size(), 0.0f);
+    }
+
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        const auto grad = batchGradient(set);
+        for (size_t l = 0; l < weights.size(); ++l) {
+            for (size_t i = 0; i < weights[l].size(); ++i) {
+                const double g = grad[l][i];
+                const double sign_product =
+                    g * static_cast<double>(prev_grad[l][i]);
+                if (sign_product > 0.0) {
+                    step[l][i] = std::min(step[l][i] * eta_plus, delta_max);
+                } else if (sign_product < 0.0) {
+                    step[l][i] = std::max(step[l][i] * eta_minus, delta_min);
+                    prev_grad[l][i] = 0.0f; // iRPROP-: skip update
+                    continue;
+                }
+                if (g > 0.0) {
+                    weights[l][i] -= static_cast<float>(step[l][i]);
+                } else if (g < 0.0) {
+                    weights[l][i] += static_cast<float>(step[l][i]);
+                }
+                prev_grad[l][i] = grad[l][i];
+            }
+        }
+        clipWeights(cfg.weight_clip);
+        if (cfg.target_mse > 0.0 && evaluateMse(set) < cfg.target_mse) {
+            return;
+        }
+    }
+}
+
+void
+Mlp::trainSgd(const TrainSet &set, const TrainConfig &cfg)
+{
+    Rng rng(cfg.shuffle_seed);
+    std::vector<size_t> order(set.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        // Fisher-Yates shuffle with our deterministic RNG.
+        for (size_t i = order.size(); i > 1; --i) {
+            std::swap(order[i - 1], order[rng.below(i)]);
+        }
+        for (size_t idx : order) {
+            TrainSet one;
+            one.inputs.push_back(set.inputs[idx]);
+            one.targets.push_back(set.targets[idx]);
+            const auto grad = batchGradient(one);
+            for (size_t l = 0; l < weights.size(); ++l) {
+                for (size_t i = 0; i < weights[l].size(); ++i) {
+                    weights[l][i] -= static_cast<float>(cfg.learning_rate) *
+                                     grad[l][i];
+                }
+            }
+        }
+        clipWeights(cfg.weight_clip);
+        if (cfg.target_mse > 0.0 && evaluateMse(set) < cfg.target_mse) {
+            return;
+        }
+    }
+}
+
+double
+Mlp::train(const TrainSet &set, const TrainConfig &cfg)
+{
+    incam_assert(set.size() > 0, "cannot train on an empty set");
+    incam_assert(set.inputs.size() == set.targets.size(),
+                 "inputs/targets size mismatch");
+    for (size_t i = 0; i < set.size(); ++i) {
+        incam_assert(static_cast<int>(set.inputs[i].size()) == topo.inputs(),
+                     "sample ", i, " input size mismatch");
+        incam_assert(
+            static_cast<int>(set.targets[i].size()) == topo.outputs(),
+            "sample ", i, " target size mismatch");
+    }
+    if (cfg.algo == TrainConfig::Algo::Rprop) {
+        trainRprop(set, cfg);
+    } else {
+        trainSgd(set, cfg);
+    }
+    return evaluateMse(set);
+}
+
+} // namespace incam

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Multi-layer perceptron with floating-point training.
+ *
+ * The paper's face-authentication NN is trained with the Fast Artificial
+ * Neural Network library (FANN) and deployed on the SNNAP-style systolic
+ * accelerator. This module is the FANN substitute: dense feed-forward
+ * networks with logistic activations, trained by full-batch iRPROP- (the
+ * FANN default) or mini-batch SGD. The float network is the accuracy
+ * reference that the quantized datapaths (quantized.hh) and the cycle-
+ * level accelerator (snnap/) are measured against.
+ */
+
+#ifndef INCAM_NN_MLP_HH
+#define INCAM_NN_MLP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace incam {
+
+/** Layer-size description, e.g. {400, 8, 1} for the paper's 400-8-1 net. */
+struct MlpTopology
+{
+    std::vector<int> layers;
+
+    int inputs() const { return layers.front(); }
+    int outputs() const { return layers.back(); }
+    int layerCount() const { return static_cast<int>(layers.size()); }
+
+    /** Total weight count including one bias per non-input neuron. */
+    size_t weightCount() const;
+
+    /** Multiply-accumulate operations per forward pass (no biases). */
+    size_t macCount() const;
+
+    /** Non-input neurons (sigmoid evaluations per forward pass). */
+    size_t neuronCount() const;
+
+    /** "400-8-1" style name. */
+    std::string toString() const;
+};
+
+/** A supervised training set of (input, target) vector pairs. */
+struct TrainSet
+{
+    std::vector<std::vector<float>> inputs;
+    std::vector<std::vector<float>> targets;
+
+    size_t size() const { return inputs.size(); }
+    void
+    add(std::vector<float> in, std::vector<float> out)
+    {
+        inputs.push_back(std::move(in));
+        targets.push_back(std::move(out));
+    }
+};
+
+/** Training hyper-parameters. */
+struct TrainConfig
+{
+    enum class Algo { Rprop, Sgd };
+    Algo algo = Algo::Rprop;
+    int epochs = 200;
+    double learning_rate = 0.7; ///< SGD only
+    double target_mse = 1e-4;   ///< stop early below this train MSE
+    uint64_t shuffle_seed = 5;  ///< SGD shuffle determinism
+    /**
+     * Clamp |weight| to this bound after every epoch (0 disables).
+     * Keeping weights bounded is what makes the network quantizable to
+     * narrow fixed-point formats — the accelerator deployment path.
+     */
+    double weight_clip = 12.0;
+};
+
+/** Dense feed-forward network with logistic activations. */
+class Mlp
+{
+  public:
+    /** Random small-weight initialization (deterministic per seed). */
+    Mlp(MlpTopology topo, uint64_t seed);
+
+    const MlpTopology &topology() const { return topo; }
+
+    /** Forward pass; input size must match the topology. */
+    std::vector<float> forward(const std::vector<float> &input) const;
+
+    /**
+     * Forward pass keeping every layer's activations (layer 0 is the
+     * input). Used by backprop and by tests.
+     */
+    std::vector<std::vector<float>>
+    forwardAll(const std::vector<float> &input) const;
+
+    /** Train on @p set; returns the final mean-squared error. */
+    double train(const TrainSet &set, const TrainConfig &cfg);
+
+    /** Mean squared error over a set. */
+    double evaluateMse(const TrainSet &set) const;
+
+    /**
+     * Weight from neuron @p from in layer @p layer to neuron @p to in
+     * layer layer+1. @p from == fan-in is the bias.
+     */
+    float weight(int layer, int from, int to) const;
+    void setWeight(int layer, int from, int to, float w);
+
+    /** Largest absolute weight in layer @p layer (for quantization). */
+    double maxAbsWeight(int layer) const;
+
+    /** All weights of one layer, row-major [to][from], bias last. */
+    const std::vector<float> &layerWeights(int layer) const;
+
+    /** Logistic activation used throughout the network. */
+    static double
+    sigmoid(double x)
+    {
+        return 1.0 / (1.0 + std::exp(-x));
+    }
+
+    /** Clamp every weight into [-bound, bound] (0 disables). */
+    void clipWeights(double bound);
+
+  private:
+    /** Gradient of the full-batch MSE; layout matches weights. */
+    std::vector<std::vector<float>>
+    batchGradient(const TrainSet &set) const;
+
+    void trainRprop(const TrainSet &set, const TrainConfig &cfg);
+    void trainSgd(const TrainSet &set, const TrainConfig &cfg);
+
+    MlpTopology topo;
+    /** weights[l] connects layer l to l+1: (fan_in + 1) * fan_out. */
+    std::vector<std::vector<float>> weights;
+};
+
+} // namespace incam
+
+#endif // INCAM_NN_MLP_HH

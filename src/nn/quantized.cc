@@ -1,0 +1,170 @@
+#include "nn/quantized.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+std::string
+QuantConfig::toString() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%db/%s-sigmoid/acc%d", width,
+                  lut_sigmoid ? "lut" : "precise", accBits());
+    return buf;
+}
+
+QuantizedMlp::QuantizedMlp(const Mlp &reference, const QuantConfig &cfg)
+    : topo(reference.topology()), conf(cfg)
+{
+    incam_assert(cfg.width >= 2 && cfg.width <= 24,
+                 "unsupported datapath width ", cfg.width);
+    incam_assert(cfg.accBits() > cfg.width,
+                 "accumulator must be wider than the datapath");
+    incam_assert(cfg.lut_entries >= 2, "LUT needs >= 2 entries");
+
+    // Activations live in [0, 1): all bits after the sign are fraction.
+    act_fmt = FixedFormat{cfg.width, cfg.width - 1};
+
+    const int n_layers = topo.layerCount() - 1;
+    w_fmts.resize(n_layers);
+    w.resize(n_layers);
+    for (int l = 0; l < n_layers; ++l) {
+        w_fmts[l] = bestFormatFor(reference.maxAbsWeight(l), cfg.width);
+        const auto &src = reference.layerWeights(l);
+        w[l].resize(src.size());
+        for (size_t i = 0; i < src.size(); ++i) {
+            w[l][i] = quantize(src[i], w_fmts[l]);
+        }
+    }
+
+    // Accumulator format: accBits() wide, fraction = weight frac +
+    // activation frac of the layer being computed. The fraction varies by
+    // layer; we keep the width here and handle fractions at use sites.
+    acc_format = FixedFormat{cfg.accBits(), 0};
+
+    if (cfg.lut_sigmoid) {
+        lut.resize(cfg.lut_entries);
+        for (int i = 0; i < cfg.lut_entries; ++i) {
+            const double x =
+                -cfg.lut_range +
+                2.0 * cfg.lut_range * (i + 0.5) / cfg.lut_entries;
+            lut[i] = quantize(Mlp::sigmoid(x), act_fmt);
+        }
+    }
+}
+
+const FixedFormat &
+QuantizedMlp::weightFormat(int layer) const
+{
+    incam_assert(layer >= 0 && layer < static_cast<int>(w_fmts.size()),
+                 "bad layer ", layer);
+    return w_fmts[layer];
+}
+
+const std::vector<int64_t> &
+QuantizedMlp::rawWeights(int layer) const
+{
+    incam_assert(layer >= 0 && layer < static_cast<int>(w.size()),
+                 "bad layer ", layer);
+    return w[layer];
+}
+
+std::vector<int64_t>
+QuantizedMlp::quantizeInput(const std::vector<float> &in) const
+{
+    incam_assert(static_cast<int>(in.size()) == topo.inputs(),
+                 "input size mismatch");
+    std::vector<int64_t> out(in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        out[i] = quantize(in[i], act_fmt);
+    }
+    return out;
+}
+
+int64_t
+QuantizedMlp::biasRaw(int layer, int to) const
+{
+    const int fan_in = topo.layers[layer];
+    const int64_t raw =
+        w[layer][static_cast<size_t>(to) * (fan_in + 1) + fan_in];
+    // Scale from weight fraction to accumulator fraction
+    // (w_frac + act_frac), i.e. multiply by an exact 1.0 activation.
+    return rescale(raw, 0, act_fmt.frac);
+}
+
+int64_t
+QuantizedMlp::activateRaw(int64_t acc_raw, int layer) const
+{
+    const int acc_frac = w_fmts[layer].frac + act_fmt.frac;
+    if (!conf.lut_sigmoid) {
+        const double x = static_cast<double>(acc_raw) /
+                         static_cast<double>(int64_t{1} << acc_frac);
+        return quantize(Mlp::sigmoid(x), act_fmt);
+    }
+    // LUT lookup: map the accumulator's real value into [0, entries).
+    const double x = static_cast<double>(acc_raw) /
+                     static_cast<double>(int64_t{1} << acc_frac);
+    const double t = (x + conf.lut_range) / (2.0 * conf.lut_range) *
+                     static_cast<double>(conf.lut_entries);
+    int idx = static_cast<int>(std::floor(t));
+    idx = std::clamp(idx, 0, conf.lut_entries - 1);
+    return lut[static_cast<size_t>(idx)];
+}
+
+std::vector<std::vector<int64_t>>
+QuantizedMlp::forwardRaw(const std::vector<float> &input) const
+{
+    std::vector<std::vector<int64_t>> acts;
+    acts.push_back(quantizeInput(input));
+    for (int l = 0; l + 1 < topo.layerCount(); ++l) {
+        const int fan_in = topo.layers[l];
+        const int fan_out = topo.layers[l + 1];
+        std::vector<int64_t> next(fan_out);
+        const std::vector<int64_t> &prev = acts.back();
+        for (int to = 0; to < fan_out; ++to) {
+            const int64_t *row =
+                &w[l][static_cast<size_t>(to) * (fan_in + 1)];
+            int64_t acc = biasRaw(l, to);
+            for (int from = 0; from < fan_in; ++from) {
+                acc = accumulate(acc, fixedMul(row[from], prev[from]));
+            }
+            next[to] = activateRaw(acc, l);
+        }
+        acts.push_back(std::move(next));
+    }
+    return acts;
+}
+
+std::vector<double>
+QuantizedMlp::forward(const std::vector<float> &input) const
+{
+    const auto acts = forwardRaw(input);
+    std::vector<double> out(acts.back().size());
+    for (size_t i = 0; i < out.size(); ++i) {
+        out[i] = dequantize(acts.back()[i], act_fmt);
+    }
+    return out;
+}
+
+double
+QuantizedMlp::outputError(const Mlp &reference, const TrainSet &set) const
+{
+    incam_assert(set.size() > 0, "empty set");
+    double acc = 0.0;
+    size_t n = 0;
+    for (size_t i = 0; i < set.size(); ++i) {
+        const auto f = reference.forward(set.inputs[i]);
+        const auto q = forward(set.inputs[i]);
+        for (size_t o = 0; o < f.size(); ++o) {
+            acc += std::fabs(static_cast<double>(f[o]) - q[o]);
+            ++n;
+        }
+    }
+    return acc / static_cast<double>(n);
+}
+
+} // namespace incam

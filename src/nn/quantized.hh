@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fixed-point quantized MLP inference — the accelerator's numerics.
+ *
+ * Section III-A of the paper studies two precision knobs on the NN
+ * accelerator: (1) approximating the sigmoid with a 256-entry LUT and
+ * (2) narrowing the datapath to 16/8/4-bit fixed point. QuantizedMlp
+ * reproduces the accelerator arithmetic bit-exactly in software:
+ * per-layer weight formats, a saturating wide accumulator (the paper's
+ * datapath carries 26-bit partial sums for 8-bit operands), and LUT or
+ * precise activation. The SNNAP cycle-level simulator executes the same
+ * raw integer math and is validated against this model sample-by-sample.
+ */
+
+#ifndef INCAM_NN_QUANTIZED_HH
+#define INCAM_NN_QUANTIZED_HH
+
+#include <vector>
+
+#include "common/fixed.hh"
+#include "nn/mlp.hh"
+
+namespace incam {
+
+/** Numeric configuration of the accelerator datapath. */
+struct QuantConfig
+{
+    int width = 8;           ///< operand width (weights & activations)
+    bool lut_sigmoid = true; ///< 256-entry LUT vs precise sigmoid
+    int lut_entries = 256;
+    double lut_range = 8.0;  ///< LUT input domain is [-range, range)
+    /**
+     * Saturating accumulator width; 0 selects the hardware default of
+     * 2 * width + 10 bits — 26 bits for the paper's 8-bit datapath
+     * (Fig. 3 shows 26-bit partial-sum adders).
+     */
+    int acc_bits = 0;
+
+    /** The accumulator width actually used. */
+    int
+    accBits() const
+    {
+        return acc_bits > 0 ? acc_bits : 2 * width + 10;
+    }
+
+    std::string toString() const;
+};
+
+/** Integer-domain MLP mirroring the SNNAP datapath. */
+class QuantizedMlp
+{
+  public:
+    /** Quantize a trained float network under the given config. */
+    QuantizedMlp(const Mlp &reference, const QuantConfig &cfg);
+
+    const QuantConfig &config() const { return conf; }
+    const MlpTopology &topology() const { return topo; }
+
+    /** Format used for all activations (inputs and sigmoid outputs). */
+    const FixedFormat &activationFormat() const { return act_fmt; }
+
+    /** Per-layer weight format (range-fitted to that layer's weights). */
+    const FixedFormat &weightFormat(int layer) const;
+
+    /** Raw quantized weights of one layer, [to][from] plus bias last. */
+    const std::vector<int64_t> &rawWeights(int layer) const;
+
+    /** The sigmoid LUT contents (raw activation-format values). */
+    const std::vector<int64_t> &sigmoidLut() const { return lut; }
+
+    /** Quantize a float input vector into raw activation values. */
+    std::vector<int64_t> quantizeInput(const std::vector<float> &in) const;
+
+    /**
+     * Activation function applied to a raw accumulator of layer @p layer.
+     * Exposed so the cycle-level simulator can share the exact math.
+     */
+    int64_t activateRaw(int64_t acc_raw, int layer) const;
+
+    /** Saturating accumulator addition at the configured width. */
+    int64_t
+    accumulate(int64_t acc, int64_t addend) const
+    {
+        return saturate(acc + addend, acc_format);
+    }
+
+    /** Bias of neuron @p to in layer @p layer, pre-scaled to acc format. */
+    int64_t biasRaw(int layer, int to) const;
+
+    /** Full forward pass; returns dequantized outputs. */
+    std::vector<double> forward(const std::vector<float> &input) const;
+
+    /** Per-layer raw activations, index 0 = quantized input. */
+    std::vector<std::vector<int64_t>>
+    forwardRaw(const std::vector<float> &input) const;
+
+    /** Mean |float - quantized| output discrepancy over a set. */
+    double outputError(const Mlp &reference, const TrainSet &set) const;
+
+  private:
+    MlpTopology topo;
+    QuantConfig conf;
+    FixedFormat act_fmt;
+    FixedFormat acc_format;              ///< accumulator: acc_bits wide
+    std::vector<FixedFormat> w_fmts;     ///< per layer
+    std::vector<std::vector<int64_t>> w; ///< raw weights per layer
+    std::vector<int64_t> lut;            ///< sigmoid LUT (may be empty)
+};
+
+} // namespace incam
+
+#endif // INCAM_NN_QUANTIZED_HH

@@ -1,0 +1,140 @@
+#include "snnap/accelerator.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+std::string
+SnnapConfig::toString() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%d PE @ %.0f MHz, bus %d ops/cyc",
+                  num_pes, clock.mhz(), bus_operands_per_cycle);
+    return buf;
+}
+
+SnnapAccelerator::SnnapAccelerator(const QuantizedMlp &network,
+                                   const SnnapConfig &cfg)
+    : net(network), conf(cfg)
+{
+    incam_assert(cfg.num_pes >= 1 && cfg.num_pes <= 1024,
+                 "unreasonable PE count ", cfg.num_pes);
+    incam_assert(cfg.bus_operands_per_cycle >= 1, "bus width must be >= 1");
+}
+
+size_t
+SnnapAccelerator::weightBytesPerPe() const
+{
+    // Each PE stores the weights of the neurons it is assigned across
+    // all layers and passes; the worst-case PE holds ceil(M/P) rows of
+    // (N+1) weights per layer.
+    const auto &topo = net.topology();
+    size_t words = 0;
+    for (int l = 0; l + 1 < topo.layerCount(); ++l) {
+        const size_t rows =
+            (static_cast<size_t>(topo.layers[l + 1]) + conf.num_pes - 1) /
+            conf.num_pes;
+        words += rows * static_cast<size_t>(topo.layers[l] + 1);
+    }
+    const size_t bits = words * static_cast<size_t>(net.config().width);
+    return (bits + 7) / 8;
+}
+
+std::vector<int64_t>
+SnnapAccelerator::runLayer(int layer, const std::vector<int64_t> &acts,
+                           SnnapStats &s) const
+{
+    const auto &topo = net.topology();
+    const int fan_in = topo.layers[layer];
+    const int fan_out = topo.layers[layer + 1];
+    const int p = conf.num_pes;
+    const auto &weights = net.rawWeights(layer);
+
+    std::vector<int64_t> out(fan_out);
+
+    const int passes = (fan_out + p - 1) / p;
+    for (int pass = 0; pass < passes; ++pass) {
+        const int first = pass * p;
+        const int active = std::min(p, fan_out - first);
+
+        // Per-PE accumulators initialized with the neuron bias via the
+        // datapath's offset port.
+        std::vector<int64_t> acc(active);
+        for (int k = 0; k < active; ++k) {
+            acc[k] = net.biasRaw(layer, first + k);
+        }
+
+        // Systolic broadcast: one input activation per cycle; every
+        // active PE MACs it against its locally-stored weight.
+        for (int from = 0; from < fan_in; ++from) {
+            const int64_t a = acts[from];
+            for (int k = 0; k < active; ++k) {
+                const int64_t w =
+                    weights[static_cast<size_t>(first + k) * (fan_in + 1) +
+                            from];
+                acc[k] = net.accumulate(acc[k], fixedMul(w, a));
+            }
+        }
+        s.total_cycles += static_cast<uint64_t>(fan_in) +
+                          static_cast<uint64_t>(conf.pe_pipeline_depth);
+        s.mac_ops += static_cast<uint64_t>(fan_in) * active;
+        s.weight_reads += static_cast<uint64_t>(fan_in) * active;
+        s.active_pe_cycles += static_cast<uint64_t>(fan_in) * active;
+        s.idle_pe_cycles += static_cast<uint64_t>(fan_in) * (p - active);
+        s.bus_words += static_cast<uint64_t>(fan_in); // input broadcast
+
+        // Drain accumulators through the shared sigmoid unit, one per
+        // cycle after its pipeline latency; results return on the bus.
+        for (int k = 0; k < active; ++k) {
+            out[first + k] = net.activateRaw(acc[k], layer);
+        }
+        s.total_cycles += static_cast<uint64_t>(active) +
+                          static_cast<uint64_t>(conf.sigmoid_latency);
+        s.sigmoid_evals += static_cast<uint64_t>(active);
+        s.bus_words += static_cast<uint64_t>(active);
+    }
+    return out;
+}
+
+std::vector<int64_t>
+SnnapAccelerator::runRaw(const std::vector<int64_t> &input)
+{
+    const auto &topo = net.topology();
+    incam_assert(static_cast<int>(input.size()) == topo.inputs(),
+                 "input size ", input.size(), " != ", topo.inputs());
+
+    SnnapStats s;
+    s.inferences = 1;
+
+    // Input DMA: raw activations stream in over the operand-wide bus.
+    s.dma_cycles =
+        (input.size() + conf.bus_operands_per_cycle - 1) /
+        conf.bus_operands_per_cycle;
+    s.total_cycles += s.dma_cycles;
+
+    std::vector<int64_t> acts = input;
+    for (int l = 0; l + 1 < topo.layerCount(); ++l) {
+        acts = runLayer(l, acts, s);
+    }
+
+    last_stats = s;
+    total_stats.merge(s);
+    return acts;
+}
+
+std::vector<int64_t>
+SnnapAccelerator::run(const std::vector<float> &input)
+{
+    return runRaw(net.quantizeInput(input));
+}
+
+void
+SnnapAccelerator::resetStats()
+{
+    total_stats = SnnapStats{};
+    last_stats = SnnapStats{};
+}
+
+} // namespace incam

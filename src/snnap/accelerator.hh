@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Cycle-level simulator of the SNNAP-style systolic NN accelerator.
+ *
+ * Section III-A of the paper describes the microarchitecture (its
+ * Fig. 3): a single processing unit (PU) containing a configurable
+ * chain of processing elements (PEs), each with a local weight SRAM and
+ * an 8-bit multiply-add datapath feeding a wide accumulator; a shared
+ * LUT-based sigmoid unit reached over a bus; accumulator and sigmoid
+ * FIFOs; and a vertically micro-coded sequencer that steps inputs
+ * through the PE chain in a systolic fashion.
+ *
+ * The simulator executes a quantized MLP exactly as that datapath
+ * would — the same saturating integer accumulation and the same LUT
+ * activation as nn/QuantizedMlp, which it is validated against
+ * bit-for-bit — while counting the microarchitectural events (MACs,
+ * SRAM reads, bus words, active/idle PE cycles, sequencer cycles) that
+ * the energy model converts into joules.
+ *
+ * Schedule, for each layer with fan-in N and fan-out M on P PEs:
+ *   1. The sequencer issues ceil(M/P) passes; pass p assigns output
+ *      neuron p*P+k to PE k.
+ *   2. In a pass, each of the N input activations is broadcast on the
+ *      input bus, one per cycle; every *active* PE reads its weight for
+ *      that input from local SRAM and MACs it into its accumulator.
+ *      PEs without an assigned neuron idle (clock-gated datapath, but
+ *      the clock tree still burns peClockIdle energy).
+ *   3. Accumulators drain through the shared sigmoid unit one value per
+ *      cycle (plus a fixed pipeline latency), and results are written
+ *      to the activation buffer over the bus.
+ *   4. Layer-0 inputs are DMAed in over a bus of configurable width.
+ */
+
+#ifndef INCAM_SNNAP_ACCELERATOR_HH
+#define INCAM_SNNAP_ACCELERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "nn/quantized.hh"
+
+namespace incam {
+
+/** Accelerator build-time configuration. */
+struct SnnapConfig
+{
+    int num_pes = 8;                 ///< PE count (the geometry knob)
+    Frequency clock = Frequency::megahertz(30); ///< paper: 30 MHz, 0.9 V
+    /**
+     * DMA/activation bus width in *operands* per cycle: the bus is
+     * sized to the datapath, so narrowing the datapath does not slow
+     * the input stream (and widening it does not speed it up).
+     */
+    int bus_operands_per_cycle = 4;
+    int pe_pipeline_depth = 3;       ///< multiply-add pipeline stages
+    int sigmoid_latency = 2;         ///< sigmoid unit pipeline latency
+
+    std::string toString() const;
+};
+
+/** Microarchitectural event counts for one or more inferences. */
+struct SnnapStats
+{
+    uint64_t inferences = 0;
+    uint64_t total_cycles = 0;
+    uint64_t mac_ops = 0;          ///< useful multiply-accumulates
+    uint64_t weight_reads = 0;     ///< local SRAM reads
+    uint64_t sigmoid_evals = 0;    ///< LUT lookups
+    uint64_t bus_words = 0;        ///< words moved on the shared bus
+    uint64_t active_pe_cycles = 0; ///< PE-cycles doing useful work
+    uint64_t idle_pe_cycles = 0;   ///< PE-cycles burned by idle PEs
+    uint64_t dma_cycles = 0;       ///< input-load cycles
+
+    void
+    merge(const SnnapStats &o)
+    {
+        inferences += o.inferences;
+        total_cycles += o.total_cycles;
+        mac_ops += o.mac_ops;
+        weight_reads += o.weight_reads;
+        sigmoid_evals += o.sigmoid_evals;
+        bus_words += o.bus_words;
+        active_pe_cycles += o.active_pe_cycles;
+        idle_pe_cycles += o.idle_pe_cycles;
+        dma_cycles += o.dma_cycles;
+    }
+
+    /** Wall-clock execution time at a given accelerator clock. */
+    Time
+    execTime(Frequency clock) const
+    {
+        return clock.cyclesToTime(static_cast<double>(total_cycles));
+    }
+};
+
+/** The processing-unit simulator. */
+class SnnapAccelerator
+{
+  public:
+    /**
+     * Bind the accelerator to a quantized network. The network defines
+     * the datapath width and the weight SRAM contents; @p cfg defines
+     * the geometry and clocking.
+     */
+    SnnapAccelerator(const QuantizedMlp &net, const SnnapConfig &cfg);
+
+    const SnnapConfig &config() const { return conf; }
+    const QuantizedMlp &network() const { return net; }
+
+    /** Run one inference from a float input vector (quantized on DMA). */
+    std::vector<int64_t> run(const std::vector<float> &input);
+
+    /** Run one inference from pre-quantized raw activations. */
+    std::vector<int64_t> runRaw(const std::vector<int64_t> &input);
+
+    /** Statistics accumulated since construction / last reset. */
+    const SnnapStats &stats() const { return total_stats; }
+
+    /** Statistics of only the most recent inference. */
+    const SnnapStats &lastStats() const { return last_stats; }
+
+    void resetStats();
+
+    /** Weight-SRAM bytes required per PE for this network. */
+    size_t weightBytesPerPe() const;
+
+  private:
+    /** Simulate one layer; returns the raw output activations. */
+    std::vector<int64_t> runLayer(int layer,
+                                  const std::vector<int64_t> &acts,
+                                  SnnapStats &s) const;
+
+    const QuantizedMlp &net;
+    SnnapConfig conf;
+    SnnapStats total_stats;
+    SnnapStats last_stats;
+};
+
+} // namespace incam
+
+#endif // INCAM_SNNAP_ACCELERATOR_HH

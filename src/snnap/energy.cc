@@ -1,0 +1,38 @@
+#include "snnap/energy.hh"
+
+#include "common/logging.hh"
+
+namespace incam {
+
+SnnapEnergyModel::SnnapEnergyModel(AsicEnergyModel asic_model,
+                                   SnnapConfig cfg, int bit_width)
+    : asic(asic_model), conf(cfg), width(bit_width)
+{
+    incam_assert(width >= 2 && width <= 32, "bad datapath width ", width);
+}
+
+Power
+SnnapEnergyModel::leakagePower() const
+{
+    return asic.baseLeakage() +
+           asic.peLeakage(width) * static_cast<double>(conf.num_pes);
+}
+
+SnnapEnergyBreakdown
+SnnapEnergyModel::breakdown(const SnnapStats &s) const
+{
+    SnnapEnergyBreakdown b;
+    b.mac = asic.mac(width) * static_cast<double>(s.mac_ops);
+    b.sram = asic.sramRead(width) * static_cast<double>(s.weight_reads);
+    b.sigmoid = asic.lutLookup() * static_cast<double>(s.sigmoid_evals);
+    b.bus = asic.busTransfer(width) * static_cast<double>(s.bus_words);
+    b.clock =
+        asic.peClockActive(width) * static_cast<double>(s.active_pe_cycles) +
+        asic.peClockIdle(width) * static_cast<double>(s.idle_pe_cycles);
+    b.sequencer =
+        asic.sequencerPerCycle() * static_cast<double>(s.total_cycles);
+    b.leakage = leakagePower().forDuration(s.execTime(conf.clock));
+    return b;
+}
+
+} // namespace incam

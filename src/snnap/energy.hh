@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Energy accounting for the SNNAP accelerator simulator.
+ *
+ * Converts SnnapStats event counts into energy/power using the shared
+ * ASIC per-operation model (hw/energy_model.hh). Keeping the conversion
+ * separate from the cycle simulator lets the benchmarks sweep voltage/
+ * technology assumptions without re-running simulations, and makes the
+ * per-component breakdown (datapath vs SRAM vs control vs leakage)
+ * directly inspectable — that breakdown is what produces the paper's
+ * "8 PEs is energy-optimal" and "8-bit saves 41% power" results.
+ */
+
+#ifndef INCAM_SNNAP_ENERGY_HH
+#define INCAM_SNNAP_ENERGY_HH
+
+#include "hw/energy_model.hh"
+#include "snnap/accelerator.hh"
+
+namespace incam {
+
+/** Per-component energy breakdown of an accelerator execution. */
+struct SnnapEnergyBreakdown
+{
+    Energy mac;       ///< multiply-add datapath
+    Energy sram;      ///< weight-memory reads
+    Energy sigmoid;   ///< LUT activation unit
+    Energy bus;       ///< input broadcast + result return
+    Energy clock;     ///< PE clock/registers (active + idle)
+    Energy sequencer; ///< micro-coded control, FIFOs, scheduling
+    Energy leakage;   ///< static power over the execution time
+
+    Energy
+    total() const
+    {
+        return mac + sram + sigmoid + bus + clock + sequencer + leakage;
+    }
+};
+
+/** Computes energy/power for accelerator runs. */
+class SnnapEnergyModel
+{
+  public:
+    SnnapEnergyModel(AsicEnergyModel asic, SnnapConfig cfg, int width);
+
+    /** Detailed energy breakdown for a set of statistics. */
+    SnnapEnergyBreakdown breakdown(const SnnapStats &s) const;
+
+    /** Total energy for a set of statistics. */
+    Energy
+    energy(const SnnapStats &s) const
+    {
+        return breakdown(s).total();
+    }
+
+    /** Average power: energy over execution time. */
+    Power
+    averagePower(const SnnapStats &s) const
+    {
+        return energy(s).over(s.execTime(conf.clock));
+    }
+
+    /** Static (leakage) power of the configured array. */
+    Power leakagePower() const;
+
+  private:
+    AsicEnergyModel asic;
+    SnnapConfig conf;
+    int width; ///< datapath bit-width
+};
+
+} // namespace incam
+
+#endif // INCAM_SNNAP_ENERGY_HH

@@ -1,0 +1,36 @@
+#include "vj/accel.hh"
+
+namespace incam {
+
+Energy
+VjAccelModel::integralEnergy(int width, int height) const
+{
+    const double pixels = static_cast<double>(width) * height;
+    // Per pixel: two adds for the running row sums (sum and square),
+    // two adds folding in the row above, and two 32-bit SRAM writes.
+    const Energy per_pixel = model.alu(32) * 4.0 + model.sramWrite(32) * 2.0;
+    return per_pixel * pixels;
+}
+
+Energy
+VjAccelModel::detectEnergy(const CascadeStats &stats) const
+{
+    // Per feature: ~8 integral lookups (two rects), 8 adds folding the
+    // corner values, one multiply for the normalization, one compare.
+    const Energy per_feature = model.sramRead(32) * 8.0 +
+                               model.alu(32) * 9.0 + model.mac(16);
+    // Per window: stddev normalization (two rect sums, sqrt-free via
+    // squared compare in hardware — modeled as 10 ALU ops + 8 reads).
+    const Energy per_window = model.sramRead(32) * 8.0 + model.alu(32) * 10.0;
+    return per_feature * static_cast<double>(stats.features_evaluated) +
+           per_window * static_cast<double>(stats.windows);
+}
+
+uint64_t
+VjAccelModel::detectCycles(const CascadeStats &stats) const
+{
+    // One pipelined feature per cycle; window setup costs 4 cycles.
+    return stats.features_evaluated + 4 * stats.windows;
+}
+
+} // namespace incam

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cost model of the in-camera face-detection accelerator.
+ *
+ * Section III-B argues VJ suits a pre-filtering ASIC because the cascade
+ * spends almost no work on non-face windows. This model prices a
+ * detector run from the CascadeStats the software implementation
+ * collects: integral-image construction is a two-pass streaming
+ * computation over the frame, and each Haar feature costs a fixed
+ * number of SRAM lookups and adds. One feature evaluates per cycle in
+ * the accelerator's pipelined datapath.
+ */
+
+#ifndef INCAM_VJ_ACCEL_HH
+#define INCAM_VJ_ACCEL_HH
+
+#include "hw/energy_model.hh"
+#include "vj/cascade.hh"
+
+namespace incam {
+
+/** Energy/time model for the VJ accelerator block. */
+class VjAccelModel
+{
+  public:
+    explicit VjAccelModel(AsicEnergyModel asic = {},
+                          Frequency clock = Frequency::megahertz(30))
+        : model(asic), clk(clock)
+    {
+    }
+
+    /** Integral + squared-integral construction for a w x h frame. */
+    Energy integralEnergy(int width, int height) const;
+
+    /** Cycles for integral construction (pipelined, 1 px/cycle). */
+    uint64_t
+    integralCycles(int width, int height) const
+    {
+        return static_cast<uint64_t>(width) * height;
+    }
+
+    /** Detector-scan energy for the given evaluation counts. */
+    Energy detectEnergy(const CascadeStats &stats) const;
+
+    /** Detector-scan cycles: one feature per cycle, plus per-window
+     *  normalization overhead. */
+    uint64_t detectCycles(const CascadeStats &stats) const;
+
+    /** Full-frame energy: integral construction + scan. */
+    Energy
+    frameEnergy(int width, int height, const CascadeStats &stats) const
+    {
+        return integralEnergy(width, height) + detectEnergy(stats);
+    }
+
+    /** Full-frame latency at the accelerator clock. */
+    Time
+    frameTime(int width, int height, const CascadeStats &stats) const
+    {
+        return clk.cyclesToTime(static_cast<double>(
+            integralCycles(width, height) + detectCycles(stats)));
+    }
+
+    Frequency clock() const { return clk; }
+
+  private:
+    AsicEnergyModel model;
+    Frequency clk;
+};
+
+} // namespace incam
+
+#endif // INCAM_VJ_ACCEL_HH

@@ -1,0 +1,133 @@
+#include "vj/detector.hh"
+
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+Detector::Detector(const Cascade &cascade, DetectorParams params)
+    : model(cascade), conf(params)
+{
+    incam_assert(conf.scale_factor > 1.0,
+                 "scale factor must exceed 1.0, got ", conf.scale_factor);
+    incam_assert(conf.adaptive_frac >= 0.0, "negative adaptive step");
+}
+
+std::vector<Rect>
+Detector::rawHits(const ImageU8 &gray, CascadeStats *stats) const
+{
+    incam_assert(gray.channels() == 1, "detector expects grayscale input");
+    const IntegralImage ii(gray);
+    std::vector<Rect> hits;
+
+    const int base = model.baseSize();
+    const int min_dim = std::min(gray.width(), gray.height());
+    const int max_window =
+        static_cast<int>(conf.max_window_frac * min_dim);
+
+    double scale = 1.0;
+    for (;;) {
+        const int window = static_cast<int>(std::lround(base * scale));
+        if (window > max_window) {
+            break;
+        }
+        const int step = conf.stepFor(window);
+        for (int y = 0; y + window <= gray.height(); y += step) {
+            for (int x = 0; x + window <= gray.width(); x += step) {
+                if (model.classifyWindow(ii, x, y, scale, stats)) {
+                    hits.push_back(Rect{x, y, window, window});
+                }
+            }
+        }
+        scale *= conf.scale_factor;
+    }
+    return hits;
+}
+
+uint64_t
+Detector::windowCount(int width, int height) const
+{
+    const int base = model.baseSize();
+    const int min_dim = std::min(width, height);
+    const int max_window =
+        static_cast<int>(conf.max_window_frac * min_dim);
+    uint64_t windows = 0;
+    double scale = 1.0;
+    for (;;) {
+        const int window = static_cast<int>(std::lround(base * scale));
+        if (window > max_window) {
+            break;
+        }
+        const int step = conf.stepFor(window);
+        const uint64_t nx = (width - window) / step + 1;
+        const uint64_t ny = (height - window) / step + 1;
+        windows += nx * ny;
+        scale *= conf.scale_factor;
+    }
+    return windows;
+}
+
+std::vector<Detection>
+groupDetections(const std::vector<Rect> &hits, double iou_threshold,
+                int min_neighbors)
+{
+    // Union-find over pairwise-IoU edges.
+    std::vector<int> parent(hits.size());
+    std::iota(parent.begin(), parent.end(), 0);
+    std::function<int(int)> find = [&](int a) {
+        while (parent[a] != a) {
+            parent[a] = parent[parent[a]];
+            a = parent[a];
+        }
+        return a;
+    };
+    for (size_t i = 0; i < hits.size(); ++i) {
+        for (size_t j = i + 1; j < hits.size(); ++j) {
+            if (hits[i].iou(hits[j]) >= iou_threshold) {
+                parent[find(static_cast<int>(i))] =
+                    find(static_cast<int>(j));
+            }
+        }
+    }
+
+    // Average the members of each cluster.
+    struct Cluster
+    {
+        long sx = 0, sy = 0, sw = 0, sh = 0;
+        int n = 0;
+    };
+    std::vector<Cluster> clusters(hits.size());
+    for (size_t i = 0; i < hits.size(); ++i) {
+        Cluster &c = clusters[static_cast<size_t>(find(static_cast<int>(i)))];
+        c.sx += hits[i].x;
+        c.sy += hits[i].y;
+        c.sw += hits[i].w;
+        c.sh += hits[i].h;
+        ++c.n;
+    }
+
+    std::vector<Detection> out;
+    for (const auto &c : clusters) {
+        if (c.n >= std::max(1, min_neighbors)) {
+            Detection d;
+            d.box = Rect{static_cast<int>(c.sx / c.n),
+                         static_cast<int>(c.sy / c.n),
+                         static_cast<int>(c.sw / c.n),
+                         static_cast<int>(c.sh / c.n)};
+            d.neighbors = c.n;
+            out.push_back(d);
+        }
+    }
+    return out;
+}
+
+std::vector<Detection>
+Detector::detect(const ImageU8 &gray, CascadeStats *stats) const
+{
+    return groupDetections(rawHits(gray, stats), 0.3, conf.min_neighbors);
+}
+
+} // namespace incam

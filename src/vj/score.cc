@@ -1,0 +1,64 @@
+#include "vj/score.hh"
+
+#include <algorithm>
+
+namespace incam {
+
+Confusion
+scoreDetections(const std::vector<Detection> &detections,
+                const std::vector<Rect> &truth, double iou_threshold)
+{
+    struct Pair
+    {
+        double iou;
+        size_t det;
+        size_t gt;
+    };
+    std::vector<Pair> pairs;
+    for (size_t d = 0; d < detections.size(); ++d) {
+        for (size_t g = 0; g < truth.size(); ++g) {
+            const double v = detections[d].box.iou(truth[g]);
+            if (v >= iou_threshold) {
+                pairs.push_back({v, d, g});
+            }
+        }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair &a, const Pair &b) { return a.iou > b.iou; });
+
+    std::vector<bool> det_used(detections.size(), false);
+    std::vector<bool> gt_used(truth.size(), false);
+    Confusion c;
+    for (const auto &p : pairs) {
+        if (det_used[p.det] || gt_used[p.gt]) {
+            continue;
+        }
+        det_used[p.det] = true;
+        gt_used[p.gt] = true;
+        ++c.tp;
+    }
+    for (size_t d = 0; d < detections.size(); ++d) {
+        if (!det_used[d]) {
+            ++c.fp;
+        }
+    }
+    for (size_t g = 0; g < truth.size(); ++g) {
+        if (!gt_used[g]) {
+            ++c.fn;
+        }
+    }
+    return c;
+}
+
+void
+DetectionScorer::add(const std::vector<Detection> &detections,
+                     const std::vector<Rect> &truth)
+{
+    const Confusion c = scoreDetections(detections, truth, iou);
+    confusion.tp += c.tp;
+    confusion.fp += c.fp;
+    confusion.fn += c.fn;
+    confusion.tn += c.tn;
+}
+
+} // namespace incam

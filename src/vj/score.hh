@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Detection scoring against ground truth.
+ *
+ * Fig. 4c reports precision / recall / F1 *relative accuracy* as the VJ
+ * parameters sweep; these helpers implement the standard greedy IoU
+ * matching between detections and ground-truth boxes that those metrics
+ * are computed from.
+ */
+
+#ifndef INCAM_VJ_SCORE_HH
+#define INCAM_VJ_SCORE_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "vj/detector.hh"
+
+namespace incam {
+
+/**
+ * Match detections to truth boxes greedily by IoU (best match first);
+ * a detection matches at most one truth box and vice versa. Matches
+ * with IoU below @p iou_threshold don't count. tn is always 0 — the
+ * negative class is unbounded in detection tasks.
+ */
+Confusion scoreDetections(const std::vector<Detection> &detections,
+                          const std::vector<Rect> &truth,
+                          double iou_threshold = 0.4);
+
+/** Accumulate scores across many images. */
+class DetectionScorer
+{
+  public:
+    explicit DetectionScorer(double iou_threshold = 0.4)
+        : iou(iou_threshold)
+    {
+    }
+
+    /** Score one image's detections and fold into the running totals. */
+    void add(const std::vector<Detection> &detections,
+             const std::vector<Rect> &truth);
+
+    const Confusion &totals() const { return confusion; }
+
+  private:
+    double iou;
+    Confusion confusion;
+};
+
+} // namespace incam
+
+#endif // INCAM_VJ_SCORE_HH

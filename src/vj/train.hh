@@ -1,0 +1,74 @@
+/**
+ * @file
+ * AdaBoost cascade training (Viola & Jones attentional cascade).
+ *
+ * Each stage is a boosted ensemble of decision stumps over the Haar
+ * feature pool, trained to pass nearly every face (per-stage TPR target)
+ * while rejecting a large fraction of the current negatives (per-stage
+ * FPR target). Between stages the negative set is re-mined ("bootstrap")
+ * from windows the cascade-so-far still accepts, so each stage works on
+ * the survivors of the previous ones — the mechanism that concentrates
+ * computation on face-like windows, which Section III-B identifies as
+ * what makes VJ a good pre-filtering accelerator.
+ */
+
+#ifndef INCAM_VJ_TRAIN_HH
+#define INCAM_VJ_TRAIN_HH
+
+#include <functional>
+
+#include "common/rng.hh"
+#include "vj/cascade.hh"
+
+namespace incam {
+
+/** Cascade training hyper-parameters. */
+struct CascadeTrainConfig
+{
+    int base_size = 20;          ///< detection window side
+    int position_stride = 2;     ///< feature enumeration thinning
+    int size_stride = 2;
+    int max_features = 2500;     ///< random subsample of the pool
+    int max_stages = 8;
+    int max_stumps_per_stage = 25;
+    double stage_tpr = 0.995;    ///< min per-stage detection rate
+    double stage_fpr = 0.50;     ///< max per-stage false-positive rate
+    int negatives_per_stage = 1000;
+    int mining_attempts = 200000; ///< bootstrap sampling budget
+    uint64_t seed = 11;
+};
+
+/** Supplies candidate negative crops (base_size x base_size, u8). */
+using NegativeSource = std::function<ImageU8(Rng &)>;
+
+/** Summary of a finished training run. */
+struct CascadeTrainReport
+{
+    int stages = 0;
+    size_t total_stumps = 0;
+    double final_tpr = 0.0;  ///< on the training positives
+    double final_fpr = 0.0;  ///< product of per-stage FPRs (estimate)
+    bool mining_exhausted = false; ///< stopped because no FPs remained
+};
+
+/** Trains attentional cascades. */
+class CascadeTrainer
+{
+  public:
+    explicit CascadeTrainer(CascadeTrainConfig cfg);
+
+    /**
+     * Train a cascade from @p positives (each base_size square) and a
+     * negative generator. @p report (optional) receives run statistics.
+     */
+    Cascade train(const std::vector<ImageU8> &positives,
+                  const NegativeSource &negatives,
+                  CascadeTrainReport *report = nullptr);
+
+  private:
+    CascadeTrainConfig conf;
+};
+
+} // namespace incam
+
+#endif // INCAM_VJ_TRAIN_HH

@@ -1,0 +1,272 @@
+#include "vr/blocks.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "image/ops.hh"
+
+namespace incam {
+
+VrPipeline::VrPipeline(const CameraRig &rig_, BssaConfig bssa)
+    : rig(rig_), stereo_cfg(bssa)
+{
+}
+
+ImageF
+VrPipeline::preprocess(const ImageU8 &bayer) const
+{
+    incam_assert(bayer.channels() == 1, "Bayer input must be 1-channel");
+    const int w = bayer.width();
+    const int h = bayer.height();
+    ImageF rgb(w, h, 3);
+
+    // Which color does the RGGB mosaic sample at (x, y)?
+    auto channelAt = [](int x, int y) {
+        if (y % 2 == 0) {
+            return x % 2 == 0 ? 0 : 1;
+        }
+        return x % 2 == 0 ? 1 : 2;
+    };
+
+    // Bilinear demosaic: average same-channel neighbours.
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            for (int ch = 0; ch < 3; ++ch) {
+                double acc = 0.0;
+                int count = 0;
+                for (int dy = -1; dy <= 1; ++dy) {
+                    for (int dx = -1; dx <= 1; ++dx) {
+                        const int sx = std::clamp(x + dx, 0, w - 1);
+                        const int sy = std::clamp(y + dy, 0, h - 1);
+                        if (channelAt(sx, sy) == ch) {
+                            acc += bayer.at(sx, sy) / 255.0;
+                            ++count;
+                        }
+                    }
+                }
+                rgb.at(x, y, ch) =
+                    count ? static_cast<float>(acc / count) : 0.0f;
+            }
+        }
+    }
+
+    // Vignette correction: invert the radial falloff the rig applied.
+    const double vig = rig.config().vignette;
+    const double cx = w / 2.0;
+    const double cy = h / 2.0;
+    const double max_r2 = cx * cx + cy * cy;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const double r2 =
+                ((x - cx) * (x - cx) + (y - cy) * (y - cy)) / max_r2;
+            const float gain = static_cast<float>(1.0 / (1.0 - vig * r2));
+            for (int ch = 0; ch < 3; ++ch) {
+                rgb.at(x, y, ch) =
+                    std::min(1.0f, rgb.at(x, y, ch) * gain);
+            }
+        }
+    }
+    return rgb;
+}
+
+int
+VrPipeline::estimateOffsetWithPrior(const ImageF &left_gray,
+                                    const ImageF &right_gray,
+                                    int min_shift, int max_shift,
+                                    int nominal,
+                                    double prior_weight) const
+{
+    incam_assert(left_gray.channels() == 1 && right_gray.channels() == 1,
+                 "offset estimation expects grayscale");
+    incam_assert(left_gray.height() == right_gray.height(),
+                 "views must share height");
+    incam_assert(min_shift >= 0 && min_shift <= max_shift, "bad range");
+    incam_assert(prior_weight >= 0.0, "negative prior weight");
+
+    // NCC between left columns [s, W) and right columns [0, W - s),
+    // subsampled for speed, minus the calibration-prior penalty.
+    double best_score = -1e9;
+    int best_shift = min_shift;
+    for (int s = min_shift; s <= max_shift; ++s) {
+        const int span = left_gray.width() - s;
+        if (span < 8) {
+            break;
+        }
+        double sum_l = 0.0, sum_r = 0.0, sum_ll = 0.0, sum_rr = 0.0,
+               sum_lr = 0.0;
+        int n = 0;
+        for (int y = 0; y < left_gray.height(); y += 2) {
+            for (int x = 0; x < span; x += 2) {
+                const double l = left_gray.at(x + s, y);
+                const double r = right_gray.at(x, y);
+                sum_l += l;
+                sum_r += r;
+                sum_ll += l * l;
+                sum_rr += r * r;
+                sum_lr += l * r;
+                ++n;
+            }
+        }
+        const double mean_l = sum_l / n;
+        const double mean_r = sum_r / n;
+        const double var_l = sum_ll / n - mean_l * mean_l;
+        const double var_r = sum_rr / n - mean_r * mean_r;
+        const double cov = sum_lr / n - mean_l * mean_r;
+        const double denom = std::sqrt(std::max(var_l * var_r, 1e-12));
+        const double score =
+            cov / denom - prior_weight * std::abs(s - nominal);
+        if (score > best_score) {
+            best_score = score;
+            best_shift = s;
+        }
+    }
+    return best_shift;
+}
+
+int
+VrPipeline::estimateOffset(const ImageF &left_gray, const ImageF &right_gray,
+                           int min_shift, int max_shift) const
+{
+    // Pure NCC search == prior-less scored search.
+    return estimateOffsetWithPrior(left_gray, right_gray, min_shift,
+                                   max_shift, min_shift, 0.0);
+}
+
+VrFrameBundle::RectifiedPair
+VrPipeline::rectifyPair(const ImageF &left_rgb, const ImageF &right_rgb) const
+{
+    const ImageF left_gray = rgbToGray(left_rgb);
+    const ImageF right_gray = rgbToGray(right_rgb);
+
+    // Search around the nominal stride: a real rig has calibration
+    // drift; our estimator must recover the true offset on its own,
+    // with the factory calibration acting as a weak prior so repetitive
+    // texture cannot pull the match a full period away.
+    const int nominal = rig.step();
+    const int slack = std::max(2, nominal / 4);
+    const int offset = estimateOffsetWithPrior(
+        left_gray, right_gray, std::max(1, nominal - slack),
+        nominal + slack, nominal, 0.004);
+
+    VrFrameBundle::RectifiedPair pair;
+    pair.offset = offset;
+    const int span = left_gray.width() - offset;
+    pair.left = crop(left_gray, Rect{offset, 0, span, left_gray.height()});
+    pair.right = crop(right_gray, Rect{0, 0, span, right_gray.height()});
+    return pair;
+}
+
+BssaResult
+VrPipeline::depthForPair(const VrFrameBundle::RectifiedPair &p) const
+{
+    BssaStereo stereo(stereo_cfg);
+    return stereo.compute(p.left, p.right);
+}
+
+void
+VrPipeline::stitch(VrFrameBundle &bundle) const
+{
+    const int cams = rig.cameras();
+    incam_assert(static_cast<int>(bundle.rgb.size()) == cams,
+                 "stitch needs all B1 outputs");
+    incam_assert(static_cast<int>(bundle.depth.size()) >= cams - 1,
+                 "stitch needs B3 outputs");
+
+    const int pano_w = rig.worldColumns();
+    const int pano_h = rig.config().cam_height;
+    const int view_w = rig.config().cam_width;
+    const int step = rig.step();
+
+    bundle.pano_left = ImageF(pano_w, pano_h, 3);
+    bundle.pano_right = ImageF(pano_w, pano_h, 3);
+
+    // Per-column disparity in panorama space, taken from the pair whose
+    // overlap strip covers that column (0 where no pair does).
+    ImageF pano_disp(pano_w, pano_h, 1, 0.0f);
+    for (int k = 0; k + 1 < cams; ++k) {
+        const BssaResult &d = bundle.depth[static_cast<size_t>(k)];
+        const int strip_start = (k + 1) * step; // world col of strip x=0
+        for (int y = 0; y < pano_h; ++y) {
+            for (int x = 0; x < d.disparity.width(); ++x) {
+                const int c = strip_start + x;
+                if (c < pano_w) {
+                    pano_disp.at(c, y) = d.disparity.at(x, y);
+                }
+            }
+        }
+    }
+
+    // Feathered blend of every camera's view into the panorama; the
+    // right eye samples each camera at a disparity-shifted column
+    // (synthetic inter-pupillary baseline of half a pair baseline).
+    const double ipd_scale = 0.5;
+    ImageF weight_l(pano_w, pano_h, 1, 0.0f);
+    ImageF weight_r(pano_w, pano_h, 1, 0.0f);
+    for (int k = 0; k < cams; ++k) {
+        const ImageF &view = bundle.rgb[static_cast<size_t>(k)];
+        const int start = k * step;
+        for (int y = 0; y < pano_h; ++y) {
+            for (int x = 0; x < view_w; ++x) {
+                const int c = start + x;
+                if (c >= pano_w) {
+                    continue;
+                }
+                // Feather: weight peaks at view center, fades at edges.
+                const double t =
+                    1.0 - std::fabs(x - (view_w - 1) / 2.0) /
+                              ((view_w + 1) / 2.0);
+                const float w = static_cast<float>(std::max(0.02, t));
+
+                for (int ch = 0; ch < 3; ++ch) {
+                    bundle.pano_left.at(c, y, ch) += w * view.at(x, y, ch);
+                }
+                weight_l.at(c, y) += w;
+
+                // Right eye: shift source by the local disparity.
+                const double shift =
+                    ipd_scale * pano_disp.at(c, y);
+                const int sx = std::clamp(
+                    static_cast<int>(std::lround(x - shift)), 0,
+                    view_w - 1);
+                for (int ch = 0; ch < 3; ++ch) {
+                    bundle.pano_right.at(c, y, ch) +=
+                        w * view.at(sx, y, ch);
+                }
+                weight_r.at(c, y) += w;
+            }
+        }
+    }
+    for (int y = 0; y < pano_h; ++y) {
+        for (int x = 0; x < pano_w; ++x) {
+            const float wl = std::max(weight_l.at(x, y), 1e-6f);
+            const float wr = std::max(weight_r.at(x, y), 1e-6f);
+            for (int ch = 0; ch < 3; ++ch) {
+                bundle.pano_left.at(x, y, ch) /= wl;
+                bundle.pano_right.at(x, y, ch) /= wr;
+            }
+        }
+    }
+}
+
+VrFrameBundle
+VrPipeline::processFrame() const
+{
+    VrFrameBundle bundle;
+    const int cams = rig.cameras();
+    bundle.raw.reserve(cams);
+    bundle.rgb.reserve(cams);
+    for (int k = 0; k < cams; ++k) {
+        bundle.raw.push_back(rig.bayerCapture(k));
+        bundle.rgb.push_back(preprocess(bundle.raw.back()));
+    }
+    for (int k = 0; k + 1 < cams; ++k) {
+        bundle.pairs.push_back(rectifyPair(
+            bundle.rgb[static_cast<size_t>(k)],
+            bundle.rgb[static_cast<size_t>(k) + 1]));
+        bundle.depth.push_back(depthForPair(bundle.pairs.back()));
+    }
+    stitch(bundle);
+    return bundle;
+}
+
+} // namespace incam

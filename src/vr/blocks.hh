@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Functional implementations of the VR pipeline blocks B1-B4 (Fig. 5).
+ *
+ * These run the actual algorithms at the rig's proxy resolution:
+ *
+ *  - B1 Preprocess: bilinear RGGB demosaic, vignette correction, light
+ *    chroma denoise — the classic ISP front half.
+ *  - B2 Align: per-camera panorama-slice projection plus pairwise
+ *    rectification; the residual horizontal offset between neighbouring
+ *    views is *estimated* (normalized cross-correlation search), not
+ *    read from the rig's ground truth, so alignment is a real algorithm
+ *    whose output the tests verify against the known camera stride.
+ *  - B3 Depth: bilateral-space stereo (BssaStereo) on each rectified
+ *    pair.
+ *  - B4 Stitch: feathered panorama composition for the left eye and
+ *    disparity-driven view synthesis for the right eye, yielding the
+ *    stereo panorama pair the rig uploads.
+ *
+ * Each stage reports the op counts its full-scale cost twin
+ * (vr/geometry.hh) prices.
+ */
+
+#ifndef INCAM_VR_BLOCKS_HH
+#define INCAM_VR_BLOCKS_HH
+
+#include <vector>
+
+#include "bilateral/stereo.hh"
+#include "vr/rig.hh"
+
+namespace incam {
+
+/** All intermediate products of one rig frame. */
+struct VrFrameBundle
+{
+    std::vector<ImageU8> raw;    ///< sensor Bayer captures
+    std::vector<ImageF> rgb;     ///< B1 outputs (RGB, vignette-corrected)
+
+    /** One rectified pair per adjacent camera pair. */
+    struct RectifiedPair
+    {
+        ImageF left;       ///< grayscale overlap strip of camera k
+        ImageF right;      ///< grayscale strip of camera k+1
+        int offset = 0;    ///< estimated column offset (should == step)
+    };
+    std::vector<RectifiedPair> pairs; ///< B2 outputs
+    std::vector<BssaResult> depth;    ///< B3 outputs (per pair)
+    ImageF pano_left;                 ///< B4: left-eye panorama (RGB)
+    ImageF pano_right;                ///< B4: right-eye panorama (RGB)
+};
+
+/** Runs the functional pipeline over a CameraRig. */
+class VrPipeline
+{
+  public:
+    VrPipeline(const CameraRig &rig, BssaConfig bssa);
+
+    /** B1 on one capture. */
+    ImageF preprocess(const ImageU8 &bayer) const;
+
+    /**
+     * Estimate the horizontal offset between two views by maximizing
+     * normalized cross-correlation of their overlap; searches
+     * [min_shift, max_shift].
+     */
+    int estimateOffset(const ImageF &left_gray, const ImageF &right_gray,
+                       int min_shift, int max_shift) const;
+
+    /**
+     * Offset estimation with a calibration prior: the NCC score is
+     * penalized by @p prior_weight per pixel of deviation from
+     * @p nominal, so periodic texture cannot alias the match.
+     */
+    int estimateOffsetWithPrior(const ImageF &left_gray,
+                                const ImageF &right_gray, int min_shift,
+                                int max_shift, int nominal,
+                                double prior_weight) const;
+
+    /** B2 on a pair of B1 outputs: rectified grayscale strips. */
+    VrFrameBundle::RectifiedPair rectifyPair(const ImageF &left_rgb,
+                                             const ImageF &right_rgb) const;
+
+    /** B3 on one rectified pair. */
+    BssaResult depthForPair(const VrFrameBundle::RectifiedPair &p) const;
+
+    /** B4: compose the stereo panorama from B1 colors and B3 depths. */
+    void stitch(VrFrameBundle &bundle) const;
+
+    /** Capture + run B1..B4 for every camera/pair of the rig. */
+    VrFrameBundle processFrame() const;
+
+    const BssaConfig &bssaConfig() const { return stereo_cfg; }
+
+  private:
+    const CameraRig &rig;
+    BssaConfig stereo_cfg;
+};
+
+} // namespace incam
+
+#endif // INCAM_VR_BLOCKS_HH

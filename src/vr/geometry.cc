@@ -1,0 +1,123 @@
+#include "vr/geometry.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+DataSize
+VrGeometry::outputBytes(VrBlock stage) const
+{
+    const double cams = cameras;
+    const double sensor_px = sensorPixels();
+    const double slice_px =
+        static_cast<double>(pano_slice_w) * pano_slice_h;
+    const double rect_px = static_cast<double>(rect_w) * rect_h;
+    switch (stage) {
+      case VrBlock::Sensor:
+        return DataSize::bytes(cams * sensor_px * sensor_bytes_per_px);
+      case VrBlock::Preprocess:
+        return DataSize::bytes(cams * sensor_px * b1_bytes_per_px);
+      case VrBlock::Align:
+        // Projected slices plus the rectified pairs handed to B3.
+        return DataSize::bytes(cams * slice_px * b2_bytes_per_px +
+                               pairs() * 2.0 * rect_px *
+                                   rect_bytes_per_px);
+      case VrBlock::Depth:
+        // Per-pair two-view disparity plus stitch-ready color slices.
+        return DataSize::bytes(pairs() * 2.0 * rect_px *
+                                   b3_disp_bytes_per_px +
+                               cams * slice_px * b3_color_bytes_per_px);
+      case VrBlock::Stitch:
+        return DataSize::bytes(2.0 * pano_out_w *
+                               static_cast<double>(pano_out_h) *
+                               b4_bytes_per_px);
+    }
+    incam_panic("unknown VrBlock");
+}
+
+size_t
+VrGeometry::gridVerticesPerPair() const
+{
+    // Mirrors BilateralGrid's sizing: ceil(dim / cell) + 1 per spatial
+    // axis and range_bins + 1 intensity levels.
+    const size_t nx =
+        static_cast<size_t>(std::ceil(rect_w / cell_spatial)) + 1;
+    const size_t ny =
+        static_cast<size_t>(std::ceil(rect_h / cell_spatial)) + 1;
+    const size_t nz = static_cast<size_t>(range_bins) + 1;
+    return nx * ny * nz;
+}
+
+DataSize
+VrGeometry::gridBytesPerPair() const
+{
+    return DataSize::bytes(
+        static_cast<double>(gridVerticesPerPair() * 2 * sizeof(float)));
+}
+
+DataSize
+VrGeometry::aggregateGridBytes() const
+{
+    return gridBytesPerPair() * static_cast<double>(max_disparity + 1) *
+           static_cast<double>(pairs());
+}
+
+uint64_t
+VrGeometry::filterVisitsPerPair() const
+{
+    // One blur round = three separable axis passes over every vertex.
+    return static_cast<uint64_t>(gridVerticesPerPair()) * 3ull *
+           static_cast<uint64_t>(solver_iterations);
+}
+
+double
+VrGeometry::opsPreprocess() const
+{
+    return static_cast<double>(cameras) * sensorPixels() * b1_ops_per_px;
+}
+
+double
+VrGeometry::opsAlign() const
+{
+    const double slice_px =
+        static_cast<double>(pano_slice_w) * pano_slice_h;
+    return static_cast<double>(cameras) * slice_px * b2_ops_per_px;
+}
+
+double
+VrGeometry::opsDepthPerPair() const
+{
+    const double rect_px = static_cast<double>(rect_w) * rect_h;
+    const double taps = (2.0 * block_radius + 1) * (2.0 * block_radius + 1);
+    // Matching: sub/abs/accumulate per tap per candidate (see
+    // BssaStereo::wtaDisparity's counter).
+    const double matching = rect_px * (max_disparity + 1) * taps * 3.0;
+    const double splat = rect_px * 40.0;   // BilateralGrid::splat counter
+    const double slice = rect_px * 35.0;   // BilateralGrid::slice counter
+    const double solve =
+        static_cast<double>(filterVisitsPerPair()) * ops_per_visit;
+    return matching + splat + solve + slice;
+}
+
+double
+VrGeometry::opsDepth() const
+{
+    return opsDepthPerPair() * pairs();
+}
+
+double
+VrGeometry::opsStitch() const
+{
+    return 2.0 * pano_out_w * static_cast<double>(pano_out_h) *
+           b4_ops_per_px;
+}
+
+VrGeometry
+defaultVrGeometry()
+{
+    return VrGeometry{};
+}
+
+} // namespace incam

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Full-scale data geometry of the 16-camera VR rig.
+ *
+ * The paper's Fig. 9 (per-block output sizes, compute shares) and
+ * Fig. 10 (per-configuration FPS) are functions of how many bytes each
+ * pipeline stage emits and how much arithmetic it performs at the rig's
+ * native scale: 16x 4K cameras, ~200 MB per frame set, 25 GbE uplink.
+ * This header centralizes that geometry. The functional kernels run at
+ * proxy resolutions (tests validate their behaviour and their op
+ * counters); the cost models evaluate these formulas at full scale.
+ *
+ * Calibration targets (paper values in parentheses):
+ *  - raw sensor frame set ~199 MB -> 15.7 FPS on 25 GbE   (15.8)
+ *  - B2 expands data ~4.2x -> 3.7 FPS                     (3.95)
+ *  - B3 output ~268 MB -> 11.6 FPS                        (11.2)
+ *  - B4 output ~101 MB -> 31.1 FPS                        (31.6)
+ *  - CPU compute shares B1/B2/B3/B4 ~ 4/16/75/4 %         (5/20/70/5)
+ */
+
+#ifndef INCAM_VR_GEOMETRY_HH
+#define INCAM_VR_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace incam {
+
+/** Identifiers for the pipeline stages (Fig. 5). */
+enum class VrBlock
+{
+    Sensor = 0,     ///< raw capture (not a compute block)
+    Preprocess = 1, ///< B1: demosaic, vignette, denoise
+    Align = 2,      ///< B2: projection + pairwise rectification
+    Depth = 3,      ///< B3: bilateral-space stereo
+    Stitch = 4,     ///< B4: stereo panorama synthesis
+};
+
+/** Full-scale rig geometry and derived per-block data/compute sizes. */
+struct VrGeometry
+{
+    // --- capture ---
+    int cameras = 16;
+    int sensor_w = 3840;
+    int sensor_h = 2160;
+    double sensor_bytes_per_px = 1.5; ///< 12-bit Bayer, packed
+
+    // --- B1 output: YUV420 at sensor resolution (12 bpp) ---
+    double b1_bytes_per_px = 1.5;
+
+    // --- B2 output: per-camera equirect slice + rectified pairs ---
+    int pano_slice_w = 4096; ///< 2x horizontal oversampling per camera
+    int pano_slice_h = 2048;
+    double b2_bytes_per_px = 6.0; ///< 16-bit linear RGB
+    int rect_w = 1024;            ///< depth working resolution per view
+    int rect_h = 512;
+    double rect_bytes_per_px = 2.0; ///< half-float grayscale
+
+    // --- B3: BSSA parameters at working resolution ---
+    int max_disparity = 24;
+    int block_radius = 1;
+    double cell_spatial = 4.0;
+    int range_bins = 16;
+    int solver_iterations = 26;
+    double b3_color_bytes_per_px = 2.0; ///< YUV422 color for stitching
+    double b3_disp_bytes_per_px = 2.0;  ///< half-float disparity, 2 views
+
+    // --- B4 output: over-under stereo panorama (Jump's 4096^2/eye) ---
+    int pano_out_w = 4096;
+    int pano_out_h = 4096;
+    double b4_bytes_per_px = 3.0; ///< 8-bit RGB
+
+    // --- per-pixel CPU op costs (calibrated to Fig. 9's shares) ---
+    double b1_ops_per_px = 10.6; ///< demosaic + vignette + denoise
+    double b2_ops_per_px = 42.0; ///< bicubic warp + correlation refine
+    double b4_ops_per_px = 42.0; ///< view synthesis + feathered blend
+
+    /** Ops-per-vertex-visit the CPU/GPU spend in the solver loop. */
+    static constexpr double ops_per_visit = 28.0;
+
+    /** Camera pairs (ring topology: each adjacent pair computes depth). */
+    int pairs() const { return cameras; }
+
+    /** Pixels per sensor. */
+    double
+    sensorPixels() const
+    {
+        return static_cast<double>(sensor_w) * sensor_h;
+    }
+
+    /** Data crossing the offload boundary after each stage. */
+    DataSize outputBytes(VrBlock stage) const;
+
+    /** Bilateral-grid vertices for one rectified pair. */
+    size_t gridVerticesPerPair() const;
+
+    /** Grid memory for one pair (2 floats per vertex). */
+    DataSize gridBytesPerPair() const;
+
+    /**
+     * Aggregate bilateral-grid working set across the rig, counted the
+     * way the paper's Fig. 7 x-axis does: vertices x disparity
+     * candidates x pairs (the solver's bilateral-space cost volume).
+     */
+    DataSize aggregateGridBytes() const;
+
+    /** FPGA CU vertex-visits per pair per frame (the B3 accel work). */
+    uint64_t filterVisitsPerPair() const;
+
+    // --- CPU operation counts (ops, full rig, one frame) ---
+    double opsPreprocess() const; ///< B1
+    double opsAlign() const;      ///< B2
+    double opsDepth() const;      ///< B3 (matching+splat+solve+slice)
+    double opsStitch() const;     ///< B4
+    double opsDepthPerPair() const;
+    double
+    totalCpuOps() const
+    {
+        return opsPreprocess() + opsAlign() + opsDepth() + opsStitch();
+    }
+};
+
+/** The calibrated default geometry (the paper's rig). */
+VrGeometry defaultVrGeometry();
+
+} // namespace incam
+
+#endif // INCAM_VR_GEOMETRY_HH

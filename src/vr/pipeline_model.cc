@@ -1,0 +1,183 @@
+#include "vr/pipeline_model.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+VrPipelineModel::VrPipelineModel(VrGeometry geometry, Bandwidth uplink,
+                                 double target_fps)
+    : geom(geometry), link(uplink), target(target_fps),
+      cpu_model(armCortexA9()), gpu_model(quadroK2200())
+{
+    incam_assert(target > 0.0, "target FPS must be positive");
+}
+
+double
+VrPipelineModel::cpuShare(VrBlock stage) const
+{
+    const double total = geom.totalCpuOps();
+    switch (stage) {
+      case VrBlock::Sensor:
+        return 0.0;
+      case VrBlock::Preprocess:
+        return geom.opsPreprocess() / total;
+      case VrBlock::Align:
+        return geom.opsAlign() / total;
+      case VrBlock::Depth:
+        return geom.opsDepth() / total;
+      case VrBlock::Stitch:
+        return geom.opsStitch() / total;
+    }
+    incam_panic("unknown VrBlock");
+}
+
+double
+VrPipelineModel::commFps(VrBlock cut) const
+{
+    return link.bytesPerSecond() / geom.outputBytes(cut).b();
+}
+
+int
+VrPipelineModel::evalComputeUnits() const
+{
+    const FpgaDesignModel design(zynq7020(), 2);
+    return design.maxComputeUnits();
+}
+
+double
+VrPipelineModel::fpgaDepthFps() const
+{
+    const FpgaDesignModel design(zynq7020(), 2);
+    const double visits_per_sec =
+        design.verticesPerSecond(design.maxComputeUnits());
+    return visits_per_sec /
+           static_cast<double>(geom.filterVisitsPerPair());
+}
+
+double
+VrPipelineModel::blockComputeFps(VrBlock stage, VrImpl impl) const
+{
+    const Frequency fabric = Frequency::megahertz(125);
+    switch (stage) {
+      case VrBlock::Sensor:
+        return std::numeric_limits<double>::infinity();
+      case VrBlock::Preprocess: {
+        // Streaming fabric block at each camera node.
+        const double cycles = geom.sensorPixels() / b1_px_per_cycle;
+        return fabric.hz() / cycles;
+      }
+      case VrBlock::Align: {
+        const double slice_px =
+            static_cast<double>(geom.pano_slice_w) * geom.pano_slice_h;
+        const double cycles = slice_px / b2_px_per_cycle;
+        return fabric.hz() / cycles;
+      }
+      case VrBlock::Depth:
+        switch (impl) {
+          case VrImpl::Cpu:
+            return 1.0 / cpu_model.timeForOps(geom.opsDepth()).sec();
+          case VrImpl::Gpu:
+            return 1.0 / gpu_model.timeForOps(geom.opsDepth()).sec();
+          case VrImpl::Fpga:
+            return fpgaDepthFps();
+        }
+        incam_panic("unknown VrImpl");
+      case VrBlock::Stitch:
+        switch (impl) {
+          case VrImpl::Cpu:
+            return 1.0 / cpu_model.timeForOps(geom.opsStitch()).sec();
+          case VrImpl::Gpu:
+            return 1.0 / gpu_model.timeForOps(geom.opsStitch()).sec();
+          case VrImpl::Fpga: {
+            // Each camera board stitches its panorama slice.
+            const double px = 2.0 * geom.pano_out_w *
+                              static_cast<double>(geom.pano_out_h) /
+                              geom.cameras;
+            const double cycles = px / b4_px_per_cycle;
+            return fabric.hz() / cycles;
+          }
+        }
+        incam_panic("unknown VrImpl");
+    }
+    incam_panic("unknown VrBlock");
+}
+
+double
+VrPipelineModel::pipelineComputeFps(int last_block, VrImpl impl) const
+{
+    incam_assert(last_block >= 0 && last_block <= 4, "bad block index");
+    double fps = std::numeric_limits<double>::infinity();
+    for (int b = 1; b <= last_block; ++b) {
+        fps = std::min(fps,
+                       blockComputeFps(static_cast<VrBlock>(b), impl));
+    }
+    return fps;
+}
+
+VrConfigRow
+VrPipelineModel::evaluate(int last_block, VrImpl impl) const
+{
+    VrConfigRow row;
+    row.last_block = last_block;
+    row.impl = impl;
+
+    std::string name = "S";
+    for (int b = 1; b <= last_block; ++b) {
+        name += "+B" + std::to_string(b);
+        if (b >= 3) {
+            name += impl == VrImpl::Cpu   ? "(C)"
+                    : impl == VrImpl::Gpu ? "(G)"
+                                          : "(F)";
+        }
+    }
+    row.name = name;
+
+    row.compute_fps = pipelineComputeFps(last_block, impl);
+    row.comm_fps = commFps(static_cast<VrBlock>(last_block));
+    row.total_fps = std::min(row.compute_fps, row.comm_fps);
+    row.realtime = row.total_fps >= target;
+    return row;
+}
+
+std::vector<VrConfigRow>
+VrPipelineModel::figure10() const
+{
+    std::vector<VrConfigRow> rows;
+    rows.push_back(evaluate(0, VrImpl::Cpu));
+    rows.push_back(evaluate(1, VrImpl::Cpu));
+    rows.push_back(evaluate(2, VrImpl::Cpu));
+    rows.push_back(evaluate(3, VrImpl::Cpu));
+    rows.push_back(evaluate(3, VrImpl::Gpu));
+    rows.push_back(evaluate(3, VrImpl::Fpga));
+    rows.push_back(evaluate(4, VrImpl::Cpu));
+    rows.push_back(evaluate(4, VrImpl::Gpu));
+    rows.push_back(evaluate(4, VrImpl::Fpga));
+    return rows;
+}
+
+FpgaUsage
+VrPipelineModel::evaluationUsage() const
+{
+    const FpgaDesignModel design(zynq7020(), 2);
+    return design.usage(design.maxComputeUnits());
+}
+
+FpgaUsage
+VrPipelineModel::targetUsage() const
+{
+    const FpgaDesignModel design(virtexUltraScalePlus(), geom.cameras);
+    return design.usage(design.maxComputeUnits());
+}
+
+Bandwidth
+VrPipelineModel::sensorOffloadBandwidth() const
+{
+    const double bytes_per_sec =
+        geom.outputBytes(VrBlock::Sensor).b() * target;
+    return Bandwidth::bytesPerSec(bytes_per_sec);
+}
+
+} // namespace incam

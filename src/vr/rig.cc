@@ -1,0 +1,160 @@
+#include "vr/rig.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workload/texture.hh"
+
+namespace incam {
+
+CameraRig::CameraRig(const RigConfig &cfg) : conf(cfg)
+{
+    incam_assert(conf.cameras >= 2, "a rig needs >= 2 cameras");
+    incam_assert(conf.overlap > 0.0 && conf.overlap < 1.0,
+                 "overlap fraction must be in (0, 1)");
+    stride = static_cast<int>(conf.cam_width * (1.0 - conf.overlap));
+    incam_assert(stride >= 1, "cameras too overlapped");
+    world_cols = stride * conf.cameras;
+
+    // Background: horizontally tileable RGB texture.
+    const ImageF gray = makeValueNoise(world_cols, conf.cam_height,
+                                       conf.texture_period, 4,
+                                       conf.seed ^ 0x0511du, true);
+    world = colorize(gray, conf.seed ^ 0xc01cu);
+
+    Rng rng(conf.seed);
+    for (int i = 0; i < conf.layers; ++i) {
+        Layer l;
+        l.box.w = static_cast<int>(
+            rng.range(conf.cam_width / 4, conf.cam_width));
+        l.box.h = static_cast<int>(
+            rng.range(conf.cam_height / 4, conf.cam_height / 2));
+        l.box.x = static_cast<int>(rng.below(
+            static_cast<uint64_t>(std::max(1, world_cols - l.box.w))));
+        l.box.y = static_cast<int>(rng.below(
+            static_cast<uint64_t>(std::max(1, conf.cam_height - l.box.h))));
+        const double t = static_cast<double>(i + 1) / conf.layers;
+        l.disparity = 2.0 + t * (conf.max_disparity - 2.0);
+        l.tone = static_cast<float>(rng.uniform(0.6, 1.4));
+        l.tex_dx = static_cast<int>(rng.below(97));
+        l.tex_dy = static_cast<int>(rng.below(53));
+        scene.push_back(l);
+    }
+}
+
+const CameraRig::Layer *
+CameraRig::hitTest(int cam, int c, int y) const
+{
+    // Later layers are nearer and drawn on top. A layer with disparity d
+    // appears shifted by -cam*d in camera cam's world-column frame.
+    for (int i = static_cast<int>(scene.size()) - 1; i >= 0; --i) {
+        const Layer &l = scene[static_cast<size_t>(i)];
+        const int shift =
+            static_cast<int>(std::lround(cam * l.disparity));
+        const int lx = c + shift; // position in the layer's own frame
+        if (lx >= l.box.x && lx < l.box.x2() && y >= l.box.y &&
+            y < l.box.y2()) {
+            return &l;
+        }
+    }
+    return nullptr;
+}
+
+void
+CameraRig::shade(int cam, int c, int y, float rgb[3]) const
+{
+    const Layer *hit = hitTest(cam, c, y);
+    if (!hit) {
+        const int wc = ((c % world_cols) + world_cols) % world_cols;
+        for (int ch = 0; ch < 3; ++ch) {
+            rgb[ch] = world.at(wc, y, ch);
+        }
+        return;
+    }
+    const int shift = static_cast<int>(std::lround(cam * hit->disparity));
+    const int tx = ((c + shift + hit->tex_dx) % world_cols + world_cols) %
+                   world_cols;
+    const int ty = std::clamp(y + hit->tex_dy, 0, conf.cam_height - 1);
+    for (int ch = 0; ch < 3; ++ch) {
+        rgb[ch] = std::clamp(world.at(tx, ty, ch) * hit->tone, 0.0f, 1.0f);
+    }
+}
+
+ImageF
+CameraRig::trueView(int cam) const
+{
+    incam_assert(cam >= 0 && cam < conf.cameras, "camera ", cam,
+                 " out of range");
+    ImageF out(conf.cam_width, conf.cam_height, 3);
+    const int start = cam * stride;
+    float rgb[3];
+    for (int y = 0; y < conf.cam_height; ++y) {
+        for (int x = 0; x < conf.cam_width; ++x) {
+            shade(cam, start + x, y, rgb);
+            out.at(x, y, 0) = rgb[0];
+            out.at(x, y, 1) = rgb[1];
+            out.at(x, y, 2) = rgb[2];
+        }
+    }
+    return out;
+}
+
+ImageU8
+CameraRig::bayerCapture(int cam) const
+{
+    const ImageF view = trueView(cam);
+    ImageU8 raw(conf.cam_width, conf.cam_height, 1);
+    Rng noise_rng(conf.seed ^ (0xbae2u + static_cast<uint64_t>(cam)));
+
+    const double cx = conf.cam_width / 2.0;
+    const double cy = conf.cam_height / 2.0;
+    const double max_r2 = cx * cx + cy * cy;
+
+    for (int y = 0; y < conf.cam_height; ++y) {
+        for (int x = 0; x < conf.cam_width; ++x) {
+            // RGGB mosaic selection.
+            int ch;
+            if (y % 2 == 0) {
+                ch = x % 2 == 0 ? 0 : 1;
+            } else {
+                ch = x % 2 == 0 ? 1 : 2;
+            }
+            double v = view.at(x, y, ch);
+            // cos^4-style vignette approximated radially.
+            const double r2 =
+                ((x - cx) * (x - cx) + (y - cy) * (y - cy)) / max_r2;
+            v *= 1.0 - conf.vignette * r2;
+            v += noise_rng.gaussian(0.0, conf.noise);
+            raw.at(x, y) = static_cast<uint8_t>(
+                std::lround(std::clamp(v, 0.0, 1.0) * 255.0));
+        }
+    }
+    return raw;
+}
+
+Rect
+CameraRig::overlapInLeft() const
+{
+    return Rect{stride, 0, conf.cam_width - stride, conf.cam_height};
+}
+
+ImageF
+CameraRig::pairDisparity(int cam) const
+{
+    incam_assert(cam >= 0 && cam < conf.cameras, "camera ", cam,
+                 " out of range");
+    const Rect strip = overlapInLeft();
+    ImageF out(strip.w, strip.h, 1);
+    const int start = cam * stride;
+    for (int y = 0; y < strip.h; ++y) {
+        for (int x = 0; x < strip.w; ++x) {
+            const Layer *hit = hitTest(cam, start + strip.x + x, y);
+            out.at(x, y) =
+                static_cast<float>(hit ? hit->disparity : 0.0);
+        }
+    }
+    return out;
+}
+
+} // namespace incam

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Synthetic multi-camera rig — the 16-camera capture substitute.
+ *
+ * The paper's rig is a ring of 16 outward-facing 4K cameras (Google
+ * Jump-style). We have no rig, so this module synthesizes one: a
+ * cylindrical textured world with depth layers is imaged by N cameras
+ * whose views overlap; a scene layer at depth Z appears shifted between
+ * adjacent cameras by its disparity, giving every camera pair a
+ * rectified-stereo structure with exact ground truth. The same geometry
+ * (overlap fraction, disparity range, layer-edge/texture-edge
+ * coincidence) drives the real pipeline code paths, just at a proxy
+ * resolution the tests can afford.
+ *
+ * Conventions: camera k's view is a window of world columns starting at
+ * k * step; a layer with disparity d appears at world position shifted
+ * by -k*d in camera k, so for the pair (k, k+1) a left-view pixel at x
+ * matches the right view at x - d — the standard rectified convention.
+ */
+
+#ifndef INCAM_VR_RIG_HH
+#define INCAM_VR_RIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hh"
+
+namespace incam {
+
+/** Rig synthesis parameters (proxy scale). */
+struct RigConfig
+{
+    int cameras = 16;
+    int cam_width = 192;
+    int cam_height = 144;
+    double overlap = 0.5; ///< fraction of a view shared with the next
+    int layers = 6;
+    double max_disparity = 12.0; ///< nearest layer, pixels between pairs
+    int texture_period = 24;
+    double vignette = 0.30; ///< captured edge falloff B1 must correct
+    double noise = 0.008;
+    uint64_t seed = 17;
+};
+
+/** The synthetic rig. */
+class CameraRig
+{
+  public:
+    explicit CameraRig(const RigConfig &cfg);
+
+    const RigConfig &config() const { return conf; }
+    int cameras() const { return conf.cameras; }
+    /** Column stride between adjacent cameras (pixels). */
+    int step() const { return stride; }
+    /** Total world-cylinder columns. */
+    int worldColumns() const { return world_cols; }
+
+    /** Ideal (noise/vignette-free) RGB view of camera @p cam. */
+    ImageF trueView(int cam) const;
+
+    /**
+     * What the sensor actually captures: the true view with vignette,
+     * Bayer-mosaiced (RGGB) and quantized to 8 bits with shot noise.
+     */
+    ImageU8 bayerCapture(int cam) const;
+
+    /**
+     * Ground-truth left-referenced disparity for the pair (cam, cam+1)
+     * over the overlap strip (width = cam_width - step).
+     */
+    ImageF pairDisparity(int cam) const;
+
+    /** Overlap strip of @p cam's view that its right neighbour shares. */
+    Rect overlapInLeft() const;
+
+    /** The background world texture (RGB), for stitching references. */
+    const ImageF &worldTexture() const { return world; }
+
+  private:
+    struct Layer
+    {
+        Rect box;        ///< world-cylinder coordinates
+        double disparity;
+        float tone;
+        int tex_dx;
+        int tex_dy;
+    };
+
+    /** Topmost layer covering world position (c, y) as seen by @p cam. */
+    const Layer *hitTest(int cam, int c, int y) const;
+
+    /** RGB sample of the scene at view column/row for camera cam. */
+    void shade(int cam, int c, int y, float rgb[3]) const;
+
+    RigConfig conf;
+    int stride;
+    int world_cols;
+    ImageF world; ///< RGB cylinder texture
+    std::vector<Layer> scene;
+};
+
+} // namespace incam
+
+#endif // INCAM_VR_RIG_HH

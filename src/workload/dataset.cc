@@ -1,0 +1,89 @@
+#include "workload/dataset.hh"
+
+#include "common/logging.hh"
+
+namespace incam {
+
+FaceDataset
+FaceDataset::generate(const FaceDatasetConfig &cfg)
+{
+    incam_assert(cfg.identities > 0 && cfg.per_identity > 0,
+                 "dataset needs at least one identity and one sample");
+    FaceDataset ds;
+    ds.data.reserve(static_cast<size_t>(cfg.identities) * cfg.per_identity +
+                    cfg.distractors);
+    Rng rng(cfg.seed);
+    for (int id = 0; id < cfg.identities; ++id) {
+        const FaceParams params = identityParams(static_cast<uint64_t>(id));
+        for (int s = 0; s < cfg.per_identity; ++s) {
+            FaceVariation var =
+                cfg.hard ? hardVariation(rng) : easyVariation(rng);
+            if (cfg.framing_jitter > 0.0) {
+                const double j = cfg.framing_jitter;
+                var.dx += rng.uniform(-j, j) * 0.5;
+                var.dy += rng.uniform(-j, j) * 0.5;
+                var.scale *= 1.0 + rng.uniform(-j, j);
+            }
+            FaceSample sample;
+            sample.image = renderFace(params, var, cfg.size);
+            sample.identity = static_cast<uint64_t>(id);
+            sample.is_face = true;
+            ds.data.push_back(std::move(sample));
+        }
+    }
+    for (int d = 0; d < cfg.distractors; ++d) {
+        FaceSample sample;
+        sample.image = renderDistractor(rng.next(), cfg.size);
+        sample.identity = 0;
+        sample.is_face = false;
+        ds.data.push_back(std::move(sample));
+    }
+    return ds;
+}
+
+void
+FaceDataset::split(double train_fraction, FaceDataset &train,
+                   FaceDataset &test) const
+{
+    incam_assert(train_fraction > 0.0 && train_fraction < 1.0,
+                 "train fraction must be in (0, 1), got ", train_fraction);
+    train.data.clear();
+    test.data.clear();
+
+    // Stratify: walk per-identity runs, sending the first train_fraction
+    // of each identity's samples (and of the distractors) to train.
+    size_t run_start = 0;
+    while (run_start < data.size()) {
+        size_t run_end = run_start + 1;
+        while (run_end < data.size() &&
+               data[run_end].identity == data[run_start].identity &&
+               data[run_end].is_face == data[run_start].is_face) {
+            ++run_end;
+        }
+        const size_t run_len = run_end - run_start;
+        const size_t n_train = static_cast<size_t>(
+            train_fraction * static_cast<double>(run_len) + 0.5);
+        for (size_t i = run_start; i < run_end; ++i) {
+            if (i - run_start < n_train) {
+                train.data.push_back(data[i]);
+            } else {
+                test.data.push_back(data[i]);
+            }
+        }
+        run_start = run_end;
+    }
+}
+
+std::vector<size_t>
+FaceDataset::indicesOf(uint64_t identity) const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < data.size(); ++i) {
+        if (data[i].is_face && data[i].identity == identity) {
+            out.push_back(i);
+        }
+    }
+    return out;
+}
+
+} // namespace incam

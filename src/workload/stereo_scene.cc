@@ -1,0 +1,142 @@
+#include "workload/stereo_scene.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "image/ops.hh"
+#include "workload/texture.hh"
+
+namespace incam {
+
+namespace {
+
+/** One textured layer at a fixed disparity. */
+struct Layer
+{
+    Rect box;            ///< extent in the left view
+    double disparity;    ///< constant within the layer
+    bool ellipse;        ///< elliptical or rectangular silhouette
+    float tone;          ///< multiplicative tint over the shared texture
+    int tex_offset_x;    ///< texture-space offset so layers look distinct
+    int tex_offset_y;
+};
+
+bool
+insideLayer(const Layer &l, int x, int y)
+{
+    if (!l.ellipse) {
+        return x >= l.box.x && x < l.box.x2() && y >= l.box.y &&
+               y < l.box.y2();
+    }
+    const double cx = l.box.x + l.box.w / 2.0;
+    const double cy = l.box.y + l.box.h / 2.0;
+    const double dx = (x + 0.5 - cx) / (l.box.w / 2.0);
+    const double dy = (y + 0.5 - cy) / (l.box.h / 2.0);
+    return dx * dx + dy * dy <= 1.0;
+}
+
+} // namespace
+
+StereoPair
+makeStereoPair(const StereoSceneConfig &cfg)
+{
+    incam_assert(cfg.layers >= 0, "negative layer count");
+    incam_assert(cfg.max_disparity >= 0.0, "negative max disparity");
+
+    Rng rng(cfg.seed);
+
+    // Shared texture: sampled by all layers at different offsets. Oversized
+    // so right-view shifts stay in range.
+    const int margin = static_cast<int>(cfg.max_disparity) + 8;
+    const ImageF texture =
+        makeValueNoise(cfg.width + 2 * margin, cfg.height + 2 * margin,
+                       cfg.texture_period, 4, cfg.seed ^ 0x7e47u);
+
+    // Background plane at a small far disparity.
+    const double bg_disparity = cfg.max_disparity * 0.1;
+
+    std::vector<Layer> layers;
+    for (int i = 0; i < cfg.layers; ++i) {
+        Layer l;
+        l.box.w = static_cast<int>(rng.range(cfg.width / 6, cfg.width / 2));
+        l.box.h = static_cast<int>(rng.range(cfg.height / 6, cfg.height / 2));
+        l.box.x = static_cast<int>(rng.range(0, cfg.width - l.box.w));
+        l.box.y = static_cast<int>(rng.range(0, cfg.height - l.box.h));
+        // Depth ordering: later layers are nearer (larger disparity) and
+        // drawn on top, giving correct occlusion.
+        const double t = static_cast<double>(i + 1) / cfg.layers;
+        l.disparity = bg_disparity +
+                      t * (cfg.max_disparity - bg_disparity);
+        l.ellipse = rng.chance(0.5);
+        l.tone = static_cast<float>(rng.uniform(0.55, 1.35));
+        l.tex_offset_x = static_cast<int>(rng.below(64));
+        l.tex_offset_y = static_cast<int>(rng.below(64));
+        layers.push_back(l);
+    }
+
+    StereoPair out;
+    out.left = ImageF(cfg.width, cfg.height, 1);
+    out.right = ImageF(cfg.width, cfg.height, 1);
+    out.disparity = ImageF(cfg.width, cfg.height, 1);
+
+    auto sampleTexture = [&](int x, int y, const Layer *l) -> float {
+        int tx = x + margin;
+        int ty = y + margin;
+        if (l) {
+            tx += l->tex_offset_x;
+            ty += l->tex_offset_y;
+        }
+        float v = texture.atClamped(tx % texture.width(),
+                                    ty % texture.height());
+        if (l) {
+            v = std::clamp(v * l->tone, 0.0f, 1.0f);
+        }
+        return v;
+    };
+
+    // Render both views per pixel by finding the topmost layer covering
+    // the pixel *in that view*. In the right view a layer at disparity d
+    // covers pixels shifted left by d.
+    for (int y = 0; y < cfg.height; ++y) {
+        for (int x = 0; x < cfg.width; ++x) {
+            // Left view + ground truth disparity.
+            const Layer *hit = nullptr;
+            for (int i = static_cast<int>(layers.size()) - 1; i >= 0; --i) {
+                if (insideLayer(layers[i], x, y)) {
+                    hit = &layers[i];
+                    break;
+                }
+            }
+            out.left.at(x, y) = sampleTexture(x, y, hit);
+            out.disparity.at(x, y) = static_cast<float>(
+                hit ? hit->disparity : bg_disparity);
+
+            // Right view: the scene point visible at right-view pixel x
+            // is the nearest layer whose left-view footprint contains
+            // x + d (shift by its own disparity).
+            const Layer *rhit = nullptr;
+            for (int i = static_cast<int>(layers.size()) - 1; i >= 0; --i) {
+                const int lx =
+                    x + static_cast<int>(std::lround(layers[i].disparity));
+                if (insideLayer(layers[i], lx, y)) {
+                    rhit = &layers[i];
+                    break;
+                }
+            }
+            const int rx =
+                x + static_cast<int>(std::lround(
+                        rhit ? rhit->disparity : bg_disparity));
+            out.right.at(x, y) = sampleTexture(rx, y, rhit);
+        }
+    }
+
+    if (cfg.noise > 0.0) {
+        Rng nl(cfg.seed ^ 0x1e57u);
+        Rng nr(cfg.seed ^ 0x2e57u);
+        addGaussianNoise(out.left, cfg.noise, nl);
+        addGaussianNoise(out.right, cfg.noise, nr);
+    }
+    return out;
+}
+
+} // namespace incam

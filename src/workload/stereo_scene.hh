@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Synthetic stereo scenes with ground-truth disparity.
+ *
+ * The VR case study's depth-estimation block (B3) runs bilateral-space
+ * stereo on rectified camera pairs. This generator builds layered scenes
+ * — a textured background plane plus textured foreground layers at
+ * different depths — and renders a left/right pair by shifting each
+ * layer by its disparity, along with the exact disparity map. Layer
+ * edges coincide with texture/intensity edges, which is precisely the
+ * structure the bilateral grid exploits (edge-aware smoothing).
+ */
+
+#ifndef INCAM_WORKLOAD_STEREO_SCENE_HH
+#define INCAM_WORKLOAD_STEREO_SCENE_HH
+
+#include <cstdint>
+
+#include "image/image.hh"
+
+namespace incam {
+
+/** Scene synthesis parameters. */
+struct StereoSceneConfig
+{
+    int width = 320;
+    int height = 240;
+    int layers = 5;             ///< foreground layers over the background
+    double max_disparity = 24.0;///< nearest-layer disparity in pixels
+    int texture_period = 24;    ///< base value-noise period
+    double noise = 0.01;        ///< per-view sensor noise
+    uint64_t seed = 31;
+};
+
+/** A rectified stereo pair plus ground truth (left-referenced). */
+struct StereoPair
+{
+    ImageF left;      ///< grayscale, [0,1]
+    ImageF right;     ///< grayscale, [0,1]
+    ImageF disparity; ///< pixels; d means right(x-d, y) ~ left(x, y)
+};
+
+/** Render a deterministic stereo pair for the given configuration. */
+StereoPair makeStereoPair(const StereoSceneConfig &cfg);
+
+} // namespace incam
+
+#endif // INCAM_WORKLOAD_STEREO_SCENE_HH

@@ -1,0 +1,115 @@
+#include "workload/texture.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace incam {
+
+namespace {
+
+/** Deterministic hash of lattice coordinates to [0, 1). */
+double
+latticeValue(int64_t x, int64_t y, uint64_t seed)
+{
+    uint64_t v = seed;
+    v ^= static_cast<uint64_t>(x) * 0x9e3779b97f4a7c15ull;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v ^= static_cast<uint64_t>(y) * 0xc2b2ae3d27d4eb4full;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    v ^= v >> 31;
+    return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+double
+smoothstep(double t)
+{
+    return t * t * (3.0 - 2.0 * t);
+}
+
+} // namespace
+
+ImageF
+makeValueNoise(int w, int h, int base_period, int octaves, uint64_t seed,
+               bool wrap_x)
+{
+    incam_assert(base_period >= 2, "value-noise period must be >= 2");
+    incam_assert(octaves >= 1 && octaves <= 10, "octave count out of range");
+    ImageF out(w, h, 1);
+    double total_amp = 0.0;
+    double amp = 1.0;
+    for (int o = 0; o < octaves; ++o) {
+        total_amp += amp;
+        amp *= 0.55;
+    }
+
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            double value = 0.0;
+            double amplitude = 1.0;
+            int period = base_period;
+            for (int o = 0; o < octaves; ++o) {
+                const uint64_t oct_seed = seed + static_cast<uint64_t>(o) *
+                                                     0x1000193ull;
+                // Lattice cell and fractional position.
+                const double fx = static_cast<double>(x) / period;
+                const double fy = static_cast<double>(y) / period;
+                int64_t x0 = static_cast<int64_t>(std::floor(fx));
+                int64_t y0 = static_cast<int64_t>(std::floor(fy));
+                const double tx = smoothstep(fx - static_cast<double>(x0));
+                const double ty = smoothstep(fy - static_cast<double>(y0));
+
+                // Optionally wrap the lattice horizontally so the first
+                // and last columns interpolate to the same values.
+                const int64_t cells_x =
+                    std::max<int64_t>(1, (w + period - 1) / period);
+                auto wrapX = [&](int64_t ix) {
+                    if (!wrap_x) {
+                        return ix;
+                    }
+                    return ((ix % cells_x) + cells_x) % cells_x;
+                };
+
+                const double v00 = latticeValue(wrapX(x0), y0, oct_seed);
+                const double v10 = latticeValue(wrapX(x0 + 1), y0, oct_seed);
+                const double v01 = latticeValue(wrapX(x0), y0 + 1, oct_seed);
+                const double v11 =
+                    latticeValue(wrapX(x0 + 1), y0 + 1, oct_seed);
+                const double top = v00 + tx * (v10 - v00);
+                const double bot = v01 + tx * (v11 - v01);
+                value += amplitude * (top + ty * (bot - top));
+
+                amplitude *= 0.55;
+                period = std::max(2, period / 2);
+            }
+            out.at(x, y) = static_cast<float>(value / total_amp);
+        }
+    }
+    return out;
+}
+
+ImageF
+colorize(const ImageF &gray, uint64_t seed)
+{
+    incam_assert(gray.channels() == 1, "colorize expects grayscale input");
+    Rng rng(seed);
+    // Smooth palette: three phase-shifted cosines (Inigo Quilez style).
+    const double phase_r = rng.uniform(0.0, 1.0);
+    const double phase_g = rng.uniform(0.0, 1.0);
+    const double phase_b = rng.uniform(0.0, 1.0);
+    ImageF out(gray.width(), gray.height(), 3);
+    for (int y = 0; y < gray.height(); ++y) {
+        for (int x = 0; x < gray.width(); ++x) {
+            const double t = gray.at(x, y);
+            out.at(x, y, 0) = static_cast<float>(
+                0.5 + 0.4 * std::cos(2.0 * M_PI * (t + phase_r)));
+            out.at(x, y, 1) = static_cast<float>(
+                0.5 + 0.4 * std::cos(2.0 * M_PI * (t * 0.9 + phase_g)));
+            out.at(x, y, 2) = static_cast<float>(
+                0.5 + 0.4 * std::cos(2.0 * M_PI * (t * 1.1 + phase_b)));
+        }
+    }
+    return out;
+}
+
+} // namespace incam

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Procedural texture synthesis for the VR and stereo workloads.
+ *
+ * Stereo matching needs textured surfaces to find correspondences; the
+ * multi-camera rig needs a wide panoramic world to image. Value noise
+ * (bilinearly interpolated random lattices summed over octaves) gives
+ * natural-looking, deterministic texture with controllable detail.
+ */
+
+#ifndef INCAM_WORKLOAD_TEXTURE_HH
+#define INCAM_WORKLOAD_TEXTURE_HH
+
+#include <cstdint>
+
+#include "image/image.hh"
+
+namespace incam {
+
+/**
+ * Multi-octave value-noise texture in [0, 1].
+ *
+ * @param w, h        output size
+ * @param base_period lattice period of the first octave, in pixels
+ * @param octaves     number of octaves (each halves the period)
+ * @param seed        deterministic seed
+ * @param wrap_x      make the texture horizontally tileable (for 360
+ *                    panoramas)
+ */
+ImageF makeValueNoise(int w, int h, int base_period, int octaves,
+                      uint64_t seed, bool wrap_x = false);
+
+/** Map a grayscale texture through a smooth deterministic RGB palette. */
+ImageF colorize(const ImageF &gray, uint64_t seed);
+
+} // namespace incam
+
+#endif // INCAM_WORKLOAD_TEXTURE_HH

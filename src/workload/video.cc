@@ -1,0 +1,185 @@
+#include "workload/video.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/ops.hh"
+#include "workload/texture.hh"
+
+namespace incam {
+
+SecurityVideo::SecurityVideo(const SecurityVideoConfig &cfg) : config(cfg)
+{
+    incam_assert(cfg.frames > 0, "video needs at least one frame");
+    incam_assert(cfg.visit_length_min <= cfg.visit_length_max,
+                 "bad visit length range");
+
+    Rng rng(cfg.seed);
+
+    // Static background: wall texture plus a floor gradient.
+    background = makeValueNoise(cfg.width, cfg.height, cfg.width / 4, 3,
+                                cfg.seed ^ 0xbac6u);
+    for (int y = 0; y < cfg.height; ++y) {
+        for (int x = 0; x < cfg.width; ++x) {
+            const double v = 0.35 + 0.25 * background.at(x, y) +
+                             0.1 * static_cast<double>(y) / cfg.height;
+            background.at(x, y) = static_cast<float>(v);
+        }
+    }
+
+    // Schedule non-overlapping visits.
+    int cursor = 2;
+    for (int v = 0; v < cfg.visits && cursor < cfg.frames - 4; ++v) {
+        Visit visit;
+        visit.length = static_cast<int>(
+            rng.range(cfg.visit_length_min, cfg.visit_length_max));
+        const int max_gap =
+            std::max(1, (cfg.frames - cursor) / (cfg.visits - v) -
+                            visit.length);
+        visit.start = cursor + static_cast<int>(rng.range(1, max_gap));
+        visit.length =
+            std::min(visit.length, cfg.frames - visit.start - 1);
+        if (visit.length < 2) {
+            break;
+        }
+        visit.enrolled = rng.uniform() < cfg.enrolled_fraction;
+        visit.identity =
+            visit.enrolled
+                ? cfg.enrolled_identity
+                : cfg.enrolled_identity + 1 +
+                      rng.below(static_cast<uint64_t>(
+                          std::max(1, cfg.stranger_identities)));
+        const bool left_to_right = rng.chance(0.5);
+        visit.entry_x = left_to_right ? 0.05 : 0.75;
+        visit.exit_x = left_to_right ? 0.75 : 0.05;
+        visit.y = rng.uniform(0.12, 0.3);
+        schedule.push_back(visit);
+        cursor = visit.start + visit.length;
+    }
+
+    // Ambient motion flags, independent per frame.
+    ambient.resize(cfg.frames);
+    for (int f = 0; f < cfg.frames; ++f) {
+        ambient[f] = rng.chance(cfg.ambient_motion_prob);
+    }
+}
+
+const SecurityVideo::Visit *
+SecurityVideo::visitAt(int index) const
+{
+    for (const auto &v : schedule) {
+        if (index >= v.start && index < v.start + v.length) {
+            return &v;
+        }
+    }
+    return nullptr;
+}
+
+FrameTruth
+SecurityVideo::truth(int index) const
+{
+    incam_assert(index >= 0 && index < config.frames, "frame ", index,
+                 " out of range");
+    FrameTruth t;
+    t.ambient_motion = ambient[index];
+    const Visit *v = visitAt(index);
+    if (!v) {
+        return t;
+    }
+    t.has_face = true;
+    t.identity = v->identity;
+    t.is_enrolled = v->enrolled;
+
+    const double progress =
+        static_cast<double>(index - v->start) / std::max(1, v->length - 1);
+    const double cx = v->entry_x + progress * (v->exit_x - v->entry_x);
+    const int face_h =
+        static_cast<int>(config.face_scale * config.height);
+    t.face_box.w = face_h;
+    t.face_box.h = face_h;
+    t.face_box.x = static_cast<int>(cx * (config.width - face_h));
+    t.face_box.y = static_cast<int>(v->y * (config.height - face_h));
+    t.face_box.x = std::clamp(t.face_box.x, 0, config.width - face_h);
+    t.face_box.y = std::clamp(t.face_box.y, 0, config.height - face_h);
+    return t;
+}
+
+VideoFrame
+SecurityVideo::frame(int index) const
+{
+    const FrameTruth t = truth(index);
+    ImageF scene = background;
+
+    // Ambient motion: a drifting bright patch (headlights, foliage).
+    if (t.ambient_motion) {
+        Rng rng(config.seed ^ (0xa0b1u + static_cast<uint64_t>(index)));
+        const int px = static_cast<int>(rng.below(config.width));
+        const int py = static_cast<int>(rng.below(config.height));
+        const int radius = config.height / 8;
+        const double delta = rng.uniform(-0.25, 0.25);
+        for (int y = std::max(0, py - radius);
+             y < std::min(config.height, py + radius); ++y) {
+            for (int x = std::max(0, px - radius);
+                 x < std::min(config.width, px + radius); ++x) {
+                scene.at(x, y) = static_cast<float>(std::clamp(
+                    static_cast<double>(scene.at(x, y)) + delta, 0.0, 1.0));
+            }
+        }
+    }
+
+    if (t.has_face) {
+        const FaceParams params = identityParams(t.identity);
+        // Per-frame variation keyed by (video, frame): pose changes as
+        // the person walks, but stays "easy" — a cooperative corridor
+        // camera, per the paper's real-world-workload observation.
+        Rng vrng(config.seed ^ (0xfacedu + static_cast<uint64_t>(index)));
+        FaceVariation var = easyVariation(vrng);
+        // Also render shoulders: a dark trapezoid below the face.
+        const Rect &b = t.face_box;
+        const int torso_top = b.y + b.h - b.h / 8;
+        for (int y = torso_top; y < config.height; ++y) {
+            const int grow = (y - torso_top) / 2;
+            for (int x = std::max(0, b.x - grow);
+                 x < std::min(config.width, b.x2() + grow); ++x) {
+                scene.at(x, y) = 0.22f;
+            }
+        }
+        renderFaceInto(scene, params, var, b);
+    }
+
+    // Sensor noise on every frame.
+    Rng noise_rng(config.seed ^ (0x5e50u + static_cast<uint64_t>(index)));
+    addGaussianNoise(scene, 0.012, noise_rng);
+
+    VideoFrame out;
+    out.image = toU8(scene);
+    out.truth = t;
+    return out;
+}
+
+int
+SecurityVideo::faceFrames() const
+{
+    int n = 0;
+    for (int f = 0; f < config.frames; ++f) {
+        if (truth(f).has_face) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+int
+SecurityVideo::motionFrames() const
+{
+    int n = 0;
+    for (int f = 0; f < config.frames; ++f) {
+        const FrameTruth t = truth(f);
+        if (t.has_face || t.ambient_motion) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace incam

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Synthetic security-camera video — the "real video we collected"
+ * substitute for the face-authentication case study.
+ *
+ * The paper evaluates the FA pipeline on video of people entering a
+ * monitored space: long stretches of nothing, occasional visits by the
+ * enrolled user or by strangers, and ambient motion that should be
+ * filtered before it costs NN energy. The generator produces exactly
+ * that event structure with per-frame ground truth so the pipeline's
+ * progressive-filtering funnel (motion -> face detect -> authenticate)
+ * can be measured stage by stage.
+ */
+
+#ifndef INCAM_WORKLOAD_VIDEO_HH
+#define INCAM_WORKLOAD_VIDEO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/facegen.hh"
+
+namespace incam {
+
+/** Ground-truth annotation for one generated frame. */
+struct FrameTruth
+{
+    bool has_face = false;       ///< a person's face is visible
+    Rect face_box;               ///< where (valid when has_face)
+    uint64_t identity = 0;       ///< who (valid when has_face)
+    bool is_enrolled = false;    ///< is it the authenticated user
+    bool ambient_motion = false; ///< non-face scene motion this frame
+};
+
+/** One frame plus its annotation. */
+struct VideoFrame
+{
+    ImageU8 image; ///< grayscale sensor frame
+    FrameTruth truth;
+};
+
+/** Scenario parameters for the generator. */
+struct SecurityVideoConfig
+{
+    int width = 160;              ///< QQVGA-ish, WISPCam-class resolution
+    int height = 120;
+    int frames = 600;             ///< at 1 FPS this is a 10-minute window
+    uint64_t seed = 99;
+    uint64_t enrolled_identity = 0;
+    int stranger_identities = 8;  ///< pool of non-enrolled visitors
+    int visits = 6;               ///< total person visits in the window
+    double enrolled_fraction = 0.5; ///< fraction of visits by the user
+    int visit_length_min = 8;     ///< frames per visit
+    int visit_length_max = 25;
+    double ambient_motion_prob = 0.08; ///< per-frame background motion
+    double face_scale = 0.45;     ///< face height as fraction of frame
+};
+
+/**
+ * Deterministic security-camera sequence. Frames are generated lazily so
+ * long videos don't hold hundreds of rasters in memory at once.
+ */
+class SecurityVideo
+{
+  public:
+    explicit SecurityVideo(const SecurityVideoConfig &cfg);
+
+    int frameCount() const { return config.frames; }
+    const SecurityVideoConfig &cfg() const { return config; }
+
+    /** Generate frame @p index (0-based). Deterministic per index. */
+    VideoFrame frame(int index) const;
+
+    /** Ground truth only (cheap — no rendering). */
+    FrameTruth truth(int index) const;
+
+    /** Number of frames in which a face is visible. */
+    int faceFrames() const;
+
+    /** Number of frames with any motion (face or ambient). */
+    int motionFrames() const;
+
+  private:
+    /** One scheduled person visit. */
+    struct Visit
+    {
+        int start = 0;
+        int length = 0;
+        uint64_t identity = 0;
+        bool enrolled = false;
+        double entry_x = 0.0; ///< walk path: start x (relative)
+        double exit_x = 1.0;  ///< walk path: end x (relative)
+        double y = 0.2;       ///< face top (relative)
+    };
+
+    const Visit *visitAt(int index) const;
+
+    SecurityVideoConfig config;
+    std::vector<Visit> schedule;
+    std::vector<bool> ambient; ///< per-frame ambient-motion flags
+    ImageF background;         ///< static scene
+};
+
+} // namespace incam
+
+#endif // INCAM_WORKLOAD_VIDEO_HH

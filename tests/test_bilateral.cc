@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the bilateral grid, edge-aware filtering (Fig. 6), and
+ * bilateral-space stereo (BSSA).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bilateral/bilateral_filter.hh"
+#include "bilateral/stereo.hh"
+#include "image/metrics.hh"
+#include "image/ops.hh"
+#include "workload/stereo_scene.hh"
+
+namespace incam {
+namespace {
+
+TEST(Grid, DimensionsFromCellSizes)
+{
+    const BilateralGrid g(64, 32, 8.0, 8);
+    EXPECT_EQ(g.gx(), 9);  // ceil(64/8)+1
+    EXPECT_EQ(g.gy(), 5);  // ceil(32/8)+1
+    EXPECT_EQ(g.gz(), 9);  // bins+1
+    EXPECT_EQ(g.vertexCount(), 9u * 5u * 9u);
+    EXPECT_DOUBLE_EQ(g.byteSize().b(), 9.0 * 5 * 9 * 8);
+}
+
+TEST(Grid, SplatSliceRoundTripConstant)
+{
+    // A constant image splats and slices back to itself exactly.
+    ImageF img(32, 24, 1, 0.5f);
+    BilateralGrid g(32, 24, 4.0, 8);
+    g.splat(img, img, nullptr);
+    const ImageF out = g.slice(img);
+    for (float v : out) {
+        EXPECT_NEAR(v, 0.5f, 1e-5);
+    }
+}
+
+TEST(Grid, SplatConservesMass)
+{
+    const ImageF img = []() {
+        ImageF i(16, 16, 1);
+        for (int y = 0; y < 16; ++y) {
+            for (int x = 0; x < 16; ++x) {
+                i.at(x, y) = static_cast<float>((x + y) / 32.0);
+            }
+        }
+        return i;
+    }();
+    BilateralGrid g(16, 16, 4.0, 8);
+    g.splat(img, img, nullptr);
+    double mass = 0.0;
+    for (int k = 0; k < g.gz(); ++k) {
+        for (int j = 0; j < g.gy(); ++j) {
+            for (int i = 0; i < g.gx(); ++i) {
+                mass += g.vertexWeight(i, j, k);
+            }
+        }
+    }
+    // Trilinear weights per pixel sum to exactly 1.
+    EXPECT_NEAR(mass, 256.0, 1e-3);
+}
+
+TEST(Grid, BlurConservesMass)
+{
+    ImageF img(16, 16, 1, 0.25f);
+    BilateralGrid g(16, 16, 4.0, 8);
+    g.splat(img, img, nullptr);
+    auto total = [&]() {
+        double m = 0.0;
+        for (int k = 0; k < g.gz(); ++k) {
+            for (int j = 0; j < g.gy(); ++j) {
+                for (int i = 0; i < g.gx(); ++i) {
+                    m += g.vertexWeight(i, j, k);
+                }
+            }
+        }
+        return m;
+    };
+    const double before = total();
+    g.blur();
+    const double after = total();
+    // Clamped-end [1 2 1]/4 loses a little mass at boundaries only.
+    EXPECT_NEAR(after, before, before * 0.35);
+    EXPECT_GT(after, 0.0);
+}
+
+TEST(Grid, OpCountersTrackWork)
+{
+    ImageF img(20, 10, 1, 0.5f);
+    BilateralGrid g(20, 10, 4.0, 8);
+    GridOpCounts ops;
+    g.splat(img, img, nullptr, &ops);
+    EXPECT_EQ(ops.splat_ops, 200u * 40u);
+    g.blur(&ops);
+    EXPECT_EQ(ops.blur_vertex_visits, g.vertexCount() * 3);
+    g.slice(img, 0.0f, &ops);
+    EXPECT_EQ(ops.slice_ops, 200u * 35u);
+}
+
+TEST(Grid, ConfidenceWeightsBias)
+{
+    // Two pixel populations in one cell; confidence 0 on one of them
+    // means the slice returns the other's value.
+    ImageF guide(2, 1, 1);
+    guide.at(0, 0) = 0.5f;
+    guide.at(1, 0) = 0.5f;
+    ImageF value(2, 1, 1);
+    value.at(0, 0) = 1.0f;
+    value.at(1, 0) = 0.0f;
+    ImageF conf(2, 1, 1);
+    conf.at(0, 0) = 1.0f;
+    conf.at(1, 0) = 0.0f;
+    BilateralGrid g(2, 1, 4.0, 4);
+    g.splat(guide, value, &conf);
+    const ImageF out = g.slice(guide);
+    EXPECT_NEAR(out.at(0, 0), 1.0f, 1e-5);
+    EXPECT_NEAR(out.at(1, 0), 1.0f, 1e-5); // inherits confident neighbor
+}
+
+TEST(BilateralFilter, GridApproximatesReference)
+{
+    StereoSceneConfig scfg;
+    scfg.width = 48;
+    scfg.height = 36;
+    scfg.noise = 0.03;
+    const ImageF img = makeStereoPair(scfg).left;
+
+    const ImageF ref = bilateralFilterReference(img, 2.0, 0.15);
+    const ImageF fast = bilateralFilterGrid(img, 2.0, 8, 1);
+    // The grid is an approximation; it must land close to the true
+    // bilateral output and much closer than the raw input.
+    EXPECT_LT(mse(ref, fast), mse(ref, img));
+    EXPECT_GT(psnr(ref, fast), 20.0);
+}
+
+TEST(Fig6, BilateralPreservesEdgeMovingAverageDoesNot)
+{
+    const auto noisy = makeNoisyStep(128, 0.25f, 0.75f, 0.05f, 42);
+    const auto averaged = movingAverage1d(noisy, 8);
+    const auto bilateral = bilateralFilter1d(noisy, 6.0, 12, 2);
+
+    const double err_avg = stepEdgeError(averaged, 0.25f, 0.75f);
+    const double err_bil = stepEdgeError(bilateral, 0.25f, 0.75f);
+    // Fig. 6's demonstration: the bilateral filter keeps the edge.
+    EXPECT_LT(err_bil, err_avg * 0.6);
+
+    // Away from the edge both should denoise; check the bilateral one.
+    double noise_in = 0.0, noise_out = 0.0;
+    for (int i = 8; i < 48; ++i) {
+        noise_in += std::fabs(noisy[static_cast<size_t>(i)] - 0.25f);
+        noise_out +=
+            std::fabs(bilateral[static_cast<size_t>(i)] - 0.25f);
+    }
+    EXPECT_LT(noise_out, noise_in);
+}
+
+class BssaFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        StereoSceneConfig cfg;
+        cfg.width = 160;
+        cfg.height = 120;
+        cfg.max_disparity = 14;
+        cfg.layers = 4;
+        cfg.noise = 0.015;
+        cfg.seed = 77;
+        scene = new StereoPair(makeStereoPair(cfg));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete scene;
+        scene = nullptr;
+    }
+
+    static StereoPair *scene;
+};
+
+StereoPair *BssaFixture::scene = nullptr;
+
+TEST_F(BssaFixture, WtaFindsApproximateDisparity)
+{
+    BssaConfig cfg;
+    cfg.max_disparity = 16;
+    const BssaStereo stereo(cfg);
+    ImageF disp, conf;
+    stereo.wtaDisparity(scene->left, scene->right, disp, conf);
+
+    double err = 0.0;
+    int n = 0;
+    for (int y = 4; y < disp.height() - 4; ++y) {
+        for (int x = 20; x < disp.width() - 4; ++x) {
+            err += std::fabs(disp.at(x, y) - scene->disparity.at(x, y));
+            ++n;
+        }
+    }
+    // Noisy but in the right ballpark (a couple of pixels on average).
+    EXPECT_LT(err / n, 3.0);
+}
+
+TEST_F(BssaFixture, RefinementImprovesOnWta)
+{
+    BssaConfig cfg;
+    cfg.max_disparity = 16;
+    cfg.solver_iterations = 12;
+    const BssaStereo stereo(cfg);
+    const BssaResult res = stereo.compute(scene->left, scene->right);
+
+    auto mae = [&](const ImageF &d) {
+        double err = 0.0;
+        int n = 0;
+        for (int y = 4; y < d.height() - 4; ++y) {
+            for (int x = 20; x < d.width() - 4; ++x) {
+                err += std::fabs(d.at(x, y) - scene->disparity.at(x, y));
+                ++n;
+            }
+        }
+        return err / n;
+    };
+    const double raw_err = mae(res.raw_disparity);
+    const double refined_err = mae(res.disparity);
+    // The whole point of BSSA: bilateral-space smoothing denoises the
+    // WTA estimate without destroying depth edges.
+    EXPECT_LT(refined_err, raw_err);
+}
+
+TEST_F(BssaFixture, OpCountsPopulated)
+{
+    BssaConfig cfg;
+    cfg.max_disparity = 8;
+    cfg.solver_iterations = 4;
+    const BssaStereo stereo(cfg);
+    const BssaResult res = stereo.compute(scene->left, scene->right);
+    EXPECT_GT(res.ops.matching_ops, 0u);
+    EXPECT_GT(res.ops.grid.splat_ops, 0u);
+    EXPECT_GT(res.ops.grid.slice_ops, 0u);
+    EXPECT_EQ(res.ops.filterVisits(),
+              res.grid_vertices * 3 * cfg.solver_iterations);
+}
+
+TEST_F(BssaFixture, CoarserGridIsCheaperButWorse)
+{
+    // The Fig. 7 tradeoff: growing cells shrinks the grid (cheaper)
+    // and degrades depth quality, monotonically at the extremes.
+    auto quality = [&](double cell, size_t *vertices) {
+        BssaConfig cfg;
+        cfg.max_disparity = 16;
+        cfg.cell_spatial = cell;
+        cfg.solver_iterations = 10;
+        const BssaStereo stereo(cfg);
+        const BssaResult res = stereo.compute(scene->left, scene->right);
+        *vertices = res.grid_vertices;
+        // Compare normalized disparity maps.
+        ImageF got = res.disparity;
+        ImageF want = scene->disparity;
+        for (float &v : got) {
+            v /= 16.0f;
+        }
+        for (float &v : want) {
+            v /= 16.0f;
+        }
+        return msSsim(want, got);
+    };
+
+    size_t v_fine = 0, v_coarse = 0;
+    const double q_fine = quality(4.0, &v_fine);
+    const double q_coarse = quality(32.0, &v_coarse);
+    EXPECT_GT(v_fine, 10 * v_coarse);
+    EXPECT_GT(q_fine, q_coarse);
+}
+
+TEST(Bssa, HandlesFlatScene)
+{
+    // Degenerate (textureless) input must not crash or emit NaNs.
+    ImageF flat_l(40, 30, 1, 0.5f);
+    ImageF flat_r(40, 30, 1, 0.5f);
+    BssaConfig cfg;
+    cfg.max_disparity = 8;
+    cfg.solver_iterations = 3;
+    const BssaResult res = BssaStereo(cfg).compute(flat_l, flat_r);
+    for (float v : res.disparity) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 8.0f);
+    }
+}
+
+} // namespace
+} // namespace incam

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the in-camera compression codecs (the paper's §II
+ * "compression as an optional block" extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "image/codec.hh"
+#include "image/metrics.hh"
+#include "image/ops.hh"
+#include "workload/facegen.hh"
+#include "workload/texture.hh"
+
+namespace incam {
+namespace {
+
+ImageU8
+naturalImage(int w, int h, uint64_t seed)
+{
+    return toU8(makeValueNoise(w, h, 24, 3, seed));
+}
+
+ImageU8
+randomImage(int w, int h, uint64_t seed)
+{
+    Rng rng(seed);
+    ImageU8 img(w, h, 1);
+    for (auto &v : img) {
+        v = static_cast<uint8_t>(rng.below(256));
+    }
+    return img;
+}
+
+TEST(Lossless, RoundTripExactOnNaturalImage)
+{
+    const ImageU8 img = naturalImage(97, 61, 5);
+    const EncodedImage enc = LosslessCodec::encode(img);
+    const ImageU8 back = LosslessCodec::decode(enc);
+    ASSERT_TRUE(back.sameShape(img));
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            ASSERT_EQ(back.at(x, y), img.at(x, y));
+        }
+    }
+}
+
+TEST(Lossless, RoundTripExactOnNoise)
+{
+    // Incompressible input must still round-trip exactly (it may
+    // expand slightly — that's allowed).
+    const ImageU8 img = randomImage(64, 64, 9);
+    const ImageU8 back = LosslessCodec::decode(LosslessCodec::encode(img));
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            ASSERT_EQ(back.at(x, y), img.at(x, y));
+        }
+    }
+}
+
+TEST(Lossless, CompressesSmoothContent)
+{
+    // A flat image is almost all zero residuals -> huge ratio.
+    const ImageU8 flat(128, 128, 1, 77);
+    const EncodedImage enc = LosslessCodec::encode(flat);
+    EXPECT_GT(enc.ratio(), 100.0);
+
+    // Natural texture: modest but real compression.
+    const EncodedImage nat =
+        LosslessCodec::encode(naturalImage(128, 128, 6));
+    EXPECT_GT(nat.ratio(), 1.3);
+}
+
+TEST(Lossless, RandomNoiseBarelyCompresses)
+{
+    const EncodedImage enc = LosslessCodec::encode(randomImage(64, 64, 4));
+    EXPECT_LT(enc.ratio(), 1.1);
+}
+
+TEST(Lossless, OpsReported)
+{
+    const EncodedImage enc = LosslessCodec::encode(naturalImage(32, 32, 2));
+    EXPECT_EQ(enc.ops, 32u * 32 * 6);
+}
+
+TEST(Dct, RoundTripShapeAndRange)
+{
+    const ImageU8 img = naturalImage(100, 70, 8); // non-multiple of 8
+    const ImageU8 back = DctCodec::roundTrip(img, 60);
+    ASSERT_TRUE(back.sameShape(img));
+}
+
+TEST(Dct, HighQualityIsNearLossless)
+{
+    const ImageU8 img = naturalImage(96, 96, 3);
+    const ImageU8 back = DctCodec::roundTrip(img, 98);
+    EXPECT_GT(psnr(toFloat(img), toFloat(back)), 40.0);
+}
+
+TEST(Dct, QualityKnobIsMonotone)
+{
+    const ImageU8 img = naturalImage(96, 96, 7);
+    double prev_psnr = 0.0;
+    double prev_bytes = 0.0;
+    for (int q : {10, 35, 60, 85}) {
+        EncodedImage enc;
+        const ImageU8 back = DctCodec::roundTrip(img, q, &enc);
+        const double quality = psnr(toFloat(img), toFloat(back));
+        EXPECT_GE(quality, prev_psnr) << "quality " << q;
+        EXPECT_GE(static_cast<double>(enc.bytes.size()), prev_bytes)
+            << "quality " << q;
+        prev_psnr = quality;
+        prev_bytes = static_cast<double>(enc.bytes.size());
+    }
+}
+
+TEST(Dct, BeatsLosslessOnRatioAtModerateQuality)
+{
+    const ImageU8 img = naturalImage(128, 128, 11);
+    const EncodedImage lossless = LosslessCodec::encode(img);
+    EncodedImage lossy;
+    const ImageU8 back = DctCodec::roundTrip(img, 40, &lossy);
+    EXPECT_LT(lossy.bytes.size(), lossless.bytes.size());
+    // ...while keeping respectable quality.
+    EXPECT_GT(msSsim(toFloat(img), toFloat(back)), 0.8);
+}
+
+TEST(Dct, FlatBlocksAreTiny)
+{
+    const ImageU8 flat(64, 64, 1, 130);
+    EncodedImage enc;
+    const ImageU8 back = DctCodec::roundTrip(flat, 50, &enc);
+    EXPECT_GT(enc.ratio(), 50.0);
+    // DC-only reconstruction of a flat block is exact up to rounding.
+    EXPECT_NEAR(back.at(10, 10), 130, 2);
+}
+
+TEST(Dct, FacesSurviveCompressionForAuthentication)
+{
+    // A face crop compressed at moderate quality must stay recognizable
+    // (structural similarity), supporting the "compress then offload"
+    // pipeline option.
+    Rng rng(5);
+    const ImageU8 face =
+        toU8(renderFace(identityParams(3), easyVariation(rng), 64));
+    const ImageU8 back = DctCodec::roundTrip(face, 50);
+    EXPECT_GT(ssim(toFloat(face), toFloat(back)), 0.85);
+}
+
+/** Parameterized sweep: every size/quality round-trips within bounds. */
+class DctSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(DctSweep, ReconstructionBounded)
+{
+    const auto [w, h, q] = GetParam();
+    const ImageU8 img = naturalImage(w, h, 13);
+    const ImageU8 back = DctCodec::roundTrip(img, q);
+    ASSERT_TRUE(back.sameShape(img));
+    // Mean abs error bounded by the coarsest quantizer step.
+    double mae = 0.0;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            mae += std::abs(static_cast<int>(back.at(x, y)) -
+                            img.at(x, y));
+        }
+    }
+    mae /= static_cast<double>(w) * h;
+    EXPECT_LT(mae, q >= 50 ? 6.0 : 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DctSweep,
+    ::testing::Values(std::tuple{8, 8, 50}, std::tuple{16, 24, 20},
+                      std::tuple{100, 70, 50}, std::tuple{33, 15, 80},
+                      std::tuple{160, 120, 35}));
+
+} // namespace
+} // namespace incam

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit and property tests for runtime fixed-point arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/fixed.hh"
+#include "common/rng.hh"
+
+namespace incam {
+namespace {
+
+TEST(FixedFormat, RangeAndLsb)
+{
+    const FixedFormat q{8, 6}; // Q1.6
+    EXPECT_EQ(q.maxRaw(), 127);
+    EXPECT_EQ(q.minRaw(), -128);
+    EXPECT_DOUBLE_EQ(q.lsb(), 1.0 / 64.0);
+    EXPECT_DOUBLE_EQ(q.maxValue(), 127.0 / 64.0);
+    EXPECT_DOUBLE_EQ(q.minValue(), -2.0);
+    EXPECT_EQ(q.toString(), "Q1.6 (8b)");
+}
+
+TEST(Fixed, QuantizeRoundsToNearest)
+{
+    const FixedFormat q{8, 4};
+    EXPECT_EQ(quantize(1.0, q), 16);
+    EXPECT_EQ(quantize(1.03, q), 16);  // 16.48 -> 16
+    EXPECT_EQ(quantize(1.035, q), 17); // 16.56 -> 17
+    EXPECT_EQ(quantize(-1.03, q), -16);
+}
+
+TEST(Fixed, QuantizeSaturates)
+{
+    const FixedFormat q{8, 4};
+    EXPECT_EQ(quantize(100.0, q), q.maxRaw());
+    EXPECT_EQ(quantize(-100.0, q), q.minRaw());
+}
+
+TEST(Fixed, SaturateClamps)
+{
+    const FixedFormat q{8, 0};
+    EXPECT_EQ(saturate(500, q), 127);
+    EXPECT_EQ(saturate(-500, q), -128);
+    EXPECT_EQ(saturate(5, q), 5);
+}
+
+TEST(Fixed, RescaleRounds)
+{
+    // 0.75 at frac 4 (raw 12) -> frac 2 (raw 3).
+    EXPECT_EQ(rescale(12, 4, 2), 3);
+    // Rounding: raw 13 at frac 4 = 0.8125 -> frac 2: 3.25 -> 3.
+    EXPECT_EQ(rescale(13, 4, 2), 3);
+    // raw 14 = 0.875 -> 3.5 rounds away from zero -> 4.
+    EXPECT_EQ(rescale(14, 4, 2), 4);
+    EXPECT_EQ(rescale(-14, 4, 2), -4);
+    // Upscale is exact.
+    EXPECT_EQ(rescale(3, 2, 4), 12);
+    EXPECT_EQ(rescale(7, 3, 3), 7);
+}
+
+TEST(Fixed, BestFormatCoversRange)
+{
+    // max 0.9 at 8 bits: Q0.7 covers (-1, 1).
+    EXPECT_EQ(bestFormatFor(0.9, 8).frac, 7);
+    // max 1.5 needs one integer bit.
+    EXPECT_EQ(bestFormatFor(1.5, 8).frac, 6);
+    // max 12 needs four integer bits.
+    EXPECT_EQ(bestFormatFor(12.0, 8).frac, 3);
+    EXPECT_EQ(bestFormatFor(12.0, 16).frac, 11);
+}
+
+TEST(Fixed, RoundTripErrorBoundedByHalfLsb)
+{
+    Rng rng(77);
+    for (int width : {4, 8, 12, 16}) {
+        for (int i = 0; i < 200; ++i) {
+            const double v = rng.uniform(-1.9, 1.9);
+            const FixedFormat q = bestFormatFor(2.0, width);
+            const double rt = roundTrip(v, q);
+            EXPECT_LE(std::fabs(rt - v), q.lsb() * 0.5 + 1e-12)
+                << "width " << width << " value " << v;
+        }
+    }
+}
+
+TEST(Fixed, NarrowerFormatsHaveLargerError)
+{
+    Rng rng(78);
+    double err4 = 0.0, err8 = 0.0, err16 = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.uniform(-1.0, 1.0);
+        err4 += std::fabs(roundTrip(v, bestFormatFor(1.0, 4)) - v);
+        err8 += std::fabs(roundTrip(v, bestFormatFor(1.0, 8)) - v);
+        err16 += std::fabs(roundTrip(v, bestFormatFor(1.0, 16)) - v);
+    }
+    EXPECT_GT(err4, err8);
+    EXPECT_GT(err8, err16);
+}
+
+TEST(Fixed, MulProducesSumOfFracs)
+{
+    const FixedFormat a{8, 6};
+    const FixedFormat b{8, 4};
+    const int64_t ra = quantize(0.5, a);  // 32
+    const int64_t rb = quantize(2.0, b);  // 32
+    const int64_t prod = fixedMul(ra, rb);
+    // Product has frac 10: 0.5 * 2.0 = 1.0 -> raw 1024.
+    EXPECT_EQ(prod, 1024);
+    EXPECT_DOUBLE_EQ(dequantize(prod, FixedFormat{22, 10}), 1.0);
+}
+
+} // namespace
+} // namespace incam

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the hardware models: ASIC energies, devices, FPGA resources
+ * (Table I), RF harvesting, sensors and links.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/network.hh"
+#include "hw/device.hh"
+#include "hw/energy_model.hh"
+#include "hw/fpga.hh"
+#include "hw/rf_harvest.hh"
+#include "hw/sensor.hh"
+
+namespace incam {
+namespace {
+
+TEST(AsicEnergy, ScalesWithWidth)
+{
+    const AsicEnergyModel m;
+    EXPECT_GT(m.mac(16).pj(), m.mac(8).pj());
+    EXPECT_GT(m.sramRead(16).pj(), m.sramRead(8).pj());
+    EXPECT_LT(m.mac(8).pj(), 2.0 * m.mac(16).pj());
+    // 8-bit MAC in the published 28nm ballpark (~0.2-0.5 pJ).
+    EXPECT_GT(m.mac(8).pj(), 0.1);
+    EXPECT_LT(m.mac(8).pj(), 1.0);
+}
+
+TEST(AsicEnergy, IdleClockCheaperThanActive)
+{
+    const AsicEnergyModel m;
+    EXPECT_LT(m.peClockIdle(8).pj(), m.peClockActive(8).pj());
+}
+
+TEST(Device, ArmA9Throughput)
+{
+    const ProcessorModel cpu = armCortexA9();
+    EXPECT_NEAR(cpu.opsPerSecond(), 667e6 * 2.6, 1e3);
+    EXPECT_NEAR(cpu.timeForOps(1.734e9).sec(), 1.0, 0.01);
+    EXPECT_GT(cpu.energyForOps(1e9).j(), 0.0);
+}
+
+TEST(Device, RelativeThroughputOrdering)
+{
+    // GPU >> CPU >> MCU on sustained op throughput.
+    EXPECT_GT(quadroK2200().opsPerSecond(),
+              10.0 * armCortexA9().opsPerSecond());
+    EXPECT_GT(armCortexA9().opsPerSecond(),
+              100.0 * gpMicrocontroller().opsPerSecond());
+}
+
+TEST(Device, McuEnergyPerOpWorseThanAsic)
+{
+    // The paper's premise: a GP microcontroller pays orders of
+    // magnitude more energy per op than the fixed-function datapath.
+    const AsicEnergyModel asic;
+    const Energy mcu_op = gpMicrocontroller().energyPerOp();
+    EXPECT_GT(mcu_op.pj(), 50.0 * asic.mac(8).pj());
+}
+
+TEST(Fpga, ZynqInventory)
+{
+    const FpgaPart z = zynq7020();
+    EXPECT_EQ(z.dsps, 220);
+    EXPECT_EQ(z.luts, 53200);
+    EXPECT_EQ(z.bram36, 140);
+}
+
+TEST(Fpga, TableIEvaluationRow)
+{
+    // Paper Table I (evaluation): Zynq-7000, 2 cameras, logic 45.91%,
+    // RAM 6.70%, DSP 94.09% at 125 MHz.
+    const FpgaDesignModel design(zynq7020(), 2);
+    const int cus = design.maxComputeUnits();
+    EXPECT_EQ(cus, 11);
+    const FpgaUsage u = design.usage(cus);
+    EXPECT_NEAR(u.dsp_pct, 94.09, 0.2);
+    EXPECT_NEAR(u.logic_pct, 45.91, 0.5);
+    EXPECT_NEAR(u.ram_pct, 6.70, 0.5);
+}
+
+TEST(Fpga, TableITargetRow)
+{
+    // Paper Table I (target): Virtex UltraScale+, 16 cameras, logic
+    // 67.10%, RAM 17.60%, DSP 99.98%; text: "up to 682 compute units".
+    const FpgaDesignModel design(virtexUltraScalePlus(), 16);
+    const int cus = design.maxComputeUnits();
+    EXPECT_EQ(cus, 682);
+    const FpgaUsage u = design.usage(cus);
+    EXPECT_NEAR(u.dsp_pct, 99.98, 0.1);
+    EXPECT_NEAR(u.logic_pct, 67.10, 0.5);
+    EXPECT_NEAR(u.ram_pct, 17.60, 0.5);
+}
+
+TEST(Fpga, ThroughputScalesWithUnits)
+{
+    const FpgaDesignModel design(zynq7020(), 2);
+    EXPECT_DOUBLE_EQ(design.verticesPerSecond(1), 125e6);
+    EXPECT_DOUBLE_EQ(design.verticesPerSecond(11), 11 * 125e6);
+}
+
+TEST(Fpga, UsageRejectsOversizedDesign)
+{
+    const FpgaDesignModel design(zynq7020(), 2);
+    EXPECT_DEATH(design.usage(design.maxComputeUnits() + 1), "fit");
+}
+
+TEST(Harvest, FriisFalloff)
+{
+    const RfHarvesterConfig cfg;
+    const Power at1 = harvestedPower(cfg, 1.0);
+    const Power at2 = harvestedPower(cfg, 2.0);
+    const Power at4 = harvestedPower(cfg, 4.0);
+    EXPECT_NEAR(at1.w() / at2.w(), 4.0, 1e-9);
+    EXPECT_NEAR(at2.w() / at4.w(), 4.0, 1e-9);
+    // Sub-mW at realistic deployment distances.
+    EXPECT_LT(harvestedPower(cfg, 3.0).w(), 1e-3);
+    EXPECT_GT(harvestedPower(cfg, 3.0).uw(), 10.0);
+}
+
+TEST(Harvest, RangeInvertsModel)
+{
+    const RfHarvesterConfig cfg;
+    const Power target = Power::microwatts(100);
+    const double d = harvestingRange(cfg, target);
+    EXPECT_NEAR(harvestedPower(cfg, d).uw(), 100.0, 0.01);
+}
+
+TEST(Capacitor, ChargeDischargeCycle)
+{
+    StorageCapacitor cap(100e-6, 3.0, 1.8); // 100 uF, 3.0 V -> 1.8 V
+    const double usable = 0.5 * 100e-6 * (9.0 - 3.24);
+    EXPECT_NEAR(cap.usableEnergy().j(), usable, 1e-9);
+    EXPECT_TRUE(cap.discharge(Energy::microjoules(100)));
+    EXPECT_LT(cap.voltage(), 3.0);
+    // Recharge restores the voltage (clamped at full).
+    cap.charge(Power::milliwatts(1), Time::seconds(10));
+    EXPECT_NEAR(cap.voltage(), 3.0, 1e-9);
+}
+
+TEST(Capacitor, RefusesOverdraw)
+{
+    StorageCapacitor cap(10e-6, 2.5, 2.0);
+    const Energy too_much = cap.usableEnergy() + Energy::microjoules(1);
+    const double v_before = cap.voltage();
+    EXPECT_FALSE(cap.discharge(too_much));
+    EXPECT_DOUBLE_EQ(cap.voltage(), v_before);
+    EXPECT_TRUE(cap.discharge(cap.usableEnergy()));
+    EXPECT_NEAR(cap.voltage(), 2.0, 1e-9);
+}
+
+TEST(Capacitor, RechargeTime)
+{
+    StorageCapacitor cap(100e-6, 3.0, 1.8);
+    const Time t = cap.rechargeTime(Power::microwatts(100));
+    EXPECT_NEAR(t.sec(), cap.usableCapacity().j() / 100e-6, 1e-9);
+}
+
+TEST(Harvest, SustainableRate)
+{
+    // 100 uW harvested, 10 uW standby, 30 uJ per event -> 3 events/s.
+    const double rate =
+        sustainableRate(Power::microwatts(100), Power::microwatts(10),
+                        Energy::microjoules(30));
+    EXPECT_NEAR(rate, 3.0, 1e-9);
+    EXPECT_DOUBLE_EQ(
+        sustainableRate(Power::microwatts(5), Power::microwatts(10),
+                        Energy::microjoules(30)),
+        0.0);
+}
+
+TEST(Sensor, CaptureEnergyAndSize)
+{
+    const SensorModel s;
+    EXPECT_DOUBLE_EQ(s.frameBytes(160, 120).b(), 19200.0);
+    const Energy e = s.captureEnergy(160, 120);
+    // QQVGA capture lands in the sub-uJ..uJ regime for a low-power
+    // sensor; offloading the same frame must cost much more.
+    EXPECT_GT(e.uj(), 0.1);
+    EXPECT_LT(e.uj(), 10.0);
+    const RadioModel radio;
+    EXPECT_GT(radio.transmitEnergy(s.frameBytes(160, 120)).j(),
+              10.0 * e.j());
+}
+
+TEST(Network, LinkRates)
+{
+    EXPECT_NEAR(twentyFiveGbE().goodput().gbps(), 25.0, 1e-9);
+    EXPECT_NEAR(fourHundredGbE().goodput().gbps(), 400.0, 1e-9);
+    EXPECT_NEAR(wifiUplink().goodput().gbps(), 0.072 * 0.6, 1e-9);
+    const NetworkLink eth = twentyFiveGbE();
+    EXPECT_NEAR(eth.framesPerSecond(DataSize::megabytes(199.066)), 15.70,
+                0.02);
+}
+
+TEST(Network, TransferEnergyScalesWithBits)
+{
+    const NetworkLink bs = backscatterUplink();
+    const Energy one_kb = bs.transferEnergy(DataSize::kilobytes(1));
+    EXPECT_NEAR(one_kb.uj(), 0.4e-3 * 8000 * 1e3 / 1e3, 1e-6);
+    EXPECT_NEAR(bs.transferEnergy(DataSize::kilobytes(2)).j(),
+                2 * one_kb.j(), 1e-15);
+}
+
+} // namespace
+} // namespace incam

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Integral-image correctness: exhaustive and property-based comparison
+ * against brute-force rectangle sums.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "image/integral.hh"
+
+namespace incam {
+namespace {
+
+int64_t
+bruteSum(const ImageU8 &img, int x, int y, int w, int h)
+{
+    int64_t acc = 0;
+    for (int yy = y; yy < y + h; ++yy) {
+        for (int xx = x; xx < x + w; ++xx) {
+            acc += img.at(xx, yy);
+        }
+    }
+    return acc;
+}
+
+int64_t
+bruteSumSq(const ImageU8 &img, int x, int y, int w, int h)
+{
+    int64_t acc = 0;
+    for (int yy = y; yy < y + h; ++yy) {
+        for (int xx = x; xx < x + w; ++xx) {
+            acc += static_cast<int64_t>(img.at(xx, yy)) * img.at(xx, yy);
+        }
+    }
+    return acc;
+}
+
+ImageU8
+randomImage(int w, int h, uint64_t seed)
+{
+    Rng rng(seed);
+    ImageU8 img(w, h, 1);
+    for (auto &v : img) {
+        v = static_cast<uint8_t>(rng.below(256));
+    }
+    return img;
+}
+
+TEST(Integral, MatchesBruteForceExhaustiveSmall)
+{
+    const ImageU8 img = randomImage(9, 7, 101);
+    const IntegralImage ii(img);
+    for (int y = 0; y < 7; ++y) {
+        for (int x = 0; x < 9; ++x) {
+            for (int h = 1; y + h <= 7; ++h) {
+                for (int w = 1; x + w <= 9; ++w) {
+                    ASSERT_EQ(ii.rectSum(x, y, w, h),
+                              bruteSum(img, x, y, w, h));
+                    ASSERT_EQ(ii.rectSumSq(x, y, w, h),
+                              bruteSumSq(img, x, y, w, h));
+                }
+            }
+        }
+    }
+}
+
+TEST(Integral, FullImageSum)
+{
+    const ImageU8 img = randomImage(64, 48, 55);
+    const IntegralImage ii(img);
+    int64_t total = 0;
+    for (auto v : img) {
+        total += v;
+    }
+    EXPECT_EQ(ii.rectSum(0, 0, 64, 48), total);
+}
+
+TEST(Integral, EmptyRectIsZero)
+{
+    const ImageU8 img = randomImage(8, 8, 3);
+    const IntegralImage ii(img);
+    EXPECT_EQ(ii.rectSum(4, 4, 0, 0), 0);
+    EXPECT_EQ(ii.rectSum(4, 4, 0, 3), 0);
+}
+
+TEST(Integral, MeanAndStddev)
+{
+    ImageU8 img(4, 4, 1, 10);
+    img.at(0, 0) = 30; // mean of 2x2 at origin: (30+10+10+10)/4 = 15
+    const IntegralImage ii(img);
+    EXPECT_DOUBLE_EQ(ii.rectMean(0, 0, 2, 2), 15.0);
+    // Variance: ((30-15)^2 + 3*(10-15)^2)/4 = (225+75)/4 = 75.
+    EXPECT_NEAR(ii.rectStddev(0, 0, 2, 2), std::sqrt(75.0), 1e-9);
+}
+
+TEST(Integral, StddevZeroForFlat)
+{
+    ImageU8 img(6, 6, 1, 128);
+    const IntegralImage ii(img);
+    EXPECT_DOUBLE_EQ(ii.rectStddev(1, 1, 4, 4), 0.0);
+}
+
+/** Property sweep across image shapes. */
+class IntegralShapes : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(IntegralShapes, RandomRectsMatchBruteForce)
+{
+    const auto [w, h] = GetParam();
+    const ImageU8 img = randomImage(w, h, 1000 + w * 31 + h);
+    const IntegralImage ii(img);
+    Rng rng(w * 131 + h);
+    for (int i = 0; i < 200; ++i) {
+        const int x = static_cast<int>(rng.below(w));
+        const int y = static_cast<int>(rng.below(h));
+        const int rw = 1 + static_cast<int>(rng.below(w - x));
+        const int rh = 1 + static_cast<int>(rng.below(h - y));
+        ASSERT_EQ(ii.rectSum(x, y, rw, rh), bruteSum(img, x, y, rw, rh));
+        ASSERT_EQ(ii.rectSumSq(x, y, rw, rh),
+                  bruteSumSq(img, x, y, rw, rh));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IntegralShapes,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 17}, std::pair{17, 1},
+                      std::pair{20, 20}, std::pair{160, 120},
+                      std::pair{33, 77}));
+
+} // namespace
+} // namespace incam

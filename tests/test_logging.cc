@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for the logging/error-reporting primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace incam {
+namespace {
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(incam_panic("broken invariant ", 42),
+                 "broken invariant 42");
+}
+
+TEST(Logging, FatalExitsWithError)
+{
+    EXPECT_EXIT(incam_fatal("bad user input: ", "nope"),
+                ::testing::ExitedWithCode(1), "bad user input: nope");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    incam_assert(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(Logging, AssertDiesOnFalse)
+{
+    EXPECT_DEATH(incam_assert(false, "value was ", 7),
+                 "assertion 'false' failed: value was 7");
+}
+
+TEST(Logging, WarnCountsEvenWhenSilenced)
+{
+    const unsigned long before = warnCount();
+    setLogVerbose(false);
+    incam_warn("quiet warning");
+    setLogVerbose(true);
+    EXPECT_EQ(warnCount(), before + 1);
+}
+
+TEST(Logging, VerbosityToggle)
+{
+    setLogVerbose(false);
+    EXPECT_FALSE(logVerbose());
+    setLogVerbose(true);
+    EXPECT_TRUE(logVerbose());
+}
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("x=", 3, " y=", 2.5, " z=", "s"),
+              "x=3 y=2.5 z=s");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+} // namespace
+} // namespace incam

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for PSNR / SSIM / MS-SSIM quality metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "image/metrics.hh"
+#include "image/ops.hh"
+#include "workload/texture.hh"
+
+namespace incam {
+namespace {
+
+ImageF
+testTexture(int w, int h, uint64_t seed)
+{
+    return makeValueNoise(w, h, 16, 3, seed);
+}
+
+TEST(Metrics, MseZeroForIdentical)
+{
+    const ImageF img = testTexture(32, 32, 1);
+    EXPECT_DOUBLE_EQ(mse(img, img), 0.0);
+    EXPECT_TRUE(std::isinf(psnr(img, img)));
+}
+
+TEST(Metrics, MseKnownValue)
+{
+    ImageF a(2, 2, 1, 0.5f);
+    ImageF b(2, 2, 1, 0.7f);
+    EXPECT_NEAR(mse(a, b), 0.04, 1e-6);
+    EXPECT_NEAR(psnr(a, b), 10.0 * std::log10(1.0 / 0.04), 1e-4);
+}
+
+TEST(Metrics, SsimOneForIdentical)
+{
+    const ImageF img = testTexture(48, 48, 2);
+    EXPECT_NEAR(ssim(img, img), 1.0, 1e-9);
+    EXPECT_NEAR(msSsim(img, img), 1.0, 1e-6);
+}
+
+TEST(Metrics, SsimDropsWithNoise)
+{
+    const ImageF img = testTexture(64, 64, 3);
+    ImageF light = img;
+    ImageF heavy = img;
+    Rng r1(4), r2(5);
+    addGaussianNoise(light, 0.02, r1);
+    addGaussianNoise(heavy, 0.15, r2);
+    const double s_light = ssim(img, light);
+    const double s_heavy = ssim(img, heavy);
+    EXPECT_GT(s_light, s_heavy);
+    EXPECT_GT(s_light, 0.8);
+    EXPECT_LT(s_heavy, 0.7);
+}
+
+TEST(Metrics, MsSsimDropsWithBlur)
+{
+    const ImageF img = testTexture(96, 96, 6);
+    const ImageF soft = gaussianBlur(img, 1.0);
+    const ImageF mush = gaussianBlur(img, 4.0);
+    const double q_soft = msSsim(img, soft);
+    const double q_mush = msSsim(img, mush);
+    EXPECT_GT(q_soft, q_mush);
+    EXPECT_LT(q_mush, 0.9);
+}
+
+TEST(Metrics, MsSsimHandlesSmallImages)
+{
+    // Pyramid must terminate early without crashing on small inputs.
+    const ImageF img = testTexture(24, 24, 7);
+    ImageF noisy = img;
+    Rng rng(8);
+    addGaussianNoise(noisy, 0.05, rng);
+    const double q = msSsim(img, noisy);
+    EXPECT_GT(q, 0.0);
+    EXPECT_LE(q, 1.0);
+}
+
+TEST(Metrics, SymmetricInArguments)
+{
+    const ImageF a = testTexture(40, 40, 9);
+    ImageF b = a;
+    Rng rng(10);
+    addGaussianNoise(b, 0.05, rng);
+    EXPECT_NEAR(ssim(a, b), ssim(b, a), 1e-9);
+    EXPECT_NEAR(mse(a, b), mse(b, a), 1e-12);
+}
+
+TEST(Metrics, MsSsimRanksDegradations)
+{
+    // A mild degradation must always score above a severe one — the
+    // property Fig. 7's quality axis relies on.
+    const ImageF img = testTexture(80, 80, 11);
+    double prev = 1.0;
+    for (double sigma : {0.5, 1.5, 3.0}) {
+        const double q = msSsim(img, gaussianBlur(img, sigma));
+        EXPECT_LT(q, prev + 1e-9) << "sigma " << sigma;
+        prev = q;
+    }
+}
+
+} // namespace
+} // namespace incam

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Randomized property tests for the core pipeline framework.
+ *
+ * Instead of hand-built examples, these generate random (but legal)
+ * pipelines and check invariants that must hold for *every* instance:
+ * optimizer optimality against exhaustive enumeration, duty-cycling
+ * monotonicity, cut-bytes consistency, and cost monotonicity in the
+ * link bandwidth.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/optimizer.hh"
+
+namespace incam {
+namespace {
+
+/** Generate a random legal pipeline with 2-5 blocks. */
+Pipeline
+randomPipeline(Rng &rng)
+{
+    Pipeline p("random", DataSize::kilobytes(rng.uniform(1.0, 200.0)));
+    const int blocks = static_cast<int>(rng.range(2, 5));
+    bool has_core = false;
+    for (int b = 0; b < blocks; ++b) {
+        const bool last = b == blocks - 1;
+        const bool optional = !last && rng.chance(0.6);
+        has_core |= !optional;
+        Block blk("B" + std::to_string(b), optional,
+                  DataSize::kilobytes(rng.uniform(0.01, 150.0)));
+        if (optional && rng.chance(0.7)) {
+            blk.setPassFraction(rng.uniform(0.05, 1.0));
+        }
+        const int impls = static_cast<int>(rng.range(1, 3));
+        const Impl options[] = {Impl::Asic, Impl::Fpga, Impl::Cpu,
+                                Impl::Mcu};
+        for (int i = 0; i < impls; ++i) {
+            blk.addImpl(options[(b + i) % 4],
+                        {Time::microseconds(rng.uniform(1.0, 5000.0)),
+                         Energy::nanojoules(rng.uniform(1.0, 50000.0))});
+        }
+        p.add(blk);
+    }
+    (void)has_core;
+    return p;
+}
+
+NetworkLink
+randomLink(Rng &rng)
+{
+    NetworkLink l;
+    l.name = "random";
+    l.bandwidth = Bandwidth::megabitsPerSec(rng.uniform(0.1, 1000.0));
+    l.energy_per_bit = Energy::nanojoules(rng.uniform(0.01, 10.0));
+    return l;
+}
+
+TEST(PipelineProperty, OptimizerBestIsGlobalMinimum)
+{
+    Rng rng(2001);
+    for (int trial = 0; trial < 25; ++trial) {
+        const Pipeline p = randomPipeline(rng);
+        const PipelineOptimizer opt(p, randomLink(rng));
+        OptimizerGoal goal;
+        goal.kind = trial % 2 == 0 ? OptimizerGoal::Kind::MinEnergy
+                                   : OptimizerGoal::Kind::MaxThroughput;
+        const auto all = opt.enumerate(goal);
+        ASSERT_FALSE(all.empty());
+        const ConfigResult best = opt.best(goal);
+        for (const auto &r : all) {
+            if (goal.kind == OptimizerGoal::Kind::MinEnergy) {
+                EXPECT_LE(best.energy.total().j(),
+                          r.energy.total().j() + 1e-15)
+                    << "trial " << trial;
+            } else {
+                EXPECT_GE(best.throughput.total_fps + 1e-9,
+                          r.throughput.total_fps)
+                    << "trial " << trial;
+            }
+        }
+    }
+}
+
+TEST(PipelineProperty, EnumerationCoversAllCuts)
+{
+    Rng rng(2002);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Pipeline p = randomPipeline(rng);
+        const PipelineOptimizer opt(p, randomLink(rng));
+        OptimizerGoal goal;
+        const auto all = opt.enumerate(goal);
+        std::vector<bool> cut_seen(static_cast<size_t>(p.blockCount()) + 1,
+                                   false);
+        for (const auto &r : all) {
+            cut_seen[static_cast<size_t>(r.config.cut)] = true;
+        }
+        for (size_t c = 0; c < cut_seen.size(); ++c) {
+            EXPECT_TRUE(cut_seen[c]) << "cut " << c << " unexplored";
+        }
+    }
+}
+
+TEST(PipelineProperty, CutBytesAlwaysOutputOfLastIncludedBlock)
+{
+    Rng rng(2003);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Pipeline p = randomPipeline(rng);
+        const PipelineEvaluator eval(p, randomLink(rng));
+        const PipelineOptimizer opt(p, randomLink(rng));
+        OptimizerGoal goal;
+        for (const auto &r : opt.enumerate(goal)) {
+            DataSize expected = p.sourceBytes();
+            for (int i = 0; i < r.config.cut; ++i) {
+                if (r.config.include[static_cast<size_t>(i)]) {
+                    expected = p.block(i).outputBytes();
+                }
+            }
+            EXPECT_DOUBLE_EQ(eval.cutBytes(r.config).b(), expected.b());
+        }
+    }
+}
+
+TEST(PipelineProperty, DutyNeverExceedsOne)
+{
+    Rng rng(2004);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Pipeline p = randomPipeline(rng);
+        const PipelineOptimizer opt(p, randomLink(rng));
+        OptimizerGoal goal;
+        for (const auto &r : opt.enumerate(goal)) {
+            EXPECT_GT(r.energy.cut_duty, 0.0);
+            EXPECT_LE(r.energy.cut_duty, 1.0);
+            // Per-block energies are non-negative and sum to compute.
+            Energy sum;
+            for (const Energy &e : r.energy.per_block) {
+                EXPECT_GE(e.j(), 0.0);
+                sum += e;
+            }
+            EXPECT_NEAR(sum.j(), r.energy.compute.j(),
+                        1e-12 + 1e-9 * r.energy.compute.j());
+        }
+    }
+}
+
+TEST(PipelineProperty, FasterLinkNeverHurts)
+{
+    Rng rng(2005);
+    for (int trial = 0; trial < 15; ++trial) {
+        const Pipeline p = randomPipeline(rng);
+        NetworkLink slow = randomLink(rng);
+        NetworkLink fast = slow;
+        fast.bandwidth = slow.bandwidth * 4.0;
+
+        OptimizerGoal goal;
+        goal.kind = OptimizerGoal::Kind::MaxThroughput;
+        const ConfigResult best_slow =
+            PipelineOptimizer(p, slow).best(goal);
+        const ConfigResult best_fast =
+            PipelineOptimizer(p, fast).best(goal);
+        EXPECT_GE(best_fast.throughput.total_fps + 1e-9,
+                  best_slow.throughput.total_fps)
+            << "trial " << trial;
+    }
+}
+
+TEST(PipelineProperty, CheaperRadioNeverHurtsEnergy)
+{
+    Rng rng(2006);
+    for (int trial = 0; trial < 15; ++trial) {
+        const Pipeline p = randomPipeline(rng);
+        NetworkLink costly = randomLink(rng);
+        NetworkLink cheap = costly;
+        cheap.energy_per_bit = costly.energy_per_bit / 8.0;
+
+        OptimizerGoal goal;
+        goal.kind = OptimizerGoal::Kind::MinEnergy;
+        const ConfigResult best_costly =
+            PipelineOptimizer(p, costly).best(goal);
+        const ConfigResult best_cheap =
+            PipelineOptimizer(p, cheap).best(goal);
+        EXPECT_LE(best_cheap.energy.total().j(),
+                  best_costly.energy.total().j() + 1e-15)
+            << "trial " << trial;
+    }
+}
+
+TEST(PipelineProperty, ThroughputIsMinOfParts)
+{
+    Rng rng(2007);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Pipeline p = randomPipeline(rng);
+        const PipelineOptimizer opt(p, randomLink(rng));
+        OptimizerGoal goal;
+        for (const auto &r : opt.enumerate(goal)) {
+            EXPECT_LE(r.throughput.total_fps,
+                      r.throughput.comm_fps + 1e-9);
+            if (!std::isinf(r.throughput.compute_fps)) {
+                EXPECT_LE(r.throughput.total_fps,
+                          r.throughput.compute_fps + 1e-9);
+            }
+            EXPECT_DOUBLE_EQ(
+                r.throughput.total_fps,
+                std::min(r.throughput.compute_fps,
+                         r.throughput.comm_fps));
+        }
+    }
+}
+
+} // namespace
+} // namespace incam

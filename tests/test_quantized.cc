@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the quantized NN datapath: formats, the sigmoid LUT, and
+ * the paper's precision-study orderings (16b ~ 8b >> 4b).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fa/auth.hh"
+#include "nn/eval.hh"
+#include "nn/quantized.hh"
+
+namespace incam {
+namespace {
+
+/** Shared trained network so each test doesn't retrain. */
+class QuantFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        FaceDatasetConfig dc;
+        dc.identities = 24;
+        dc.per_identity = 20;
+        dc.size = 20;
+        dc.hard = true;
+        dc.seed = 7;
+        dataset = new FaceDataset(FaceDataset::generate(dc));
+        TrainConfig tc;
+        tc.epochs = 120;
+        auth = new AuthNet(
+            trainAuthNet(*dataset, 0, MlpTopology{{400, 8, 1}}, tc));
+        FaceDataset train_ds, test_ds;
+        dataset->split(0.9, train_ds, test_ds);
+        test_set = new TrainSet(buildAuthSet(test_ds, 0));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete dataset;
+        delete auth;
+        delete test_set;
+        dataset = nullptr;
+        auth = nullptr;
+        test_set = nullptr;
+    }
+
+    static FaceDataset *dataset;
+    static AuthNet *auth;
+    static TrainSet *test_set;
+};
+
+FaceDataset *QuantFixture::dataset = nullptr;
+AuthNet *QuantFixture::auth = nullptr;
+TrainSet *QuantFixture::test_set = nullptr;
+
+TEST(QuantConfig, AccumulatorDefaultsTo2WPlus10)
+{
+    QuantConfig q;
+    q.width = 8;
+    EXPECT_EQ(q.accBits(), 26); // the paper's 26-bit partial sums
+    q.width = 16;
+    EXPECT_EQ(q.accBits(), 42);
+    q.acc_bits = 20;
+    EXPECT_EQ(q.accBits(), 20);
+}
+
+TEST_F(QuantFixture, WeightFormatsCoverLayerRanges)
+{
+    QuantConfig qc;
+    qc.width = 8;
+    const QuantizedMlp q(auth->net, qc);
+    for (int l = 0; l < 2; ++l) {
+        const FixedFormat f = q.weightFormat(l);
+        EXPECT_EQ(f.width, 8);
+        EXPECT_GE(f.maxValue(), auth->net.maxAbsWeight(l));
+    }
+}
+
+TEST_F(QuantFixture, LutMatchesSigmoidShape)
+{
+    QuantConfig qc;
+    qc.width = 8;
+    const QuantizedMlp q(auth->net, qc);
+    const auto &lut = q.sigmoidLut();
+    ASSERT_EQ(lut.size(), 256u);
+    // Monotone non-decreasing, spanning ~(0, 1).
+    for (size_t i = 1; i < lut.size(); ++i) {
+        EXPECT_GE(lut[i], lut[i - 1]);
+    }
+    EXPECT_LT(dequantize(lut.front(), q.activationFormat()), 0.01);
+    EXPECT_GT(dequantize(lut.back(), q.activationFormat()), 0.97);
+    // Center entries straddle 0.5.
+    EXPECT_NEAR(dequantize(lut[128], q.activationFormat()), 0.5, 0.02);
+}
+
+TEST_F(QuantFixture, QuantizedTracksFloatOutputs)
+{
+    QuantConfig qc;
+    qc.width = 8;
+    const QuantizedMlp q(auth->net, qc);
+    const double err = q.outputError(auth->net, *test_set);
+    // Mean |float - quantized| output gap stays small at 8 bits.
+    EXPECT_LT(err, 0.08);
+}
+
+TEST_F(QuantFixture, PaperPrecisionOrdering)
+{
+    // Section III-A: 16-bit and 8-bit lose little accuracy; 4-bit loses
+    // significantly more (paper: >1%).
+    QuantConfig q16;
+    q16.width = 16;
+    QuantConfig q8;
+    q8.width = 8;
+    QuantConfig q4;
+    q4.width = 4;
+    const double loss16 =
+        accuracyLoss(auth->net, QuantizedMlp(auth->net, q16), *test_set);
+    const double loss8 =
+        accuracyLoss(auth->net, QuantizedMlp(auth->net, q8), *test_set);
+    const double loss4 =
+        accuracyLoss(auth->net, QuantizedMlp(auth->net, q4), *test_set);
+
+    EXPECT_LE(std::fabs(loss16), 0.01);
+    EXPECT_LE(std::fabs(loss8), 0.01);  // paper: 0.4%
+    EXPECT_GT(loss4, 0.01);             // paper: "over 1%"
+}
+
+TEST_F(QuantFixture, SigmoidLutIsAccuracyNeutral)
+{
+    // Section III-A: "hardware approximation of the sigmoid function
+    // has a negligible effect on accuracy."
+    QuantConfig with_lut;
+    with_lut.width = 8;
+    with_lut.lut_sigmoid = true;
+    QuantConfig precise;
+    precise.width = 8;
+    precise.lut_sigmoid = false;
+    const Confusion a = evaluateBinary(
+        predictorOf(QuantizedMlp(auth->net, with_lut)), *test_set);
+    const Confusion b = evaluateBinary(
+        predictorOf(QuantizedMlp(auth->net, precise)), *test_set);
+    EXPECT_NEAR(a.accuracy(), b.accuracy(), 0.01);
+}
+
+TEST_F(QuantFixture, ForwardRawConsistentWithForward)
+{
+    QuantConfig qc;
+    qc.width = 8;
+    const QuantizedMlp q(auth->net, qc);
+    const auto &input = test_set->inputs.front();
+    const auto raw = q.forwardRaw(input);
+    const auto out = q.forward(input);
+    ASSERT_EQ(raw.back().size(), out.size());
+    EXPECT_DOUBLE_EQ(
+        dequantize(raw.back()[0], q.activationFormat()), out[0]);
+}
+
+TEST_F(QuantFixture, SaturationIsGraceful)
+{
+    // Tiny accumulators saturate but must not produce out-of-range
+    // activations.
+    QuantConfig qc;
+    qc.width = 8;
+    qc.acc_bits = 12;
+    const QuantizedMlp q(auth->net, qc);
+    for (size_t i = 0; i < 10 && i < test_set->size(); ++i) {
+        for (double v : q.forward(test_set->inputs[i])) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+/** Parameterized width sweep: outputs must stay bounded everywhere. */
+class WidthSweep : public QuantFixture,
+                   public ::testing::WithParamInterface<int>
+{
+};
+
+TEST_P(WidthSweep, OutputsBoundedAndFinite)
+{
+    QuantConfig qc;
+    qc.width = GetParam();
+    const QuantizedMlp q(auth->net, qc);
+    for (size_t i = 0; i < 20 && i < test_set->size(); ++i) {
+        for (double v : q.forward(test_set->inputs[i])) {
+            EXPECT_TRUE(std::isfinite(v));
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthSweep,
+                         ::testing::Values(4, 6, 8, 10, 12, 16));
+
+} // namespace
+} // namespace incam

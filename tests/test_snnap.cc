@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the SNNAP accelerator simulator: bit-exactness against the
+ * quantized reference, cycle-model invariants, and the paper's energy
+ * results (8 PEs optimal; 16->8-bit saves ~41% power).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fa/auth.hh"
+#include "snnap/accelerator.hh"
+#include "snnap/energy.hh"
+
+namespace incam {
+namespace {
+
+class SnnapFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        FaceDatasetConfig dc;
+        dc.identities = 20;
+        dc.per_identity = 16;
+        dc.size = 20;
+        dc.seed = 5;
+        dataset = new FaceDataset(FaceDataset::generate(dc));
+        TrainConfig tc;
+        tc.epochs = 80;
+        auth = new AuthNet(
+            trainAuthNet(*dataset, 0, MlpTopology{{400, 8, 1}}, tc));
+        FaceDataset train_ds, test_ds;
+        dataset->split(0.9, train_ds, test_ds);
+        inputs = new std::vector<std::vector<float>>();
+        for (const auto &s : test_ds.samples()) {
+            inputs->push_back(cropToInput(s.image));
+        }
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete dataset;
+        delete auth;
+        delete inputs;
+        dataset = nullptr;
+        auth = nullptr;
+        inputs = nullptr;
+    }
+
+    static FaceDataset *dataset;
+    static AuthNet *auth;
+    static std::vector<std::vector<float>> *inputs;
+};
+
+FaceDataset *SnnapFixture::dataset = nullptr;
+AuthNet *SnnapFixture::auth = nullptr;
+std::vector<std::vector<float>> *SnnapFixture::inputs = nullptr;
+
+/** Bit-exactness across PE counts and widths (the key property). */
+class BitExact
+    : public SnnapFixture,
+      public ::testing::WithParamInterface<std::pair<int, int>>
+{
+};
+
+TEST_P(BitExact, MatchesQuantizedReference)
+{
+    const auto [pes, width] = GetParam();
+    QuantConfig qc;
+    qc.width = width;
+    const QuantizedMlp qnet(auth->net, qc);
+    SnnapConfig sc;
+    sc.num_pes = pes;
+    SnnapAccelerator accel(qnet, sc);
+    for (const auto &input : *inputs) {
+        const auto want = qnet.forwardRaw(input).back();
+        const auto got = accel.run(input);
+        ASSERT_EQ(got, want) << pes << " PEs, " << width << " bits";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BitExact,
+    ::testing::Values(std::pair{1, 8}, std::pair{2, 8}, std::pair{3, 8},
+                      std::pair{8, 8}, std::pair{16, 8}, std::pair{8, 4},
+                      std::pair{8, 16}, std::pair{5, 12}));
+
+TEST_F(SnnapFixture, CycleModelInvariants)
+{
+    QuantConfig qc;
+    qc.width = 8;
+    const QuantizedMlp qnet(auth->net, qc);
+
+    SnnapConfig sc;
+    sc.num_pes = 8;
+    SnnapAccelerator accel(qnet, sc);
+    accel.run(inputs->front());
+    const SnnapStats &s = accel.lastStats();
+
+    // Total useful MACs are fixed by the topology (biases excluded).
+    EXPECT_EQ(s.mac_ops, 400u * 8 + 8);
+    EXPECT_EQ(s.weight_reads, s.mac_ops);
+    EXPECT_EQ(s.sigmoid_evals, 9u);
+    EXPECT_GT(s.total_cycles, s.dma_cycles);
+    EXPECT_EQ(s.inferences, 1u);
+
+    // One pass per layer at 8 PEs: idle only in the 1-neuron layer.
+    EXPECT_EQ(s.idle_pe_cycles, 7u * 8);
+}
+
+TEST_F(SnnapFixture, FewerPesMeansMoreCycles)
+{
+    QuantConfig qc;
+    qc.width = 8;
+    const QuantizedMlp qnet(auth->net, qc);
+    uint64_t prev_cycles = 0;
+    for (int pes : {8, 4, 2, 1}) {
+        SnnapConfig sc;
+        sc.num_pes = pes;
+        SnnapAccelerator accel(qnet, sc);
+        accel.run(inputs->front());
+        const uint64_t cycles = accel.lastStats().total_cycles;
+        EXPECT_GT(cycles, prev_cycles) << pes << " PEs";
+        prev_cycles = cycles;
+    }
+}
+
+TEST_F(SnnapFixture, MacWorkIndependentOfGeometry)
+{
+    QuantConfig qc;
+    qc.width = 8;
+    const QuantizedMlp qnet(auth->net, qc);
+    for (int pes : {1, 3, 8, 32}) {
+        SnnapConfig sc;
+        sc.num_pes = pes;
+        SnnapAccelerator accel(qnet, sc);
+        accel.run(inputs->front());
+        EXPECT_EQ(accel.lastStats().mac_ops, 400u * 8 + 8) << pes;
+    }
+}
+
+TEST_F(SnnapFixture, StatsAccumulateAcrossRuns)
+{
+    QuantConfig qc;
+    qc.width = 8;
+    const QuantizedMlp qnet(auth->net, qc);
+    SnnapConfig sc;
+    SnnapAccelerator accel(qnet, sc);
+    accel.run((*inputs)[0]);
+    const uint64_t one = accel.stats().total_cycles;
+    accel.run((*inputs)[1]);
+    EXPECT_EQ(accel.stats().total_cycles, 2 * one);
+    EXPECT_EQ(accel.stats().inferences, 2u);
+    accel.resetStats();
+    EXPECT_EQ(accel.stats().inferences, 0u);
+}
+
+/**
+ * Section III-A: "We find an energy-optimal point at 8 PEs: any lower
+ * number of PEs introduces scheduling inefficiencies, increasing energy
+ * consumption; too many PEs results in underutilized resources."
+ */
+TEST_F(SnnapFixture, EightPesIsEnergyOptimal)
+{
+    QuantConfig qc;
+    qc.width = 8;
+    const QuantizedMlp qnet(auth->net, qc);
+
+    auto energy_at = [&](int pes) {
+        SnnapConfig sc;
+        sc.num_pes = pes;
+        SnnapAccelerator accel(qnet, sc);
+        accel.run(inputs->front());
+        const SnnapEnergyModel em({}, sc, 8);
+        return em.energy(accel.lastStats()).nj();
+    };
+
+    const double e8 = energy_at(8);
+    for (int pes : {1, 2, 4, 12, 16, 32}) {
+        EXPECT_GT(energy_at(pes), e8) << pes << " PEs";
+    }
+}
+
+/**
+ * Section III-A: "The reduction in datapath width from 16-bit to 8-bit
+ * leads to a 41% power reduction for an 8-PE configuration."
+ */
+TEST_F(SnnapFixture, EightBitSavesAbout41PercentPower)
+{
+    SnnapConfig sc;
+    sc.num_pes = 8;
+
+    auto power_at = [&](int width) {
+        QuantConfig qc;
+        qc.width = width;
+        const QuantizedMlp qnet(auth->net, qc);
+        SnnapAccelerator accel(qnet, sc);
+        accel.run(inputs->front());
+        const SnnapEnergyModel em({}, sc, width);
+        return em.averagePower(accel.lastStats()).w();
+    };
+
+    const double reduction = 1.0 - power_at(8) / power_at(16);
+    EXPECT_NEAR(reduction, 0.41, 0.04);
+}
+
+TEST_F(SnnapFixture, SubMilliwattOperation)
+{
+    // The abstract promises a "multi-accelerator SoC design operating
+    // in the sub-mW range" — the NN accelerator must fit that envelope.
+    QuantConfig qc;
+    qc.width = 8;
+    const QuantizedMlp qnet(auth->net, qc);
+    SnnapConfig sc;
+    sc.num_pes = 8;
+    SnnapAccelerator accel(qnet, sc);
+    accel.run(inputs->front());
+    const SnnapEnergyModel em({}, sc, 8);
+    EXPECT_LT(em.averagePower(accel.lastStats()).mw(), 1.0);
+}
+
+TEST_F(SnnapFixture, EnergyBreakdownSumsToTotal)
+{
+    QuantConfig qc;
+    qc.width = 8;
+    const QuantizedMlp qnet(auth->net, qc);
+    SnnapConfig sc;
+    SnnapAccelerator accel(qnet, sc);
+    accel.run(inputs->front());
+    const SnnapEnergyModel em({}, sc, 8);
+    const SnnapEnergyBreakdown b = em.breakdown(accel.lastStats());
+    const double sum = b.mac.j() + b.sram.j() + b.sigmoid.j() + b.bus.j() +
+                       b.clock.j() + b.sequencer.j() + b.leakage.j();
+    EXPECT_NEAR(b.total().j(), sum, 1e-18);
+    EXPECT_GT(b.sram.j(), 0.0);
+    EXPECT_GT(b.mac.j(), 0.0);
+}
+
+TEST_F(SnnapFixture, WeightSramSizedToNetwork)
+{
+    QuantConfig qc;
+    qc.width = 8;
+    const QuantizedMlp qnet(auth->net, qc);
+    SnnapConfig sc;
+    sc.num_pes = 8;
+    const SnnapAccelerator accel(qnet, sc);
+    // 8 PEs, 400-8-1: each PE holds one hidden neuron (401 weights) and
+    // the worst-case PE additionally holds the output neuron (9).
+    EXPECT_EQ(accel.weightBytesPerPe(), 401u + 9u);
+}
+
+} // namespace
+} // namespace incam

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the statistics accumulators and the confusion tally.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace incam {
+namespace {
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator acc;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        acc.sample(v);
+    }
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    // Population variance is 4; sample variance = 32/7.
+    EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleSampleVarianceZero)
+{
+    Accumulator acc;
+    acc.sample(3.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream)
+{
+    Accumulator a, b, combined;
+    for (int i = 0; i < 50; ++i) {
+        const double v = 0.1 * i;
+        a.sample(v);
+        combined.sample(v);
+    }
+    for (int i = 0; i < 30; ++i) {
+        const double v = 5.0 - 0.2 * i;
+        b.sample(v);
+        combined.sample(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_NEAR(a.mean(), combined.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(Accumulator, MergeWithEmpty)
+{
+    Accumulator a, empty;
+    a.sample(1.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    for (double v : {-1.0, 0.0, 1.5, 2.0, 5.0, 9.99, 10.0, 42.0}) {
+        h.sample(v);
+    }
+    EXPECT_EQ(h.total(), 8u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    // Buckets are [0,2),[2,4),[4,6),[6,8),[8,10): 0.0,1.5 in b0; 2.0 b1.
+    EXPECT_EQ(h.bucketValue(0), 2u);
+    EXPECT_EQ(h.bucketValue(1), 1u);
+    EXPECT_EQ(h.bucketValue(2), 1u);
+    EXPECT_EQ(h.bucketValue(4), 1u);
+}
+
+TEST(Histogram, Cdf)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i) {
+        h.sample(i + 0.5);
+    }
+    EXPECT_NEAR(h.cdfAt(5.0), 0.5, 1e-12);
+    EXPECT_NEAR(h.cdfAt(10.0), 1.0, 1e-12);
+}
+
+TEST(Confusion, DerivedMetrics)
+{
+    Confusion c;
+    c.tp = 8;
+    c.fp = 2;
+    c.fn = 4;
+    c.tn = 86;
+    EXPECT_DOUBLE_EQ(c.precision(), 0.8);
+    EXPECT_NEAR(c.recall(), 8.0 / 12.0, 1e-12);
+    EXPECT_NEAR(c.f1(), 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0),
+                1e-12);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 0.94);
+    EXPECT_NEAR(c.errorRate(), 0.06, 1e-12);
+    EXPECT_NEAR(c.missRate(), 4.0 / 12.0, 1e-12);
+}
+
+TEST(Confusion, TallyRoutesOutcomes)
+{
+    Confusion c;
+    c.tally(true, true);   // tp
+    c.tally(true, false);  // fp
+    c.tally(false, true);  // fn
+    c.tally(false, false); // tn
+    EXPECT_EQ(c.tp, 1u);
+    EXPECT_EQ(c.fp, 1u);
+    EXPECT_EQ(c.fn, 1u);
+    EXPECT_EQ(c.tn, 1u);
+    EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(Confusion, EmptyIsSafe)
+{
+    Confusion c;
+    EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+    EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+    EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+}
+
+} // namespace
+} // namespace incam

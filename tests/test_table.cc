@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the ASCII/CSV table writer.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace incam {
+namespace {
+
+TEST(Table, RendersAlignedColumns)
+{
+    TableWriter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "123456"});
+    const std::string out = t.render();
+    // Header, rule, two rows.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    std::istringstream is(out);
+    std::string line;
+    int lines = 0;
+    size_t width = 0;
+    while (std::getline(is, line)) {
+        ++lines;
+        if (lines == 1) {
+            width = line.size();
+        }
+    }
+    EXPECT_EQ(lines, 4);
+    EXPECT_GT(width, 0u);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TableWriter::num(3.14159, 4), "3.1416");
+    EXPECT_EQ(TableWriter::num(static_cast<long long>(42)), "42");
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    TableWriter t({"a", "b"});
+    t.addRow({"x,y", "quote\"inside"});
+    const std::string path = "/tmp/incam_test_table.csv";
+    t.writeCsv(path);
+    std::ifstream in(path);
+    std::string header, row;
+    std::getline(in, header);
+    std::getline(in, row);
+    EXPECT_EQ(header, "a,b");
+    EXPECT_EQ(row, "\"x,y\",\"quote\"\"inside\"");
+    std::remove(path.c_str());
+}
+
+TEST(Table, RowCount)
+{
+    TableWriter t({"only"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"x"});
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+} // namespace
+} // namespace incam

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the strongly-typed physical quantities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace incam {
+namespace {
+
+TEST(Units, TimeConversions)
+{
+    EXPECT_DOUBLE_EQ(Time::milliseconds(1500).sec(), 1.5);
+    EXPECT_DOUBLE_EQ(Time::microseconds(2.0).nsec(), 2000.0);
+    EXPECT_DOUBLE_EQ(Time::minutes(2).sec(), 120.0);
+    EXPECT_DOUBLE_EQ(Time::seconds(0.25).msec(), 250.0);
+}
+
+TEST(Units, TimeArithmetic)
+{
+    const Time a = Time::seconds(2.0);
+    const Time b = Time::seconds(0.5);
+    EXPECT_DOUBLE_EQ((a + b).sec(), 2.5);
+    EXPECT_DOUBLE_EQ((a - b).sec(), 1.5);
+    EXPECT_DOUBLE_EQ((a * 3.0).sec(), 6.0);
+    EXPECT_DOUBLE_EQ((a / 4.0).sec(), 0.5);
+    EXPECT_DOUBLE_EQ(a / b, 4.0);
+    EXPECT_LT(b, a);
+}
+
+TEST(Units, EnergyPowerRelation)
+{
+    const Energy e = Energy::millijoules(10);
+    const Time t = Time::seconds(2);
+    EXPECT_DOUBLE_EQ(e.over(t).mw(), 5.0);
+    EXPECT_DOUBLE_EQ(Power::milliwatts(5).forDuration(t).mj(), 10.0);
+}
+
+TEST(Units, EnergyScalesAccumulate)
+{
+    Energy e;
+    e += Energy::nanojoules(250);
+    e += Energy::picojoules(750000); // 0.75 uJ
+    EXPECT_NEAR(e.uj(), 1.0, 1e-12);
+}
+
+TEST(Units, DataSizeAndBandwidth)
+{
+    const DataSize s = DataSize::megabytes(100);
+    const Bandwidth b = Bandwidth::gigabitsPerSec(25);
+    EXPECT_DOUBLE_EQ(b.bytesPerSecond(), 25e9 / 8.0);
+    EXPECT_NEAR(b.transferTime(s).sec(), 100e6 / (25e9 / 8.0), 1e-12);
+    EXPECT_DOUBLE_EQ(DataSize::bits(16).b(), 2.0);
+    EXPECT_DOUBLE_EQ(s.totalBits(), 8e8);
+}
+
+TEST(Units, FrequencyCycles)
+{
+    const Frequency f = Frequency::megahertz(125);
+    EXPECT_DOUBLE_EQ(f.period().nsec(), 8.0);
+    EXPECT_DOUBLE_EQ(f.cyclesToTime(125e6).sec(), 1.0);
+}
+
+TEST(Units, FrameRate)
+{
+    const FrameRate r = FrameRate::fps(30);
+    EXPECT_NEAR(r.framePeriod().msec(), 33.333, 0.001);
+    EXPECT_DOUBLE_EQ(FrameRate::fromPeriod(Time::milliseconds(10)).perSecond(),
+                     100.0);
+}
+
+TEST(Units, SiFormatting)
+{
+    EXPECT_EQ(Power::milliwatts(1.5).toString(), "1.5 mW");
+    EXPECT_EQ(Energy::picojoules(200).toString(), "200 pJ");
+    EXPECT_EQ(Time::microseconds(3).toString(), "3 us");
+    EXPECT_EQ(DataSize::megabytes(199).toString(), "199 MB");
+    EXPECT_EQ(Power().toString(), "0 W");
+}
+
+TEST(Units, BandwidthFormatsInBits)
+{
+    EXPECT_EQ(Bandwidth::gigabitsPerSec(25).toString(), "25 Gb/s");
+}
+
+} // namespace
+} // namespace incam

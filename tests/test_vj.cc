@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests for the Viola-Jones stack: Haar features, cascade training,
+ * the multi-scale detector, scoring and the accelerator cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "image/ops.hh"
+#include "vj/accel.hh"
+#include "vj/detector.hh"
+#include "vj/score.hh"
+#include "vj/train.hh"
+#include "workload/facegen.hh"
+#include "workload/video.hh"
+
+namespace incam {
+namespace {
+
+// --- Haar features ------------------------------------------------------
+
+TEST(Haar, EdgeFeatureSeesContrast)
+{
+    // Left half dark, right half bright: an Edge2H feature spanning the
+    // split fires strongly.
+    ImageU8 img(20, 20, 1);
+    for (int y = 0; y < 20; ++y) {
+        for (int x = 0; x < 20; ++x) {
+            img.at(x, y) = x < 10 ? 10 : 240;
+        }
+    }
+    const IntegralImage ii(img);
+    HaarFeature f;
+    f.kind = HaarFeature::Kind::Edge2H;
+    f.n_rects = 2;
+    f.rects[0] = {0, 0, 10, 20, 1};  // dark side positive
+    f.rects[1] = {10, 0, 10, 20, -1};
+    const double inv_norm = windowInvNorm(ii, 0, 0, 20);
+    const double v = f.evaluate(ii, 0, 0, 1.0, inv_norm);
+    EXPECT_LT(v, -0.5); // dark-minus-bright is strongly negative
+
+    // A flat image yields exactly zero (inv_norm = 0 guard).
+    ImageU8 flat(20, 20, 1, 99);
+    const IntegralImage ii_flat(flat);
+    EXPECT_EQ(windowInvNorm(ii_flat, 0, 0, 20), 0.0);
+}
+
+TEST(Haar, ScalingKeepsValuesComparable)
+{
+    // The same pattern at 2x scale must give a similar normalized value.
+    auto make = [](int size) {
+        ImageU8 img(size, size, 1);
+        for (int y = 0; y < size; ++y) {
+            for (int x = 0; x < size; ++x) {
+                img.at(x, y) = y < size / 2 ? 30 : 220;
+            }
+        }
+        return img;
+    };
+    HaarFeature f;
+    f.kind = HaarFeature::Kind::Edge2V;
+    f.n_rects = 2;
+    f.rects[0] = {0, 0, 20, 10, 1};
+    f.rects[1] = {0, 10, 20, 10, -1};
+
+    const ImageU8 small = make(20);
+    const ImageU8 big = make(40);
+    const IntegralImage ii_s(small), ii_b(big);
+    const double v_s =
+        f.evaluate(ii_s, 0, 0, 1.0, windowInvNorm(ii_s, 0, 0, 20));
+    const double v_b =
+        f.evaluate(ii_b, 0, 0, 2.0, windowInvNorm(ii_b, 0, 0, 40));
+    EXPECT_NEAR(v_s, v_b, std::fabs(v_s) * 0.15);
+}
+
+TEST(Haar, EnumerationDeterministicAndStrideThins)
+{
+    const auto dense = enumerateFeatures(20, 2, 2);
+    const auto sparse = enumerateFeatures(20, 4, 4);
+    EXPECT_GT(dense.size(), sparse.size());
+    const auto again = enumerateFeatures(20, 2, 2);
+    EXPECT_EQ(dense.size(), again.size());
+    for (const auto &f : sparse) {
+        for (int r = 0; r < f.n_rects; ++r) {
+            EXPECT_GE(f.rects[r].x, 0);
+            EXPECT_LE(f.rects[r].x + f.rects[r].w, 20);
+            EXPECT_LE(f.rects[r].y + f.rects[r].h, 20);
+        }
+    }
+}
+
+// --- Shared trained cascade ----------------------------------------------
+
+/** Training data: rendered faces vs distractor/background crops. */
+class CascadeFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        Rng rng(31);
+        auto positives = new std::vector<ImageU8>();
+        for (int i = 0; i < 300; ++i) {
+            const FaceParams id = identityParams(rng.below(50));
+            const FaceVariation var = easyVariation(rng);
+            positives->push_back(toU8(renderFace(id, var, 20)));
+        }
+        pos = positives;
+
+        const NegativeSource negatives = [](Rng &r) {
+            return toU8(renderDistractor(r.next(), 20));
+        };
+
+        CascadeTrainConfig tc;
+        tc.max_features = 700;
+        tc.max_stages = 6;
+        tc.max_stumps_per_stage = 12;
+        tc.negatives_per_stage = 400;
+        tc.seed = 11;
+        CascadeTrainer trainer(tc);
+        report = new CascadeTrainReport();
+        cascade = new Cascade(trainer.train(*pos, negatives, report));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete pos;
+        delete cascade;
+        delete report;
+        pos = nullptr;
+        cascade = nullptr;
+        report = nullptr;
+    }
+
+    static std::vector<ImageU8> *pos;
+    static Cascade *cascade;
+    static CascadeTrainReport *report;
+};
+
+std::vector<ImageU8> *CascadeFixture::pos = nullptr;
+Cascade *CascadeFixture::cascade = nullptr;
+CascadeTrainReport *CascadeFixture::report = nullptr;
+
+TEST_F(CascadeFixture, TrainingMeetsStageTargets)
+{
+    EXPECT_GE(report->stages, 2);
+    EXPECT_GT(report->total_stumps, 4u);
+    // Training TPR respects the per-stage floor compounded.
+    EXPECT_GT(report->final_tpr, 0.9);
+}
+
+TEST_F(CascadeFixture, SeparatesFacesFromDistractors)
+{
+    Rng rng(77);
+    int face_pass = 0;
+    const int n = 100;
+    for (int i = 0; i < n; ++i) {
+        const FaceParams id = identityParams(200 + rng.below(50));
+        const FaceVariation var = easyVariation(rng);
+        if (cascade->classifyCrop(toU8(renderFace(id, var, 20)))) {
+            ++face_pass;
+        }
+    }
+    int neg_pass = 0;
+    for (int i = 0; i < n; ++i) {
+        if (cascade->classifyCrop(
+                toU8(renderDistractor(900 + i, 20)))) {
+            ++neg_pass;
+        }
+    }
+    EXPECT_GT(face_pass, 80) << "cascade rejects unseen faces";
+    EXPECT_LT(neg_pass, 30) << "cascade accepts clutter";
+}
+
+TEST_F(CascadeFixture, EarlyExitSavesFeatures)
+{
+    // Mean features per window on clutter must be far below the total
+    // stump count — the cascade's raison d'etre (Section III-B).
+    CascadeStats stats;
+    for (int i = 0; i < 50; ++i) {
+        cascade->classifyCrop(toU8(renderDistractor(3000 + i, 20)),
+                              &stats);
+    }
+    EXPECT_LT(stats.featuresPerWindow(),
+              0.8 * static_cast<double>(cascade->stumpCount()));
+}
+
+TEST_F(CascadeFixture, SerializationRoundTrips)
+{
+    const std::string text = cascade->serialize();
+    const Cascade copy = Cascade::deserialize(text);
+    EXPECT_EQ(copy.stageCount(), cascade->stageCount());
+    EXPECT_EQ(copy.stumpCount(), cascade->stumpCount());
+    // Identical decisions on a batch of crops.
+    Rng rng(5);
+    for (int i = 0; i < 40; ++i) {
+        const ImageU8 crop =
+            i % 2 ? toU8(renderDistractor(i, 20))
+                  : toU8(renderFace(identityParams(i), easyVariation(rng),
+                                    20));
+        EXPECT_EQ(copy.classifyCrop(crop), cascade->classifyCrop(crop));
+    }
+}
+
+TEST_F(CascadeFixture, DetectorFindsFaceInScene)
+{
+    // Place a face in a textured scene and detect it.
+    Rng rng(123);
+    ImageF scene(160, 120, 1, 0.45f);
+    for (int y = 0; y < 120; ++y) {
+        for (int x = 0; x < 160; ++x) {
+            scene.at(x, y) = 0.4f + 0.1f * ((x / 16 + y / 16) % 2);
+        }
+    }
+    const Rect face_box{50, 30, 48, 48};
+    renderFaceInto(scene, identityParams(7), easyVariation(rng), face_box);
+    const ImageU8 gray = toU8(scene);
+
+    DetectorParams params;
+    params.scale_factor = 1.2;
+    params.adaptive_step = true;
+    params.adaptive_frac = 0.05;
+    params.min_neighbors = 1;
+    const Detector detector(*cascade, params);
+    const auto detections = detector.detect(gray);
+
+    const Confusion score = scoreDetections(detections, {face_box}, 0.3);
+    EXPECT_GE(score.tp, 1u) << "face missed";
+}
+
+TEST_F(CascadeFixture, LargerStepScansFewerWindows)
+{
+    DetectorParams fine;
+    fine.adaptive_step = false;
+    fine.static_step = 2;
+    DetectorParams coarse;
+    coarse.adaptive_step = false;
+    coarse.static_step = 12;
+    const Detector d_fine(*cascade, fine);
+    const Detector d_coarse(*cascade, coarse);
+    EXPECT_GT(d_fine.windowCount(160, 120),
+              4 * d_coarse.windowCount(160, 120));
+}
+
+TEST_F(CascadeFixture, AdaptiveStepScalesWithWindow)
+{
+    DetectorParams p;
+    p.adaptive_step = true;
+    p.adaptive_frac = 0.1;
+    EXPECT_EQ(p.stepFor(20), 2);
+    EXPECT_EQ(p.stepFor(100), 10);
+    p.adaptive_frac = 0.0;
+    EXPECT_EQ(p.stepFor(100), 1); // floor at one pixel
+}
+
+TEST_F(CascadeFixture, WindowCountMatchesScan)
+{
+    DetectorParams p;
+    p.adaptive_step = false;
+    p.static_step = 6;
+    p.scale_factor = 1.5;
+    const Detector d(*cascade, p);
+    CascadeStats stats;
+    ImageU8 gray(97, 61, 1, 128);
+    d.rawHits(gray, &stats);
+    EXPECT_EQ(stats.windows, d.windowCount(97, 61));
+}
+
+TEST_F(CascadeFixture, GroupingMergesOverlaps)
+{
+    std::vector<Rect> hits = {{10, 10, 20, 20},
+                              {12, 11, 20, 20},
+                              {11, 12, 20, 20},
+                              {80, 80, 20, 20}};
+    const auto grouped = groupDetections(hits, 0.5, 2);
+    ASSERT_EQ(grouped.size(), 1u);
+    EXPECT_EQ(grouped[0].neighbors, 3);
+    EXPECT_NEAR(grouped[0].box.x, 11, 1);
+
+    const auto loose = groupDetections(hits, 0.5, 1);
+    EXPECT_EQ(loose.size(), 2u);
+}
+
+TEST_F(CascadeFixture, AccelCostTracksWork)
+{
+    const VjAccelModel accel;
+    CascadeStats stats;
+    const ImageU8 frame = toU8(renderDistractor(1, 20));
+    cascade->classifyCrop(frame, &stats);
+    const Energy scan = accel.detectEnergy(stats);
+    EXPECT_GT(scan.j(), 0.0);
+
+    // Integral construction scales with pixels.
+    EXPECT_NEAR(accel.integralEnergy(320, 240).j() /
+                    accel.integralEnergy(160, 120).j(),
+                4.0, 1e-9);
+    // Frame energy well under a millijoule at QQVGA for a sparse scan.
+    CascadeStats frame_stats;
+    frame_stats.windows = 3000;
+    frame_stats.features_evaluated = 9000;
+    EXPECT_LT(accel.frameEnergy(160, 120, frame_stats).uj(), 100.0);
+    EXPECT_GT(accel.frameTime(160, 120, frame_stats).usec(), 0.0);
+}
+
+TEST(Score, GreedyMatchingOneToOne)
+{
+    std::vector<Detection> dets(3);
+    dets[0].box = {0, 0, 10, 10};
+    dets[1].box = {1, 1, 10, 10};  // overlaps the same truth
+    dets[2].box = {50, 50, 10, 10}; // unmatched
+    const std::vector<Rect> truth = {{0, 0, 10, 10}, {80, 80, 8, 8}};
+    const Confusion c = scoreDetections(dets, truth, 0.4);
+    EXPECT_EQ(c.tp, 1u);
+    EXPECT_EQ(c.fp, 2u);
+    EXPECT_EQ(c.fn, 1u);
+}
+
+TEST(Score, AccumulatorSumsImages)
+{
+    DetectionScorer scorer(0.4);
+    std::vector<Detection> one(1);
+    one[0].box = {0, 0, 10, 10};
+    scorer.add(one, {{0, 0, 10, 10}});
+    scorer.add({}, {{5, 5, 10, 10}});
+    EXPECT_EQ(scorer.totals().tp, 1u);
+    EXPECT_EQ(scorer.totals().fn, 1u);
+}
+
+} // namespace
+} // namespace incam

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Tests for the VR case study: the synthetic rig, functional blocks
+ * B1-B4, and the Fig. 9 / Fig. 10 / Table I cost models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "image/metrics.hh"
+#include "image/ops.hh"
+#include "vr/blocks.hh"
+#include "vr/pipeline_model.hh"
+#include "vr/rig.hh"
+
+namespace incam {
+namespace {
+
+RigConfig
+smallRig()
+{
+    RigConfig cfg;
+    cfg.cameras = 6;
+    cfg.cam_width = 128;
+    cfg.cam_height = 96;
+    cfg.overlap = 0.5;
+    cfg.layers = 4;
+    cfg.max_disparity = 10;
+    cfg.seed = 21;
+    return cfg;
+}
+
+TEST(Rig, GeometryDerivedFromOverlap)
+{
+    const CameraRig rig(smallRig());
+    EXPECT_EQ(rig.step(), 64);
+    EXPECT_EQ(rig.worldColumns(), 6 * 64);
+    EXPECT_EQ(rig.overlapInLeft().w, 64);
+}
+
+TEST(Rig, ViewsAreDeterministic)
+{
+    const CameraRig a(smallRig());
+    const CameraRig b(smallRig());
+    const ImageF va = a.trueView(2);
+    const ImageF vb = b.trueView(2);
+    for (int i = 0; i < 96; i += 5) {
+        EXPECT_EQ(va.at(i, i, 1), vb.at(i, i, 1));
+    }
+}
+
+TEST(Rig, PairViewsSatisfyGroundTruthDisparity)
+{
+    // left(x) == right(x - d) for the overlap strip, on the noise-free
+    // ideal views.
+    RigConfig cfg = smallRig();
+    cfg.noise = 0.0;
+    cfg.vignette = 0.0;
+    const CameraRig rig(cfg);
+    const int cam = 1;
+    const ImageF left = rgbToGray(rig.trueView(cam));
+    const ImageF right = rgbToGray(rig.trueView(cam + 1));
+    const ImageF disp = rig.pairDisparity(cam);
+    const Rect strip = rig.overlapInLeft();
+
+    int checked = 0, matched = 0;
+    for (int y = 0; y < strip.h; y += 2) {
+        for (int x = 0; x < strip.w; x += 2) {
+            const int d =
+                static_cast<int>(std::lround(disp.at(x, y)));
+            const int rx = x - d;
+            if (rx < 0) {
+                continue;
+            }
+            ++checked;
+            if (std::fabs(left.at(strip.x + x, y) - right.at(rx, y)) <
+                1e-4) {
+                ++matched;
+            }
+        }
+    }
+    ASSERT_GT(checked, 200);
+    EXPECT_GT(static_cast<double>(matched) / checked, 0.8);
+}
+
+TEST(Rig, BayerCaptureHasVignette)
+{
+    RigConfig cfg = smallRig();
+    cfg.vignette = 0.4;
+    cfg.noise = 0.0;
+    const CameraRig rig(cfg);
+    const ImageU8 raw = rig.bayerCapture(0);
+    EXPECT_EQ(raw.channels(), 1);
+    // Compare average brightness: center vs corners.
+    double center = 0.0, corner = 0.0;
+    for (int y = 40; y < 56; ++y) {
+        for (int x = 56; x < 72; ++x) {
+            center += raw.at(x, y);
+        }
+    }
+    for (int y = 0; y < 16; ++y) {
+        for (int x = 0; x < 16; ++x) {
+            corner += raw.at(x, y);
+        }
+    }
+    EXPECT_GT(center, corner * 1.1);
+}
+
+class VrPipelineFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        rig = new CameraRig(smallRig());
+        BssaConfig bssa;
+        bssa.max_disparity = 12;
+        bssa.solver_iterations = 8;
+        pipeline = new VrPipeline(*rig, bssa);
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete pipeline;
+        delete rig;
+        pipeline = nullptr;
+        rig = nullptr;
+    }
+
+    static CameraRig *rig;
+    static VrPipeline *pipeline;
+};
+
+CameraRig *VrPipelineFixture::rig = nullptr;
+VrPipeline *VrPipelineFixture::pipeline = nullptr;
+
+TEST_F(VrPipelineFixture, B1RecoversTrueView)
+{
+    const ImageU8 raw = rig->bayerCapture(0);
+    const ImageF rgb = pipeline->preprocess(raw);
+    const ImageF truth = rig->trueView(0);
+    ASSERT_TRUE(rgb.sameShape(truth));
+    // Demosaic + devignette must reconstruct the scene well.
+    EXPECT_GT(psnr(rgbToGray(truth), rgbToGray(rgb)), 22.0);
+}
+
+TEST_F(VrPipelineFixture, B2RecoversCameraStride)
+{
+    const ImageF left = pipeline->preprocess(rig->bayerCapture(2));
+    const ImageF right = pipeline->preprocess(rig->bayerCapture(3));
+    const auto pair = pipeline->rectifyPair(left, right);
+    // The NCC alignment must find the true stride within a pixel or two
+    // (the rig has no calibration drift).
+    EXPECT_NEAR(pair.offset, rig->step(), 2);
+    EXPECT_EQ(pair.left.width(), pair.right.width());
+}
+
+TEST_F(VrPipelineFixture, B3DepthCorrelatesWithGroundTruth)
+{
+    const ImageF left = pipeline->preprocess(rig->bayerCapture(1));
+    const ImageF right = pipeline->preprocess(rig->bayerCapture(2));
+    auto pair = pipeline->rectifyPair(left, right);
+    const BssaResult depth = pipeline->depthForPair(pair);
+    const ImageF truth = rig->pairDisparity(1);
+
+    // Compare over the common width (offset estimation may differ by a
+    // pixel from the nominal strip).
+    const int w = std::min(depth.disparity.width(), truth.width());
+    double err = 0.0;
+    int n = 0;
+    for (int y = 4; y < depth.disparity.height() - 4; ++y) {
+        for (int x = 12; x < w - 4; ++x) {
+            err += std::fabs(depth.disparity.at(x, y) - truth.at(x, y));
+            ++n;
+        }
+    }
+    EXPECT_LT(err / n, 3.0) << "mean disparity error too high";
+}
+
+TEST_F(VrPipelineFixture, FullFrameProducesStereoPanorama)
+{
+    const VrFrameBundle bundle = pipeline->processFrame();
+    EXPECT_EQ(bundle.raw.size(), 6u);
+    EXPECT_EQ(bundle.pairs.size(), 5u);
+    EXPECT_EQ(bundle.depth.size(), 5u);
+    ASSERT_FALSE(bundle.pano_left.empty());
+    EXPECT_EQ(bundle.pano_left.width(), rig->worldColumns());
+    EXPECT_EQ(bundle.pano_left.channels(), 3);
+    ASSERT_TRUE(bundle.pano_right.sameShape(bundle.pano_left));
+
+    // The two eyes see the same scene (strong similarity) but not the
+    // identical image (disparity-shifted foreground).
+    const ImageF gl = rgbToGray(bundle.pano_left);
+    const ImageF gr = rgbToGray(bundle.pano_right);
+    EXPECT_GT(ssim(gl, gr), 0.5);
+    EXPECT_GT(meanValue(absDiff(gl, gr)), 1e-4);
+
+    // Panorama pixels are valid colors.
+    for (float v : bundle.pano_left) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+// --- Full-scale cost models ----------------------------------------------
+
+TEST(VrGeometry, Figure9OutputSizes)
+{
+    const VrGeometry g = defaultVrGeometry();
+    // Raw sensor set ~199 MB (16x 4K 12-bit Bayer).
+    EXPECT_NEAR(g.outputBytes(VrBlock::Sensor).mb(), 199.1, 0.5);
+    EXPECT_NEAR(g.outputBytes(VrBlock::Preprocess).mb(), 199.1, 0.5);
+    // B2 expands ~4.2x (the paper's ~4x data-expansion point).
+    const double expansion = g.outputBytes(VrBlock::Align).b() /
+                             g.outputBytes(VrBlock::Sensor).b();
+    EXPECT_NEAR(expansion, 4.2, 0.3);
+    // B4 emits the only sub-30-FPS-capable product (~101 MB).
+    EXPECT_NEAR(g.outputBytes(VrBlock::Stitch).mb(), 100.7, 0.5);
+    // B3's output sits between (paper: 11.2 FPS -> ~280 MB).
+    EXPECT_GT(g.outputBytes(VrBlock::Depth).mb(), 150.0);
+    EXPECT_LT(g.outputBytes(VrBlock::Depth).mb(), 400.0);
+}
+
+TEST(VrGeometry, Figure9ComputeShares)
+{
+    // Paper: B1 5%, B2 20%, B3 70%, B4 5% of CPU compute time.
+    const VrPipelineModel model;
+    EXPECT_NEAR(model.cpuShare(VrBlock::Depth), 0.70, 0.08);
+    EXPECT_LT(model.cpuShare(VrBlock::Preprocess), 0.10);
+    EXPECT_NEAR(model.cpuShare(VrBlock::Align), 0.18, 0.08);
+    EXPECT_LT(model.cpuShare(VrBlock::Stitch), 0.10);
+    const double total =
+        model.cpuShare(VrBlock::Preprocess) + model.cpuShare(VrBlock::Align) +
+        model.cpuShare(VrBlock::Depth) + model.cpuShare(VrBlock::Stitch);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(VrModel, Figure10CommunicationRates)
+{
+    const VrPipelineModel model;
+    // Paper values: 15.8, 15.8, 3.95, 11.2, 31.6 FPS on 25 GbE.
+    EXPECT_NEAR(model.commFps(VrBlock::Sensor), 15.8, 0.4);
+    EXPECT_NEAR(model.commFps(VrBlock::Preprocess), 15.8, 0.4);
+    EXPECT_NEAR(model.commFps(VrBlock::Align), 3.95, 0.4);
+    EXPECT_NEAR(model.commFps(VrBlock::Depth), 11.2, 1.2);
+    EXPECT_NEAR(model.commFps(VrBlock::Stitch), 31.6, 0.8);
+}
+
+TEST(VrModel, Figure10ComputeRates)
+{
+    const VrPipelineModel model;
+    // B3: CPU ~0.09, GPU ~5.27, FPGA ~31.6 (paper's bars).
+    EXPECT_NEAR(model.blockComputeFps(VrBlock::Depth, VrImpl::Cpu), 0.09,
+                0.03);
+    EXPECT_NEAR(model.blockComputeFps(VrBlock::Depth, VrImpl::Gpu), 5.27,
+                0.3);
+    EXPECT_NEAR(model.blockComputeFps(VrBlock::Depth, VrImpl::Fpga), 31.6,
+                1.0);
+    // B1/B2 clear the bar comfortably on the camera nodes.
+    EXPECT_GT(model.blockComputeFps(VrBlock::Preprocess, VrImpl::Fpga),
+              60.0);
+    EXPECT_GT(model.blockComputeFps(VrBlock::Align, VrImpl::Fpga), 60.0);
+}
+
+TEST(VrModel, OnlyFullFpgaPipelineIsRealtime)
+{
+    // The paper's headline: "Only the full pipeline with FPGA
+    // acceleration can meet a 30 FPS upload requirement."
+    const VrPipelineModel model;
+    const auto rows = model.figure10();
+    ASSERT_EQ(rows.size(), 9u);
+    int realtime = 0;
+    for (const auto &row : rows) {
+        if (row.realtime) {
+            ++realtime;
+            EXPECT_EQ(row.last_block, 4);
+            EXPECT_EQ(row.impl, VrImpl::Fpga);
+        }
+    }
+    EXPECT_EQ(realtime, 1);
+}
+
+TEST(VrModel, FpgaBeatsGpuBeatsCpuOnDepth)
+{
+    const VrPipelineModel model;
+    const double cpu = model.blockComputeFps(VrBlock::Depth, VrImpl::Cpu);
+    const double gpu = model.blockComputeFps(VrBlock::Depth, VrImpl::Gpu);
+    const double fpga = model.blockComputeFps(VrBlock::Depth, VrImpl::Fpga);
+    EXPECT_GT(gpu, 10.0 * cpu);
+    EXPECT_GT(fpga, 4.0 * gpu); // paper: "up to 10x"
+}
+
+TEST(VrModel, B2ExpansionMakesMidPipelineOffloadWorst)
+{
+    // The data-expanding stage is the worst offload point — offloading
+    // right after B2 is slower than offloading raw (Section V's point
+    // about expansion stages being inefficient in isolation).
+    const VrPipelineModel model;
+    EXPECT_LT(model.commFps(VrBlock::Align),
+              model.commFps(VrBlock::Sensor));
+    EXPECT_LT(model.commFps(VrBlock::Align),
+              model.commFps(VrBlock::Depth));
+}
+
+TEST(VrModel, FasterNetworkFlipsTheDecision)
+{
+    // Section IV-C: at 400 GbE the raw sensor stream uploads far above
+    // real time (paper quotes 395 FPS; our frame-set calibration gives
+    // ~250), eroding the in-camera processing incentive.
+    VrPipelineModel model(defaultVrGeometry(),
+                          Bandwidth::gigabitsPerSec(400.0));
+    EXPECT_GT(model.commFps(VrBlock::Sensor), 200.0);
+    const auto row = model.evaluate(0, VrImpl::Cpu);
+    EXPECT_TRUE(row.realtime);
+    // And the crossover bandwidth for 30 FPS raw upload is ~48 Gb/s.
+    EXPECT_NEAR(model.sensorOffloadBandwidth().gbps(), 47.8, 1.0);
+}
+
+TEST(VrModel, TableIReproduced)
+{
+    const VrPipelineModel model;
+    const FpgaUsage eval = model.evaluationUsage();
+    EXPECT_EQ(eval.compute_units, 11);
+    EXPECT_NEAR(eval.logic_pct, 45.91, 0.5);
+    EXPECT_NEAR(eval.ram_pct, 6.70, 0.5);
+    EXPECT_NEAR(eval.dsp_pct, 94.09, 0.2);
+
+    const FpgaUsage target = model.targetUsage();
+    EXPECT_EQ(target.compute_units, 682);
+    EXPECT_NEAR(target.logic_pct, 67.10, 0.5);
+    EXPECT_NEAR(target.ram_pct, 17.60, 0.5);
+    EXPECT_NEAR(target.dsp_pct, 99.98, 0.1);
+}
+
+TEST(VrModel, GridFormulaMatchesBilateralGrid)
+{
+    // The analytic vertex count must equal what BilateralGrid allocates
+    // at the same parameters.
+    const VrGeometry g = defaultVrGeometry();
+    const BilateralGrid grid(g.rect_w, g.rect_h, g.cell_spatial,
+                             g.range_bins);
+    EXPECT_EQ(g.gridVerticesPerPair(), grid.vertexCount());
+    EXPECT_DOUBLE_EQ(g.gridBytesPerPair().b(), grid.byteSize().b());
+}
+
+TEST(VrModel, AggregateGridBytesInFig7Range)
+{
+    // Fig. 7's x-axis reaches hundreds of GB; our aggregate bilateral-
+    // space working set (vertices x disparities x pairs) must land in
+    // that regime for the full-scale geometry.
+    const VrGeometry g = defaultVrGeometry();
+    EXPECT_GT(g.aggregateGridBytes().gb(), 1.0);
+    EXPECT_LT(g.aggregateGridBytes().gb(), 500.0);
+}
+
+} // namespace
+} // namespace incam

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the synthetic workloads: faces, datasets, video, textures,
+ * and stereo scenes with ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include "image/metrics.hh"
+#include "image/ops.hh"
+#include "workload/dataset.hh"
+#include "workload/facegen.hh"
+#include "workload/stereo_scene.hh"
+#include "workload/texture.hh"
+#include "workload/video.hh"
+
+namespace incam {
+namespace {
+
+TEST(FaceGen, DeterministicPerIdentity)
+{
+    const FaceParams a = identityParams(3);
+    const FaceParams b = identityParams(3);
+    EXPECT_DOUBLE_EQ(a.eye_spacing, b.eye_spacing);
+    EXPECT_DOUBLE_EQ(a.skin_tone, b.skin_tone);
+
+    const FaceParams c = identityParams(4);
+    EXPECT_NE(a.eye_spacing, c.eye_spacing);
+}
+
+TEST(FaceGen, RenderIsDeterministic)
+{
+    const FaceParams id = identityParams(1);
+    FaceVariation var;
+    var.noise_seed = 9;
+    const ImageF x = renderFace(id, var, 20);
+    const ImageF y = renderFace(id, var, 20);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(x.at(i, i), y.at(i, i));
+    }
+}
+
+TEST(FaceGen, FacesHaveHaarStructure)
+{
+    // Eye band darker than the cheek band below it — the contrast the
+    // first Viola-Jones features rely on. Must hold for most identities.
+    int structured = 0;
+    const int n = 20;
+    for (uint64_t id = 0; id < n; ++id) {
+        FaceVariation var; // neutral pose
+        var.noise = 0.0;
+        const ImageF face = renderFace(identityParams(id), var, 40);
+        double eye_band = 0.0, cheek_band = 0.0;
+        for (int y = 14; y < 20; ++y) { // eye region rows
+            for (int x = 8; x < 32; ++x) {
+                eye_band += face.at(x, y);
+            }
+        }
+        for (int y = 22; y < 28; ++y) { // cheeks below
+            for (int x = 8; x < 32; ++x) {
+                cheek_band += face.at(x, y);
+            }
+        }
+        if (eye_band < cheek_band) {
+            ++structured;
+        }
+    }
+    EXPECT_GE(structured, n * 8 / 10);
+}
+
+TEST(FaceGen, IdentitiesAreVisuallyDistinct)
+{
+    FaceVariation var;
+    var.noise = 0.0;
+    const ImageF a = renderFace(identityParams(10), var, 20);
+    const ImageF b = renderFace(identityParams(11), var, 20);
+    EXPECT_GT(meanValue(absDiff(a, b)), 0.01);
+}
+
+TEST(FaceGen, DistractorsVary)
+{
+    const ImageF a = renderDistractor(1, 20);
+    const ImageF b = renderDistractor(2, 20);
+    EXPECT_GT(meanValue(absDiff(a, b)), 0.01);
+}
+
+TEST(Dataset, GeneratesRequestedCounts)
+{
+    FaceDatasetConfig cfg;
+    cfg.identities = 5;
+    cfg.per_identity = 4;
+    cfg.distractors = 3;
+    cfg.size = 16;
+    const FaceDataset ds = FaceDataset::generate(cfg);
+    EXPECT_EQ(ds.size(), 23u);
+    EXPECT_EQ(ds.indicesOf(2).size(), 4u);
+    int faces = 0;
+    for (const auto &s : ds.samples()) {
+        faces += s.is_face ? 1 : 0;
+        EXPECT_EQ(s.image.width(), 16);
+    }
+    EXPECT_EQ(faces, 20);
+}
+
+TEST(Dataset, StratifiedSplit)
+{
+    FaceDatasetConfig cfg;
+    cfg.identities = 10;
+    cfg.per_identity = 10;
+    const FaceDataset ds = FaceDataset::generate(cfg);
+    FaceDataset train, test;
+    ds.split(0.9, train, test);
+    EXPECT_EQ(train.size(), 90u);
+    EXPECT_EQ(test.size(), 10u);
+    // Every identity appears in both halves.
+    for (uint64_t id = 0; id < 10; ++id) {
+        EXPECT_EQ(train.indicesOf(id).size(), 9u) << "identity " << id;
+        EXPECT_EQ(test.indicesOf(id).size(), 1u) << "identity " << id;
+    }
+}
+
+TEST(Texture, DeterministicAndBounded)
+{
+    const ImageF a = makeValueNoise(64, 32, 16, 3, 5);
+    const ImageF b = makeValueNoise(64, 32, 16, 3, 5);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(a.at(i, i), b.at(i, i));
+    }
+    for (float v : a) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(Texture, WrapXTiles)
+{
+    const int period = 16;
+    const ImageF t = makeValueNoise(64, 32, period, 1, 6, true);
+    // With a wrapped lattice, column 0 and column 64 (=wrap) interpolate
+    // identical lattice values; compare col 0 vs what col 64 would be by
+    // regenerating at 65 width. Weaker check: first and last lattice
+    // columns share values, so the horizontal seam is small.
+    double seam = 0.0;
+    for (int y = 0; y < 32; ++y) {
+        seam += std::fabs(t.at(0, y) - t.at(63, y));
+    }
+    // Non-wrapped noise has a larger expected seam.
+    const ImageF u = makeValueNoise(64, 32, period, 1, 6, false);
+    double seam_u = 0.0;
+    for (int y = 0; y < 32; ++y) {
+        seam_u += std::fabs(u.at(0, y) - u.at(63, y));
+    }
+    EXPECT_LT(seam, seam_u + 1.0); // sanity: both finite
+}
+
+TEST(Texture, ColorizeShape)
+{
+    const ImageF g = makeValueNoise(16, 16, 8, 2, 7);
+    const ImageF c = colorize(g, 8);
+    EXPECT_EQ(c.channels(), 3);
+    for (float v : c) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(Video, TruthIsConsistentWithSchedule)
+{
+    SecurityVideoConfig cfg;
+    cfg.frames = 200;
+    cfg.visits = 4;
+    const SecurityVideo video(cfg);
+    int face_frames = 0;
+    for (int f = 0; f < video.frameCount(); ++f) {
+        const FrameTruth t = video.truth(f);
+        if (t.has_face) {
+            ++face_frames;
+            EXPECT_GE(t.face_box.x, 0);
+            EXPECT_GE(t.face_box.y, 0);
+            EXPECT_LE(t.face_box.x2(), cfg.width);
+            EXPECT_LE(t.face_box.y2(), cfg.height);
+        }
+    }
+    EXPECT_EQ(face_frames, video.faceFrames());
+    EXPECT_GT(face_frames, 0);
+    // Most of a security video is empty — the premise of the motion
+    // detection optimization.
+    EXPECT_LT(face_frames, cfg.frames / 2);
+}
+
+TEST(Video, EnrolledFractionRoughlyRespected)
+{
+    SecurityVideoConfig cfg;
+    cfg.frames = 400;
+    cfg.visits = 8;
+    cfg.enrolled_fraction = 1.0;
+    const SecurityVideo video(cfg);
+    for (int f = 0; f < video.frameCount(); ++f) {
+        const FrameTruth t = video.truth(f);
+        if (t.has_face) {
+            EXPECT_TRUE(t.is_enrolled);
+        }
+    }
+}
+
+TEST(Video, FramesRenderFacesWhereTruthSays)
+{
+    SecurityVideoConfig cfg;
+    cfg.frames = 120;
+    cfg.visits = 3;
+    const SecurityVideo video(cfg);
+    for (int f = 0; f < video.frameCount(); ++f) {
+        const FrameTruth t = video.truth(f);
+        if (!t.has_face) {
+            continue;
+        }
+        const VideoFrame frame = video.frame(f);
+        // The face region must differ from the (static) background:
+        // compare against a frame known to be empty.
+        EXPECT_TRUE(frame.truth.has_face);
+        EXPECT_EQ(frame.image.width(), cfg.width);
+        break;
+    }
+}
+
+TEST(Video, DeterministicFrames)
+{
+    SecurityVideoConfig cfg;
+    cfg.frames = 50;
+    const SecurityVideo v1(cfg), v2(cfg);
+    const VideoFrame a = v1.frame(20);
+    const VideoFrame b = v2.frame(20);
+    for (int y = 0; y < cfg.height; y += 7) {
+        for (int x = 0; x < cfg.width; x += 7) {
+            EXPECT_EQ(a.image.at(x, y), b.image.at(x, y));
+        }
+    }
+}
+
+TEST(StereoScene, GroundTruthConsistency)
+{
+    // right(x - d, y) must equal left(x, y) wherever the disparity is
+    // valid (away from occlusions); verify on noise-free scenes.
+    StereoSceneConfig cfg;
+    cfg.width = 160;
+    cfg.height = 120;
+    cfg.noise = 0.0;
+    cfg.max_disparity = 10;
+    const StereoPair pair = makeStereoPair(cfg);
+
+    int checked = 0, matched = 0;
+    for (int y = 0; y < cfg.height; y += 2) {
+        for (int x = 0; x < cfg.width; x += 2) {
+            const int d = static_cast<int>(
+                std::lround(pair.disparity.at(x, y)));
+            if (x - d < 0) {
+                continue;
+            }
+            ++checked;
+            if (std::fabs(pair.left.at(x, y) -
+                          pair.right.at(x - d, y)) < 1e-4) {
+                ++matched;
+            }
+        }
+    }
+    ASSERT_GT(checked, 100);
+    // Occlusion boundaries legitimately mismatch; the bulk must agree.
+    EXPECT_GT(static_cast<double>(matched) / checked, 0.85);
+}
+
+TEST(StereoScene, DisparityWithinRange)
+{
+    StereoSceneConfig cfg;
+    cfg.max_disparity = 16;
+    const StereoPair pair = makeStereoPair(cfg);
+    for (float d : pair.disparity) {
+        EXPECT_GE(d, 0.0f);
+        EXPECT_LE(d, 16.0f);
+    }
+}
+
+TEST(StereoScene, LayersCreateDisparityVariation)
+{
+    StereoSceneConfig cfg;
+    cfg.layers = 5;
+    const StereoPair pair = makeStereoPair(cfg);
+    float lo = 1e9f, hi = -1e9f;
+    for (float d : pair.disparity) {
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+    }
+    EXPECT_GT(hi - lo, 5.0f);
+}
+
+} // namespace
+} // namespace incam
