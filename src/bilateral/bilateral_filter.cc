@@ -41,14 +41,15 @@ bilateralFilterReference(const ImageF &in, double sigma_spatial,
 
 ImageF
 bilateralFilterGrid(const ImageF &in, double cell_spatial, int range_bins,
-                    int blur_iterations, GridOpCounts *ops)
+                    int blur_iterations, GridOpCounts *ops,
+                    const ExecPolicy &pol)
 {
     BilateralGrid grid(in.width(), in.height(), cell_spatial, range_bins);
-    grid.splat(in, in, nullptr, ops);
+    grid.splat(in, in, nullptr, ops, pol);
     for (int i = 0; i < blur_iterations; ++i) {
-        grid.blur(ops);
+        grid.blur(ops, pol);
     }
-    return grid.slice(in, 0.0f, ops);
+    return grid.slice(in, 0.0f, ops, pol);
 }
 
 std::vector<float>

@@ -29,7 +29,8 @@ ImageF bilateralFilterReference(const ImageF &in, double sigma_spatial,
  */
 ImageF bilateralFilterGrid(const ImageF &in, double cell_spatial,
                            int range_bins, int blur_iterations = 1,
-                           GridOpCounts *ops = nullptr);
+                           GridOpCounts *ops = nullptr,
+                           const ExecPolicy &pol = ExecPolicy::serial());
 
 /** A noisy 1-D step signal like Fig. 6a. */
 std::vector<float> makeNoisyStep(int n, float lo, float hi, float noise,

@@ -4,8 +4,105 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "exec/parallel.hh"
 
 namespace incam {
+
+namespace {
+
+/**
+ * Row bands for the splat accumulators. The band structure must depend
+ * only on the image and the grain — never on the thread count — so the
+ * band-order merge gives bit-identical results at any parallelism. The
+ * cap bounds the per-band partial-grid memory.
+ */
+constexpr int kMaxSplatBands = 8;
+
+int
+splatBandRows(int height, const ExecPolicy &pol)
+{
+    const int cap_rows = (height + kMaxSplatBands - 1) / kMaxSplatBands;
+    return std::max({1, pol.grain, cap_rows});
+}
+
+/** Per-column interpolation terms, hoisted out of the row loops. */
+struct AxisLut
+{
+    std::vector<int> lo;
+    std::vector<float> t;
+
+    AxisLut(int n, float inv_cell, int grid_n)
+    {
+        lo.resize(n);
+        t.resize(n);
+        for (int i = 0; i < n; ++i) {
+            const float f = static_cast<float>(i) * inv_cell;
+            const int i0 = std::min(static_cast<int>(f), grid_n - 2);
+            lo[i] = i0;
+            t[i] = f - static_cast<float>(i0);
+        }
+    }
+};
+
+/**
+ * Trilinear sampling geometry shared by splat and slice — one place
+ * computes the flat vertex offsets and the 8 per-pixel weights, so the
+ * two kernels can never sample different vertices or weights.
+ */
+struct TrilinearGeom
+{
+    AxisLut xlut;
+    AxisLut ylut;
+    float bins;
+    int nz;
+    size_t sy;
+    size_t sz;
+    size_t off[8]; ///< flat offsets of the cell's 8 vertices
+
+    TrilinearGeom(int w, int h, double cell, int gx, int gy, int gz)
+        : xlut(w, static_cast<float>(1.0 / cell), gx),
+          ylut(h, static_cast<float>(1.0 / cell), gy),
+          bins(static_cast<float>(gz - 1)), nz(gz),
+          sy(static_cast<size_t>(gx)),
+          sz(static_cast<size_t>(gx) * gy),
+          off{0, 1, sy, sy + 1, sz, sz + 1, sz + sy, sz + sy + 1}
+    {
+    }
+
+    /**
+     * Weights and base vertex index for pixel (x, y) with guide
+     * intensity @p g. Fills wv[8] matching off[8].
+     */
+    size_t
+    vertexWeights(int x, int y, float g, float wv[8]) const
+    {
+        const float fz = std::clamp(g, 0.0f, 1.0f) * bins;
+        const int z0 = std::min(static_cast<int>(fz), nz - 2);
+        const float tz = fz - static_cast<float>(z0);
+        const float tx = xlut.t[x];
+        const float ty = ylut.t[y];
+        const float wx0 = 1.0f - tx;
+        const float wy0 = 1.0f - ty;
+        const float wz0 = 1.0f - tz;
+
+        const float wy0z0 = wy0 * wz0;
+        const float wy1z0 = ty * wz0;
+        const float wy0z1 = wy0 * tz;
+        const float wy1z1 = ty * tz;
+        wv[0] = wx0 * wy0z0;
+        wv[1] = tx * wy0z0;
+        wv[2] = wx0 * wy1z0;
+        wv[3] = tx * wy1z0;
+        wv[4] = wx0 * wy0z1;
+        wv[5] = tx * wy0z1;
+        wv[6] = wx0 * wy1z1;
+        wv[7] = tx * wy1z1;
+        return static_cast<size_t>(z0) * sz +
+               static_cast<size_t>(ylut.lo[y]) * sy + xlut.lo[x];
+    }
+};
+
+} // namespace
 
 BilateralGrid::BilateralGrid(int image_w, int image_h, double cell_spatial,
                              int range_bins)
@@ -24,7 +121,8 @@ BilateralGrid::BilateralGrid(int image_w, int image_h, double cell_spatial,
 
 void
 BilateralGrid::splat(const ImageF &guide, const ImageF &value,
-                     const ImageF *confidence, GridOpCounts *ops)
+                     const ImageF *confidence, GridOpCounts *ops,
+                     const ExecPolicy &pol)
 {
     incam_assert(guide.channels() == 1 && value.channels() == 1,
                  "splat expects single-channel images");
@@ -34,39 +132,72 @@ BilateralGrid::splat(const ImageF &guide, const ImageF &value,
                      "confidence shape mismatch");
     }
 
-    const int bins = nz - 1;
-    for (int y = 0; y < guide.height(); ++y) {
-        for (int x = 0; x < guide.width(); ++x) {
-            const float g = std::clamp(guide.at(x, y), 0.0f, 1.0f);
-            const double fx = x / cell;
-            const double fy = y / cell;
-            const double fz = static_cast<double>(g) * bins;
-            const int x0 = std::min(static_cast<int>(fx), nx - 2);
-            const int y0 = std::min(static_cast<int>(fy), ny - 2);
-            const int z0 = std::min(static_cast<int>(fz), nz - 2);
-            const double tx = fx - x0;
-            const double ty = fy - y0;
-            const double tz = fz - z0;
+    const int w = guide.width();
+    const int h = guide.height();
+    const TrilinearGeom geom(w, h, cell, nx, ny, nz);
 
-            const float c = confidence ? confidence->at(x, y) : 1.0f;
-            const float v = value.at(x, y) * c;
+    const size_t verts = vertexCount();
+    ExecPolicy band_pol = pol;
+    band_pol.grain = splatBandRows(h, pol);
+    const uint64_t bands = parallel_chunk_count(0, h, band_pol);
 
-            for (int dz = 0; dz < 2; ++dz) {
-                const double wz = dz ? tz : 1.0 - tz;
-                for (int dy = 0; dy < 2; ++dy) {
-                    const double wy = dy ? ty : 1.0 - ty;
-                    for (int dx = 0; dx < 2; ++dx) {
-                        const double wx = dx ? tx : 1.0 - tx;
-                        const float w = static_cast<float>(wx * wy * wz);
-                        const size_t idx =
-                            index(x0 + dx, y0 + dy, z0 + dz);
-                        val[idx] += v * w;
-                        wgt[idx] += c * w;
-                    }
+    // One band's pixels accumulated into a zeroed partial grid.
+    auto splatBand = [&](float *bv, float *bw, int64_t y0, int64_t y1) {
+        for (int64_t row = y0; row < y1; ++row) {
+            const int y = static_cast<int>(row);
+            for (int x = 0; x < w; ++x) {
+                float wv[8];
+                const size_t base =
+                    geom.vertexWeights(x, y, guide.at(x, y), wv);
+                const float c = confidence ? confidence->at(x, y) : 1.0f;
+                const float v = value.at(x, y) * c;
+                for (int k = 0; k < 8; ++k) {
+                    bv[base + geom.off[k]] += v * wv[k];
+                    bw[base + geom.off[k]] += c * wv[k];
                 }
             }
         }
+    };
+    auto mergeBand = [&](const float *bv, const float *bw) {
+        for (size_t i = 0; i < verts; ++i) {
+            val[i] += bv[i];
+            wgt[i] += bw[i];
+        }
+    };
+
+    if (pol.resolveThreads() <= 1 || bands <= 1) {
+        // Serial: one reusable scratch pair, bands merged as they
+        // finish — the same band-order floating-point grouping as the
+        // parallel path at a fraction of its transient memory. Chunks
+        // run inline in order here, so the in-place merge is safe, and
+        // routing through parallel_for_chunks keeps both paths on the
+        // exact same chunk geometry.
+        std::vector<float> scratch_val;
+        std::vector<float> scratch_wgt;
+        parallel_for_chunks(
+            0, h, band_pol, [&](uint64_t, int64_t y0, int64_t y1) {
+                scratch_val.assign(verts, 0.0f);
+                scratch_wgt.assign(verts, 0.0f);
+                splatBand(scratch_val.data(), scratch_wgt.data(), y0, y1);
+                mergeBand(scratch_val.data(), scratch_wgt.data());
+            });
+    } else {
+        // Parallel: per-band partial grids so bands never race on
+        // shared vertices, merged in band order below.
+        std::vector<std::vector<float>> band_val(bands);
+        std::vector<std::vector<float>> band_wgt(bands);
+        parallel_for_chunks(
+            0, h, band_pol, [&](uint64_t band, int64_t y0, int64_t y1) {
+                band_val[band].assign(verts, 0.0f);
+                band_wgt[band].assign(verts, 0.0f);
+                splatBand(band_val[band].data(), band_wgt[band].data(),
+                          y0, y1);
+            });
+        for (uint64_t band = 0; band < bands; ++band) {
+            mergeBand(band_val[band].data(), band_wgt[band].data());
+        }
     }
+
     if (ops) {
         // 8 vertices x 2 channels x (1 mul + 1 add) + weight products.
         ops->splat_ops += static_cast<uint64_t>(guide.pixelCount()) * 40;
@@ -74,21 +205,26 @@ BilateralGrid::splat(const ImageF &guide, const ImageF &value,
 }
 
 void
-BilateralGrid::blur(GridOpCounts *ops)
+BilateralGrid::blur(GridOpCounts *ops, const ExecPolicy &pol)
 {
     // Separable [1 2 1] / 4 along x, then y, then z, with clamped ends.
+    // Each pass is a pure map from the previous arrays, so any row
+    // partitioning yields bit-identical output.
+    std::vector<float> new_val(val.size());
+    std::vector<float> new_wgt(wgt.size());
     auto pass = [&](int axis) {
-        std::vector<float> new_val(val.size());
-        std::vector<float> new_wgt(wgt.size());
         const int dims[3] = {nx, ny, nz};
         const size_t strides[3] = {1, static_cast<size_t>(nx),
                                    static_cast<size_t>(nx) * ny};
         const int n = dims[axis];
         const size_t stride = strides[axis];
-        for (int k = 0; k < nz; ++k) {
-            for (int j = 0; j < ny; ++j) {
-                for (int i = 0; i < nx; ++i) {
-                    const size_t idx = index(i, j, k);
+        const int64_t planes = static_cast<int64_t>(ny) * nz;
+        parallel_for(0, planes, pol, [&](int64_t p0, int64_t p1) {
+            for (int64_t p = p0; p < p1; ++p) {
+                const int j = static_cast<int>(p % ny);
+                const int k = static_cast<int>(p / ny);
+                size_t idx = index(0, j, k);
+                for (int i = 0; i < nx; ++i, ++idx) {
                     const int pos = axis == 0 ? i : axis == 1 ? j : k;
                     const size_t lo = pos > 0 ? idx - stride : idx;
                     const size_t hi = pos < n - 1 ? idx + stride : idx;
@@ -98,7 +234,7 @@ BilateralGrid::blur(GridOpCounts *ops)
                                             wgt[hi]);
                 }
             }
-        }
+        });
         val.swap(new_val);
         wgt.swap(new_wgt);
     };
@@ -111,46 +247,36 @@ BilateralGrid::blur(GridOpCounts *ops)
 }
 
 ImageF
-BilateralGrid::slice(const ImageF &guide, float fallback,
-                     GridOpCounts *ops) const
+BilateralGrid::slice(const ImageF &guide, float fallback, GridOpCounts *ops,
+                     const ExecPolicy &pol) const
 {
     incam_assert(guide.channels() == 1, "slice expects a grayscale guide");
-    ImageF out(guide.width(), guide.height(), 1);
-    const int bins = nz - 1;
-    for (int y = 0; y < guide.height(); ++y) {
-        for (int x = 0; x < guide.width(); ++x) {
-            const float g = std::clamp(guide.at(x, y), 0.0f, 1.0f);
-            const double fx = x / cell;
-            const double fy = y / cell;
-            const double fz = static_cast<double>(g) * bins;
-            const int x0 = std::min(static_cast<int>(fx), nx - 2);
-            const int y0 = std::min(static_cast<int>(fy), ny - 2);
-            const int z0 = std::min(static_cast<int>(fz), nz - 2);
-            const double tx = fx - x0;
-            const double ty = fy - y0;
-            const double tz = fz - z0;
+    const int w = guide.width();
+    const int h = guide.height();
+    ImageF out(w, h, 1);
+    const TrilinearGeom geom(w, h, cell, nx, ny, nz);
+    const float *vals = val.data();
+    const float *wgts = wgt.data();
 
-            double acc_v = 0.0;
-            double acc_w = 0.0;
-            for (int dz = 0; dz < 2; ++dz) {
-                const double wz = dz ? tz : 1.0 - tz;
-                for (int dy = 0; dy < 2; ++dy) {
-                    const double wy = dy ? ty : 1.0 - ty;
-                    for (int dx = 0; dx < 2; ++dx) {
-                        const double wx = dx ? tx : 1.0 - tx;
-                        const double w = wx * wy * wz;
-                        const size_t idx =
-                            index(x0 + dx, y0 + dy, z0 + dz);
-                        acc_v += w * val[idx];
-                        acc_w += w * wgt[idx];
-                    }
+    // Pixels are independent reads: parallel over rows, bit-identical
+    // at any partitioning.
+    parallel_for(0, h, pol, [&](int64_t y0, int64_t y1) {
+        for (int64_t row = y0; row < y1; ++row) {
+            const int y = static_cast<int>(row);
+            for (int x = 0; x < w; ++x) {
+                float wv[8];
+                const size_t base =
+                    geom.vertexWeights(x, y, guide.at(x, y), wv);
+                float acc_v = 0.0f;
+                float acc_w = 0.0f;
+                for (int k = 0; k < 8; ++k) {
+                    acc_v += wv[k] * vals[base + geom.off[k]];
+                    acc_w += wv[k] * wgts[base + geom.off[k]];
                 }
+                out.at(x, y) = acc_w > 1e-9f ? acc_v / acc_w : fallback;
             }
-            out.at(x, y) = acc_w > 1e-9
-                               ? static_cast<float>(acc_v / acc_w)
-                               : fallback;
         }
-    }
+    });
     if (ops) {
         ops->slice_ops += static_cast<uint64_t>(guide.pixelCount()) * 35;
     }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/units.hh"
+#include "exec/exec_policy.hh"
 #include "image/image.hh"
 
 namespace incam {
@@ -81,12 +82,18 @@ class BilateralGrid
      * Accumulate @p value into the grid guided by @p guide intensities,
      * weighting each pixel by @p confidence (pass nullptr for weight 1).
      * Trilinear splatting: each pixel feeds its 8 surrounding vertices.
+     *
+     * Parallelized over fixed row bands with per-band grid accumulators
+     * merged in band order, so results are bit-identical for every
+     * thread count at a given grain.
      */
     void splat(const ImageF &guide, const ImageF &value,
-               const ImageF *confidence, GridOpCounts *ops = nullptr);
+               const ImageF *confidence, GridOpCounts *ops = nullptr,
+               const ExecPolicy &pol = ExecPolicy::serial());
 
     /** One separable [1 2 1]/4 blur pass along all three axes. */
-    void blur(GridOpCounts *ops = nullptr);
+    void blur(GridOpCounts *ops = nullptr,
+              const ExecPolicy &pol = ExecPolicy::serial());
 
     /**
      * Read the grid back at every pixel of @p guide (trilinear), dividing
@@ -94,7 +101,8 @@ class BilateralGrid
      * @p fallback.
      */
     ImageF slice(const ImageF &guide, float fallback = 0.0f,
-                 GridOpCounts *ops = nullptr) const;
+                 GridOpCounts *ops = nullptr,
+                 const ExecPolicy &pol = ExecPolicy::serial()) const;
 
     /**
      * Blend this grid toward @p data: v = (v + lambda * data_v) /

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "exec/parallel.hh"
 
 namespace incam {
 
@@ -29,38 +30,42 @@ BssaStereo::wtaDisparity(const ImageF &left, const ImageF &right,
     disparity = ImageF(w, h, 1);
     confidence = ImageF(w, h, 1);
 
-    for (int y = 0; y < h; ++y) {
-        for (int x = 0; x < w; ++x) {
-            double best = 1e30;
-            double second = 1e30;
-            int best_d = 0;
-            const int d_max = std::min(conf.max_disparity, x);
-            for (int d = 0; d <= d_max; ++d) {
-                double sad = 0.0;
-                for (int dy = -r; dy <= r; ++dy) {
-                    for (int dx = -r; dx <= r; ++dx) {
-                        const float lv = left.atClamped(x + dx, y + dy);
-                        const float rv =
-                            right.atClamped(x - d + dx, y + dy);
-                        sad += std::fabs(lv - rv);
+    // Each output pixel is independent: row-parallel, bit-identical at
+    // any partitioning.
+    parallel_for(0, h, conf.exec, [&](int64_t row0, int64_t row1) {
+        for (int y = static_cast<int>(row0); y < row1; ++y) {
+            for (int x = 0; x < w; ++x) {
+                double best = 1e30;
+                double second = 1e30;
+                int best_d = 0;
+                const int d_max = std::min(conf.max_disparity, x);
+                for (int d = 0; d <= d_max; ++d) {
+                    double sad = 0.0;
+                    for (int dy = -r; dy <= r; ++dy) {
+                        for (int dx = -r; dx <= r; ++dx) {
+                            const float lv = left.atClamped(x + dx, y + dy);
+                            const float rv =
+                                right.atClamped(x - d + dx, y + dy);
+                            sad += std::fabs(lv - rv);
+                        }
+                    }
+                    if (sad < best) {
+                        second = best;
+                        best = sad;
+                        best_d = d;
+                    } else if (sad < second) {
+                        second = sad;
                     }
                 }
-                if (sad < best) {
-                    second = best;
-                    best = sad;
-                    best_d = d;
-                } else if (sad < second) {
-                    second = sad;
-                }
+                disparity.at(x, y) = static_cast<float>(best_d);
+                // Peak-ratio confidence: decisive minima are trustworthy.
+                const double taps = (2.0 * r + 1.0) * (2.0 * r + 1.0);
+                const double margin = (second - best) / taps;
+                confidence.at(x, y) = static_cast<float>(
+                    std::clamp(margin * 12.0, 0.02, 1.0));
             }
-            disparity.at(x, y) = static_cast<float>(best_d);
-            // Peak-ratio confidence: decisive minima are trustworthy.
-            const double taps = (2.0 * r + 1.0) * (2.0 * r + 1.0);
-            const double margin = (second - best) / taps;
-            confidence.at(x, y) = static_cast<float>(
-                std::clamp(margin * 12.0, 0.02, 1.0));
         }
-    }
+    });
     if (matching_ops) {
         const double taps = (2.0 * r + 1.0) * (2.0 * r + 1.0);
         *matching_ops += static_cast<uint64_t>(
@@ -86,18 +91,18 @@ BssaStereo::refine(const ImageF &guide, const ImageF &noisy,
     // Data grid: splatted once, re-attached every round.
     BilateralGrid data(guide.width(), guide.height(), conf.cell_spatial,
                        conf.range_bins);
-    data.splat(guide, normalized, &confidence, ops);
+    data.splat(guide, normalized, &confidence, ops, conf.exec);
     if (vertices) {
         *vertices = data.vertexCount();
     }
 
     BilateralGrid solution = data;
     for (int it = 0; it < conf.solver_iterations; ++it) {
-        solution.blur(ops);
+        solution.blur(ops, conf.exec);
         solution.blendData(data, conf.data_lambda);
     }
 
-    ImageF sliced = solution.slice(guide, 0.0f, ops);
+    ImageF sliced = solution.slice(guide, 0.0f, ops, conf.exec);
     for (int y = 0; y < sliced.height(); ++y) {
         for (int x = 0; x < sliced.width(); ++x) {
             sliced.at(x, y) = std::clamp(

@@ -25,6 +25,7 @@
 #define INCAM_BILATERAL_STEREO_HH
 
 #include "bilateral/grid.hh"
+#include "exec/exec_policy.hh"
 
 namespace incam {
 
@@ -38,6 +39,7 @@ struct BssaConfig
     int solver_iterations = 26; ///< smooth/reattach rounds (3 axis passes
                                ///< per round — the paper-calibrated count)
     double data_lambda = 0.30;///< data-fidelity weight per round
+    ExecPolicy exec;          ///< matching + grid parallelism
 };
 
 /** Work counters for one BSSA execution. */

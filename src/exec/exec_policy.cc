@@ -1,0 +1,24 @@
+#include "exec/exec_policy.hh"
+
+#include <cstdlib>
+#include <thread>
+
+namespace incam {
+
+int
+ExecPolicy::resolveThreads() const
+{
+    if (threads > 0) {
+        return threads;
+    }
+    if (const char *env = std::getenv("INCAM_THREADS")) {
+        const int n = std::atoi(env);
+        if (n > 0) {
+            return n;
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace incam

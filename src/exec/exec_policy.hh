@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Execution policy for the parallel kernel engine.
+ *
+ * Every parallelized kernel takes an ExecPolicy deciding how many
+ * threads may cooperate on it and how finely its iteration range is
+ * chunked. The policy travels *down* the pipeline layers — a
+ * DetectorParams, BssaConfig or bench harness owns one and hands it to
+ * the kernels it invokes — so one knob configures a whole pipeline.
+ *
+ * Determinism contract: for a fixed grain, kernel results are
+ * bit-identical for every thread count (including 1). Chunk boundaries
+ * depend only on the range and the grain, never on the thread count or
+ * on runtime load, and chunk results are always combined in chunk-index
+ * order.
+ */
+
+#ifndef INCAM_EXEC_EXEC_POLICY_HH
+#define INCAM_EXEC_EXEC_POLICY_HH
+
+namespace incam {
+
+/** How a parallel kernel may use the machine. */
+struct ExecPolicy
+{
+    /**
+     * Worker threads to cooperate on a kernel, including the caller.
+     * 0 means auto: the INCAM_THREADS environment variable if set,
+     * otherwise the hardware concurrency.
+     */
+    int threads = 1;
+
+    /**
+     * Minimum iterations per chunk. Larger grains amortize dispatch
+     * overhead; chunk boundaries are a pure function of (range, grain),
+     * which is what keeps results thread-count independent.
+     */
+    int grain = 1;
+
+    /** The explicit do-everything-on-the-caller policy. */
+    static ExecPolicy
+    serial()
+    {
+        return ExecPolicy{1, 1};
+    }
+
+    /** Auto-sized parallel policy (env override, else hardware). */
+    static ExecPolicy
+    parallel(int grain_hint = 1)
+    {
+        return ExecPolicy{0, grain_hint};
+    }
+
+    /**
+     * The thread count this policy resolves to on this machine:
+     * `threads` when positive, else the INCAM_THREADS environment
+     * variable, else std::thread::hardware_concurrency (min 1).
+     */
+    int resolveThreads() const;
+};
+
+} // namespace incam
+
+#endif // INCAM_EXEC_EXEC_POLICY_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * parallel_for / parallel_reduce on top of the shared ThreadPool.
+ *
+ * An iteration range [begin, end) is cut into chunks of
+ * max(policy.grain, 1) iterations; chunk boundaries depend only on the
+ * range and the grain, and reductions combine chunk results in
+ * chunk-index order, so for a fixed grain every thread count produces
+ * bit-identical results. With threads == 1 (or a single chunk) nothing
+ * is dispatched and the chunks run inline on the caller — the serial
+ * path *is* the parallel path with no helpers.
+ *
+ * Exceptions thrown by the body are propagated to the caller; once one
+ * chunk throws, not-yet-started chunks are skipped.
+ */
+
+#ifndef INCAM_EXEC_PARALLEL_HH
+#define INCAM_EXEC_PARALLEL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "exec/exec_policy.hh"
+#include "exec/thread_pool.hh"
+
+namespace incam {
+
+namespace exec_detail {
+
+/** Chunk geometry shared by every parallel primitive. */
+struct ChunkPlan
+{
+    int64_t begin = 0;
+    int64_t grain = 1;
+    uint64_t chunks = 0;
+
+    ChunkPlan(int64_t b, int64_t e, const ExecPolicy &pol)
+        : begin(b), grain(std::max<int64_t>(1, pol.grain))
+    {
+        const int64_t n = e > b ? e - b : 0;
+        chunks = static_cast<uint64_t>((n + grain - 1) / grain);
+    }
+
+    int64_t
+    chunkBegin(uint64_t c) const
+    {
+        return begin + static_cast<int64_t>(c) * grain;
+    }
+};
+
+} // namespace exec_detail
+
+/**
+ * Apply @p fn(chunk_begin, chunk_end) over [begin, end) in chunks of
+ * policy.grain iterations, on up to policy.resolveThreads() threads.
+ */
+template <typename Fn>
+void
+parallel_for(int64_t begin, int64_t end, const ExecPolicy &pol, Fn &&fn)
+{
+    const exec_detail::ChunkPlan plan(begin, end, pol);
+    if (plan.chunks == 0) {
+        return;
+    }
+    const int threads = pol.resolveThreads();
+    if (threads <= 1 || plan.chunks == 1) {
+        for (uint64_t c = 0; c < plan.chunks; ++c) {
+            const int64_t b = plan.chunkBegin(c);
+            fn(b, std::min(end, b + plan.grain));
+        }
+        return;
+    }
+    ThreadPool::global().run(plan.chunks, threads, [&](uint64_t c) {
+        const int64_t b = plan.chunkBegin(c);
+        fn(b, std::min(end, b + plan.grain));
+    });
+}
+
+/**
+ * parallel_for that also hands the body its chunk index — for kernels
+ * that keep per-chunk partial state merged in chunk order afterwards.
+ */
+template <typename Fn>
+void
+parallel_for_chunks(int64_t begin, int64_t end, const ExecPolicy &pol,
+                    Fn &&fn)
+{
+    const exec_detail::ChunkPlan plan(begin, end, pol);
+    if (plan.chunks == 0) {
+        return;
+    }
+    const int threads = pol.resolveThreads();
+    if (threads <= 1 || plan.chunks == 1) {
+        for (uint64_t c = 0; c < plan.chunks; ++c) {
+            const int64_t b = plan.chunkBegin(c);
+            fn(c, b, std::min(end, b + plan.grain));
+        }
+        return;
+    }
+    ThreadPool::global().run(plan.chunks, threads, [&](uint64_t c) {
+        const int64_t b = plan.chunkBegin(c);
+        fn(c, b, std::min(end, b + plan.grain));
+    });
+}
+
+/** Number of chunks parallel_for would use — for sizing partial state. */
+inline uint64_t
+parallel_chunk_count(int64_t begin, int64_t end, const ExecPolicy &pol)
+{
+    return exec_detail::ChunkPlan(begin, end, pol).chunks;
+}
+
+/**
+ * Reduce [begin, end): @p map(chunk_begin, chunk_end) produces one T
+ * per chunk, @p combine(acc, chunk_result) folds them in chunk-index
+ * order starting from @p identity. Returns identity for empty ranges.
+ */
+template <typename T, typename Map, typename Combine>
+T
+parallel_reduce(int64_t begin, int64_t end, const ExecPolicy &pol,
+                T identity, Map &&map, Combine &&combine)
+{
+    const exec_detail::ChunkPlan plan(begin, end, pol);
+    if (plan.chunks == 0) {
+        return identity;
+    }
+    std::vector<T> partial(plan.chunks, identity);
+    parallel_for_chunks(begin, end, pol,
+                        [&](uint64_t c, int64_t b, int64_t e) {
+                            partial[c] = map(b, e);
+                        });
+    T acc = std::move(identity);
+    for (uint64_t c = 0; c < plan.chunks; ++c) {
+        acc = combine(std::move(acc), std::move(partial[c]));
+    }
+    return acc;
+}
+
+} // namespace incam
+
+#endif // INCAM_EXEC_PARALLEL_HH

@@ -1,0 +1,167 @@
+#include "exec/thread_pool.hh"
+
+#include <algorithm>
+
+namespace incam {
+
+namespace {
+thread_local bool tls_in_worker = false;
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+bool
+ThreadPool::inWorker()
+{
+    return tls_in_worker;
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &w : workers) {
+        w.join();
+    }
+}
+
+int
+ThreadPool::workerCount() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return static_cast<int>(workers.size());
+}
+
+void
+ThreadPool::ensureWorkers(int target)
+{
+    // Caller holds mu.
+    target = std::min(target, kMaxWorkers);
+    while (static_cast<int>(workers.size()) < target) {
+        workers.emplace_back([this] { workerLoop(); });
+    }
+}
+
+void
+ThreadPool::execute(Job &job)
+{
+    for (;;) {
+        const uint64_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= job.chunks) {
+            break;
+        }
+        if (!job.failed.load(std::memory_order_acquire)) {
+            try {
+                (*job.fn)(c);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lk(job.error_mu);
+                    if (!job.error) {
+                        job.error = std::current_exception();
+                    }
+                }
+                job.failed.store(true, std::memory_order_release);
+                // Claim every never-issued chunk in [old, chunks) so
+                // completion accounting still reaches job.chunks. (The
+                // failing chunk itself was issued normally and is
+                // counted by the fetch_add below; the bulk add can
+                // never be the crossing increment, so the notify after
+                // that fetch_add is not skipped.)
+                const uint64_t old = job.next.exchange(job.chunks);
+                if (old < job.chunks) {
+                    job.done.fetch_add(job.chunks - old,
+                                       std::memory_order_acq_rel);
+                }
+            }
+        }
+        const uint64_t finished =
+            job.done.fetch_add(1, std::memory_order_acq_rel) + 1;
+        if (finished >= job.chunks) {
+            std::lock_guard<std::mutex> lk(job.done_mu);
+            job.done_cv.notify_all();
+            break;
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tls_in_worker = true;
+    uint64_t seen_generation = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cv.wait(lk, [&] {
+                return stopping || (current && generation != seen_generation);
+            });
+            if (stopping) {
+                return;
+            }
+            seen_generation = generation;
+            job = current;
+        }
+        if (job->helper_slots.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+            execute(*job);
+        }
+    }
+}
+
+void
+ThreadPool::run(uint64_t chunk_count, int max_participants,
+                const std::function<void(uint64_t)> &fn)
+{
+    if (chunk_count == 0) {
+        return;
+    }
+    const int helpers_wanted = std::min<int>(
+        {max_participants - 1, static_cast<int>(chunk_count) - 1,
+         kMaxWorkers});
+    if (helpers_wanted <= 0 || tls_in_worker) {
+        // Serial or nested dispatch: run every chunk inline, in order.
+        for (uint64_t c = 0; c < chunk_count; ++c) {
+            fn(c);
+        }
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->chunks = chunk_count;
+    job->helper_slots.store(helpers_wanted, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        ensureWorkers(helpers_wanted);
+        current = job;
+        ++generation;
+    }
+    cv.notify_all();
+
+    execute(*job); // the caller is always a participant
+    {
+        std::unique_lock<std::mutex> lk(job->done_mu);
+        job->done_cv.wait(lk, [&] {
+            return job->done.load(std::memory_order_acquire) >= job->chunks;
+        });
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (current == job) {
+            current.reset();
+        }
+    }
+    if (job->error) {
+        std::rethrow_exception(job->error);
+    }
+}
+
+} // namespace incam

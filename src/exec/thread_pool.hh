@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A lazily-grown, work-stealing-free thread pool.
+ *
+ * The pool executes one *job* at a time: a job is `chunk_count` chunks
+ * handed out through a single atomic counter, so chunks are claimed in
+ * index order and load-balance naturally without per-task queues or
+ * stealing. The caller of run() always participates, so a pool with no
+ * workers degrades gracefully to serial execution, and nested run()
+ * calls from inside a worker execute inline rather than deadlocking.
+ *
+ * Workers are spawned on demand up to the largest participant count any
+ * job has asked for (capped), so a process that only ever runs serial
+ * policies never starts a thread.
+ */
+
+#ifndef INCAM_EXEC_THREAD_POOL_HH
+#define INCAM_EXEC_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace incam {
+
+/** Shared fork-join pool for the parallel_for/parallel_reduce engine. */
+class ThreadPool
+{
+  public:
+    /** Upper bound on pool workers regardless of requested threads. */
+    static constexpr int kMaxWorkers = 64;
+
+    ThreadPool() = default;
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** The process-wide pool used by parallel_for/parallel_reduce. */
+    static ThreadPool &global();
+
+    /** True when called from inside a pool worker (nested dispatch). */
+    static bool inWorker();
+
+    /**
+     * Run @p fn(chunk) for every chunk in [0, chunk_count) using at
+     * most @p max_participants threads including the caller. Blocks
+     * until every chunk has finished; rethrows the first exception any
+     * chunk threw (remaining chunks are skipped once one fails).
+     */
+    void run(uint64_t chunk_count, int max_participants,
+             const std::function<void(uint64_t)> &fn);
+
+    /** Workers spawned so far (grows on demand). */
+    int workerCount() const;
+
+  private:
+    /** One fork-join job: a chunk counter plus completion tracking. */
+    struct Job
+    {
+        const std::function<void(uint64_t)> *fn = nullptr;
+        uint64_t chunks = 0;
+        std::atomic<uint64_t> next{0};
+        std::atomic<uint64_t> done{0};
+        std::atomic<int> helper_slots{0};
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::mutex error_mu;
+        std::mutex done_mu;
+        std::condition_variable done_cv;
+    };
+
+    void workerLoop();
+    void ensureWorkers(int target);
+    static void execute(Job &job);
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::thread> workers;
+    std::shared_ptr<Job> current;
+    uint64_t generation = 0;
+    bool stopping = false;
+};
+
+} // namespace incam
+
+#endif // INCAM_EXEC_THREAD_POOL_HH

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/exec_policy.hh"
 #include "image/image.hh"
 
 namespace incam {
@@ -25,8 +26,17 @@ namespace incam {
 class IntegralImage
 {
   public:
-    /** Build both the sum and squared-sum tables in one pass. */
-    explicit IntegralImage(const ImageU8 &img);
+    /**
+     * Build both the sum and squared-sum tables.
+     *
+     * Serial policies use a fused single pass (row prefix + running
+     * column sums). Parallel policies split construction into a
+     * row-parallel horizontal-prefix phase and a column-block-parallel
+     * vertical-prefix phase; the arithmetic is exact 64-bit integer, so
+     * both paths produce identical tables.
+     */
+    explicit IntegralImage(const ImageU8 &img,
+                           const ExecPolicy &pol = ExecPolicy::serial());
 
     int width() const { return w; }
     int height() const { return h; }

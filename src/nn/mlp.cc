@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "exec/parallel.hh"
 
 namespace incam {
 
@@ -139,7 +140,67 @@ Mlp::forwardAll(const std::vector<float> &input) const
 std::vector<float>
 Mlp::forward(const std::vector<float> &input) const
 {
-    return forwardAll(input).back();
+    incam_assert(static_cast<int>(input.size()) == topo.inputs(),
+                 "input size ", input.size(), " != topology input ",
+                 topo.inputs());
+    std::vector<float> cur = input;
+    std::vector<float> next;
+    for (size_t l = 0; l + 1 < topo.layers.size(); ++l) {
+        const int fan_in = topo.layers[l];
+        const int fan_out = topo.layers[l + 1];
+        const size_t row_stride = static_cast<size_t>(fan_in) + 1;
+        const float *wl = weights[l].data();
+        const float *prev = cur.data();
+        next.assign(static_cast<size_t>(fan_out), 0.0f);
+
+        // Blocked matvec: 4 output rows share one streaming pass over
+        // the activations, keeping 4 independent accumulator chains.
+        int to = 0;
+        for (; to + 4 <= fan_out; to += 4) {
+            const float *r0 = wl + static_cast<size_t>(to) * row_stride;
+            const float *r1 = r0 + row_stride;
+            const float *r2 = r1 + row_stride;
+            const float *r3 = r2 + row_stride;
+            float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+            for (int from = 0; from < fan_in; ++from) {
+                const float p = prev[from];
+                a0 += r0[from] * p;
+                a1 += r1[from] * p;
+                a2 += r2[from] * p;
+                a3 += r3[from] * p;
+            }
+            // Fused bias + activation epilogue.
+            next[to + 0] = static_cast<float>(sigmoid(a0 + r0[fan_in]));
+            next[to + 1] = static_cast<float>(sigmoid(a1 + r1[fan_in]));
+            next[to + 2] = static_cast<float>(sigmoid(a2 + r2[fan_in]));
+            next[to + 3] = static_cast<float>(sigmoid(a3 + r3[fan_in]));
+        }
+        for (; to < fan_out; ++to) {
+            const float *row = wl + static_cast<size_t>(to) * row_stride;
+            float acc = 0.0f;
+            for (int from = 0; from < fan_in; ++from) {
+                acc += row[from] * prev[from];
+            }
+            next[to] = static_cast<float>(sigmoid(acc + row[fan_in]));
+        }
+        cur.swap(next);
+    }
+    return cur;
+}
+
+std::vector<std::vector<float>>
+Mlp::forwardBatch(const std::vector<std::vector<float>> &inputs,
+                  const ExecPolicy &pol) const
+{
+    std::vector<std::vector<float>> out(inputs.size());
+    // Samples are independent, so any partitioning is bit-identical.
+    parallel_for(0, static_cast<int64_t>(inputs.size()), pol,
+                 [&](int64_t b, int64_t e) {
+                     for (int64_t i = b; i < e; ++i) {
+                         out[i] = forward(inputs[i]);
+                     }
+                 });
+    return out;
 }
 
 void

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "exec/exec_policy.hh"
 
 namespace incam {
 
@@ -85,8 +86,24 @@ class Mlp
 
     const MlpTopology &topology() const { return topo; }
 
-    /** Forward pass; input size must match the topology. */
+    /**
+     * Forward pass; input size must match the topology.
+     *
+     * The inference path: blocked matrix-vector products accumulating
+     * in float with a fused bias+activation epilogue. (Training uses
+     * forwardAll, which keeps the double-accumulation reference
+     * arithmetic.)
+     */
     std::vector<float> forward(const std::vector<float> &input) const;
+
+    /**
+     * Forward passes over a whole batch, parallelized across samples —
+     * the deployment-shaped inference loop (each camera frame yields a
+     * batch of candidate crops).
+     */
+    std::vector<std::vector<float>>
+    forwardBatch(const std::vector<std::vector<float>> &inputs,
+                 const ExecPolicy &pol = ExecPolicy::serial()) const;
 
     /**
      * Forward pass keeping every layer's activations (layer 0 is the

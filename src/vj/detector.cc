@@ -1,10 +1,12 @@
 #include "vj/detector.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <numeric>
 
 #include "common/logging.hh"
+#include "exec/parallel.hh"
 
 namespace incam {
 
@@ -16,33 +18,79 @@ Detector::Detector(const Cascade &cascade, DetectorParams params)
     incam_assert(conf.adaptive_frac >= 0.0, "negative adaptive step");
 }
 
-std::vector<Rect>
-Detector::rawHits(const ImageU8 &gray, CascadeStats *stats) const
+std::vector<ScanScale>
+Detector::scanScales(int width, int height) const
 {
-    incam_assert(gray.channels() == 1, "detector expects grayscale input");
-    const IntegralImage ii(gray);
-    std::vector<Rect> hits;
-
     const int base = model.baseSize();
-    const int min_dim = std::min(gray.width(), gray.height());
+    const int min_dim = std::min(width, height);
     const int max_window =
         static_cast<int>(conf.max_window_frac * min_dim);
-
+    std::vector<ScanScale> scales;
     double scale = 1.0;
     for (;;) {
         const int window = static_cast<int>(std::lround(base * scale));
         if (window > max_window) {
             break;
         }
-        const int step = conf.stepFor(window);
-        for (int y = 0; y + window <= gray.height(); y += step) {
-            for (int x = 0; x + window <= gray.width(); x += step) {
-                if (model.classifyWindow(ii, x, y, scale, stats)) {
-                    hits.push_back(Rect{x, y, window, window});
+        ScanScale s;
+        s.scale = scale;
+        s.window = window;
+        s.step = conf.stepFor(window);
+        // A window larger than one image dimension (possible when
+        // max_window_frac > 1) fits zero positions; the truncating
+        // division alone would round -step < width-window < 0 up to
+        // one position and scan out of bounds.
+        s.nx = width >= window ? (width - window) / s.step + 1 : 0;
+        s.ny = height >= window ? (height - window) / s.step + 1 : 0;
+        scales.push_back(s);
+        scale *= conf.scale_factor;
+    }
+    return scales;
+}
+
+std::vector<Rect>
+Detector::rawHits(const ImageU8 &gray, CascadeStats *stats) const
+{
+    incam_assert(gray.channels() == 1, "detector expects grayscale input");
+    const IntegralImage ii(gray, conf.exec);
+    std::vector<Rect> hits;
+
+    for (const ScanScale &s : scanScales(gray.width(), gray.height())) {
+        // Row-band parallel scan. Hits and stats accumulate per band
+        // and merge in band order, so output is identical to the serial
+        // row-major scan for every thread count.
+        const uint64_t bands = parallel_chunk_count(0, s.ny, conf.exec);
+        std::vector<std::vector<Rect>> band_hits(bands);
+        std::vector<CascadeStats> band_stats(stats ? bands : 0);
+
+        parallel_for_chunks(
+            0, s.ny, conf.exec,
+            [&](uint64_t band, int64_t r0, int64_t r1) {
+                CascadeStats local;
+                CascadeStats *lstats = stats ? &local : nullptr;
+                for (int64_t row = r0; row < r1; ++row) {
+                    const int y = static_cast<int>(row) * s.step;
+                    for (int col = 0; col < s.nx; ++col) {
+                        const int x = col * s.step;
+                        if (model.classifyWindow(ii, x, y, s.scale,
+                                                 lstats)) {
+                            band_hits[band].push_back(
+                                Rect{x, y, s.window, s.window});
+                        }
+                    }
                 }
+                if (stats) {
+                    band_stats[band] = local;
+                }
+            });
+
+        for (uint64_t band = 0; band < bands; ++band) {
+            hits.insert(hits.end(), band_hits[band].begin(),
+                        band_hits[band].end());
+            if (stats) {
+                stats->merge(band_stats[band]);
             }
         }
-        scale *= conf.scale_factor;
     }
     return hits;
 }
@@ -50,22 +98,9 @@ Detector::rawHits(const ImageU8 &gray, CascadeStats *stats) const
 uint64_t
 Detector::windowCount(int width, int height) const
 {
-    const int base = model.baseSize();
-    const int min_dim = std::min(width, height);
-    const int max_window =
-        static_cast<int>(conf.max_window_frac * min_dim);
     uint64_t windows = 0;
-    double scale = 1.0;
-    for (;;) {
-        const int window = static_cast<int>(std::lround(base * scale));
-        if (window > max_window) {
-            break;
-        }
-        const int step = conf.stepFor(window);
-        const uint64_t nx = (width - window) / step + 1;
-        const uint64_t ny = (height - window) / step + 1;
-        windows += nx * ny;
-        scale *= conf.scale_factor;
+    for (const ScanScale &s : scanScales(width, height)) {
+        windows += s.windowCount();
     }
     return windows;
 }

@@ -21,6 +21,7 @@
 #include <cmath>
 #include <vector>
 
+#include "exec/exec_policy.hh"
 #include "vj/cascade.hh"
 
 namespace incam {
@@ -34,6 +35,7 @@ struct DetectorParams
     double adaptive_frac = 0.05;///< fraction of window, when adaptive_step
     int min_neighbors = 2;      ///< grouping confidence threshold
     double max_window_frac = 1.0; ///< stop when window exceeds this x min-dim
+    ExecPolicy exec;            ///< scan parallelism (serial by default)
 
     /** Stride in pixels for a given current window size. */
     int
@@ -54,6 +56,27 @@ struct Detection
     int neighbors = 0; ///< raw hits merged into this detection
 };
 
+/**
+ * One pass of the multi-scale scan: the window side, stride and window
+ * grid at a single scale. Produced by Detector::scanScales so the scan
+ * loop (rawHits) and the closed-form count (windowCount) can never
+ * drift apart.
+ */
+struct ScanScale
+{
+    double scale = 1.0; ///< window / cascade base size
+    int window = 0;     ///< window side in pixels
+    int step = 0;       ///< stride at this scale
+    int nx = 0;         ///< window positions along x
+    int ny = 0;         ///< window positions along y
+
+    uint64_t
+    windowCount() const
+    {
+        return static_cast<uint64_t>(nx) * ny;
+    }
+};
+
 /** Sliding-window detector over a trained cascade. */
 class Detector
 {
@@ -69,15 +92,25 @@ class Detector
     std::vector<Detection> detect(const ImageU8 &gray,
                                   CascadeStats *stats = nullptr) const;
 
-    /** Raw (ungrouped) hits — exposed for tests and diagnostics. */
+    /**
+     * Raw (ungrouped) hits — exposed for tests and diagnostics.
+     *
+     * Parallelized per scale over row bands with per-band hit vectors
+     * and stats, merged in (scale, band) order, so the hit list and the
+     * stats are bit-identical to the serial scan at any thread count.
+     */
     std::vector<Rect> rawHits(const ImageU8 &gray,
                               CascadeStats *stats = nullptr) const;
 
     /**
      * Number of windows the scan visits for an image of this size —
-     * closed-form companion of detect() used by cost models.
+     * closed-form companion of detect() used by cost models. Derived
+     * from the same scanScales enumeration rawHits walks.
      */
     uint64_t windowCount(int width, int height) const;
+
+    /** The scale sweep for an image of this size (shared iteration). */
+    std::vector<ScanScale> scanScales(int width, int height) const;
 
   private:
     const Cascade &model;

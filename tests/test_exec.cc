@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the parallel kernel engine: ExecPolicy resolution, the
+ * thread pool, and parallel_for / parallel_reduce semantics — empty
+ * ranges, oversized grains, full coverage, exception propagation,
+ * nested dispatch, and chunk-order-deterministic reduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
+
+namespace incam {
+namespace {
+
+TEST(ExecPolicy, ResolveExplicitThreads)
+{
+    EXPECT_EQ((ExecPolicy{3, 1}).resolveThreads(), 3);
+    EXPECT_EQ(ExecPolicy::serial().resolveThreads(), 1);
+    EXPECT_GE(ExecPolicy::parallel().resolveThreads(), 1);
+}
+
+TEST(ExecPolicy, EnvOverridesAutoThreads)
+{
+    setenv("INCAM_THREADS", "5", 1);
+    EXPECT_EQ((ExecPolicy{0, 1}).resolveThreads(), 5);
+    setenv("INCAM_THREADS", "not-a-number", 1);
+    EXPECT_GE((ExecPolicy{0, 1}).resolveThreads(), 1);
+    unsetenv("INCAM_THREADS");
+    EXPECT_GE((ExecPolicy{0, 1}).resolveThreads(), 1);
+    // An explicit thread count always wins over the environment.
+    setenv("INCAM_THREADS", "5", 1);
+    EXPECT_EQ((ExecPolicy{2, 1}).resolveThreads(), 2);
+    unsetenv("INCAM_THREADS");
+}
+
+TEST(ParallelFor, EmptyRangeNeverInvokesBody)
+{
+    int calls = 0;
+    parallel_for(0, 0, ExecPolicy{8, 4},
+                 [&](int64_t, int64_t) { ++calls; });
+    parallel_for(10, 10, ExecPolicy::serial(),
+                 [&](int64_t, int64_t) { ++calls; });
+    parallel_for(10, 5, ExecPolicy{8, 4},
+                 [&](int64_t, int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeIsOneChunk)
+{
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    parallel_for(2, 7, ExecPolicy{8, 100}, [&](int64_t b, int64_t e) {
+        chunks.emplace_back(b, e);
+    });
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0].first, 2);
+    EXPECT_EQ(chunks[0].second, 7);
+    EXPECT_EQ(parallel_chunk_count(2, 7, ExecPolicy{8, 100}), 1u);
+}
+
+TEST(ParallelFor, ChunkCountMatchesGrain)
+{
+    EXPECT_EQ(parallel_chunk_count(0, 10, ExecPolicy{1, 3}), 4u);
+    EXPECT_EQ(parallel_chunk_count(0, 9, ExecPolicy{1, 3}), 3u);
+    EXPECT_EQ(parallel_chunk_count(0, 0, ExecPolicy{1, 3}), 0u);
+    // Non-positive grains behave as grain 1.
+    EXPECT_EQ(parallel_chunk_count(0, 5, ExecPolicy{1, 0}), 5u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    const int n = 10000;
+    std::vector<std::atomic<int>> seen(n);
+    for (auto &s : seen) {
+        s.store(0);
+    }
+    parallel_for(0, n, ExecPolicy{8, 7}, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+            seen[i].fetch_add(1);
+        }
+    });
+    for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelFor, ExceptionPropagatesFromSerialPath)
+{
+    EXPECT_THROW(parallel_for(0, 10, ExecPolicy::serial(),
+                              [&](int64_t b, int64_t) {
+                                  if (b >= 5) {
+                                      throw std::runtime_error("boom");
+                                  }
+                              }),
+                 std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionPropagatesFromWorkers)
+{
+    EXPECT_THROW(parallel_for(0, 1000, ExecPolicy{8, 1},
+                              [&](int64_t b, int64_t) {
+                                  if (b == 400) {
+                                      throw std::runtime_error("boom");
+                                  }
+                              }),
+                 std::runtime_error);
+
+    // The pool must stay usable after a failed job.
+    std::atomic<int64_t> sum{0};
+    parallel_for(0, 100, ExecPolicy{8, 1}, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+            sum.fetch_add(i);
+        }
+    });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ParallelFor, NestedDispatchRunsInline)
+{
+    std::atomic<int> inner_total{0};
+    parallel_for(0, 8, ExecPolicy{4, 1}, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+            parallel_for(0, 10, ExecPolicy{4, 1},
+                         [&](int64_t ib, int64_t ie) {
+                             inner_total.fetch_add(
+                                 static_cast<int>(ie - ib));
+                         });
+        }
+    });
+    EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ParallelReduce, SumMatchesClosedForm)
+{
+    const auto map = [](int64_t b, int64_t e) {
+        int64_t s = 0;
+        for (int64_t i = b; i < e; ++i) {
+            s += i;
+        }
+        return s;
+    };
+    const auto combine = [](int64_t a, int64_t b) { return a + b; };
+    const int64_t serial = parallel_reduce(0, 10000, ExecPolicy{1, 13},
+                                           int64_t{0}, map, combine);
+    const int64_t parallel = parallel_reduce(0, 10000, ExecPolicy{8, 13},
+                                             int64_t{0}, map, combine);
+    EXPECT_EQ(serial, 9999LL * 10000 / 2);
+    EXPECT_EQ(parallel, serial);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity)
+{
+    const int got = parallel_reduce(
+        5, 5, ExecPolicy{8, 2}, 42,
+        [](int64_t, int64_t) { return 7; },
+        [](int a, int b) { return a + b; });
+    EXPECT_EQ(got, 42);
+}
+
+TEST(ParallelReduce, CombinesInChunkOrder)
+{
+    // A non-commutative combine exposes the merge order: the result
+    // must list chunk starts ascending regardless of thread count.
+    const auto map = [](int64_t b, int64_t) { return std::to_string(b); };
+    const auto combine = [](std::string a, std::string b) {
+        return a + "," + b;
+    };
+    const std::string serial =
+        parallel_reduce(0, 20, ExecPolicy{1, 6}, std::string("start"),
+                        map, combine);
+    const std::string threaded =
+        parallel_reduce(0, 20, ExecPolicy{8, 6}, std::string("start"),
+                        map, combine);
+    EXPECT_EQ(serial, "start,0,6,12,18");
+    EXPECT_EQ(threaded, serial);
+}
+
+TEST(ThreadPool, GrowsOnDemandAndReportsWorkers)
+{
+    std::atomic<int> touched{0};
+    parallel_for(0, 64, ExecPolicy{4, 1},
+                 [&](int64_t b, int64_t e) {
+                     touched.fetch_add(static_cast<int>(e - b));
+                 });
+    EXPECT_EQ(touched.load(), 64);
+    // threads=4 asks for 3 helpers; the pool must have spawned them.
+    EXPECT_GE(ThreadPool::global().workerCount(), 3);
+    EXPECT_FALSE(ThreadPool::inWorker());
+}
+
+} // namespace
+} // namespace incam

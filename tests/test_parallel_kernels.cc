@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Determinism contract of the parallelized kernels: for a fixed grain,
+ * every thread count (1 / 2 / 8) must produce *bit-identical* results —
+ * the property that lets the tradeoff studies enable parallelism
+ * without perturbing any measured quantity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bilateral/bilateral_filter.hh"
+#include "bilateral/stereo.hh"
+#include "common/rng.hh"
+#include "image/integral.hh"
+#include "nn/mlp.hh"
+#include "vj/detector.hh"
+
+namespace incam {
+namespace {
+
+ImageU8
+randomU8(int w, int h, uint64_t seed)
+{
+    Rng rng(seed);
+    ImageU8 img(w, h, 1);
+    for (auto &v : img) {
+        v = static_cast<uint8_t>(rng.below(256));
+    }
+    return img;
+}
+
+ImageF
+randomF(int w, int h, uint64_t seed)
+{
+    Rng rng(seed);
+    ImageF img(w, h, 1);
+    for (auto &v : img) {
+        v = static_cast<float>(rng.uniform());
+    }
+    return img;
+}
+
+void
+expectImagesBitIdentical(const ImageF &a, const ImageF &b)
+{
+    ASSERT_TRUE(a.sameShape(b));
+    for (int y = 0; y < a.height(); ++y) {
+        for (int x = 0; x < a.width(); ++x) {
+            ASSERT_EQ(a.at(x, y), b.at(x, y)) << "pixel " << x << "," << y;
+        }
+    }
+}
+
+/** A tiny hand-built cascade that accepts roughly half of all windows. */
+Cascade
+syntheticCascade()
+{
+    HaarFeature f;
+    f.kind = HaarFeature::Kind::Edge2H;
+    f.n_rects = 2;
+    f.rects[0] = {0, 0, 10, 20, 1};
+    f.rects[1] = {10, 0, 10, 20, -1};
+
+    Stump stump;
+    stump.feature = 0;
+    stump.threshold = 0.0;
+    stump.polarity = 1;
+    stump.alpha = 1.0;
+
+    CascadeStage stage;
+    stage.stumps.push_back(stump);
+    stage.threshold = 0.5;
+    return Cascade(20, {f}, {stage});
+}
+
+TEST(ParallelKernels, IntegralImageMatchesSerialExactly)
+{
+    const ImageU8 img = randomU8(163, 121, 9001);
+    const IntegralImage serial(img);
+    const IntegralImage threaded(img, ExecPolicy{8, 3});
+    EXPECT_EQ(serial.rectSum(0, 0, 163, 121),
+              threaded.rectSum(0, 0, 163, 121));
+    Rng rng(17);
+    for (int i = 0; i < 300; ++i) {
+        const int x = static_cast<int>(rng.below(163));
+        const int y = static_cast<int>(rng.below(121));
+        const int w = 1 + static_cast<int>(rng.below(163 - x));
+        const int h = 1 + static_cast<int>(rng.below(121 - y));
+        ASSERT_EQ(serial.rectSum(x, y, w, h),
+                  threaded.rectSum(x, y, w, h));
+        ASSERT_EQ(serial.rectSumSq(x, y, w, h),
+                  threaded.rectSumSq(x, y, w, h));
+    }
+}
+
+TEST(ParallelKernels, SplatBlurSliceBitIdenticalAcrossThreadCounts)
+{
+    const ImageF guide = randomF(97, 53, 31);
+    const ImageF value = randomF(97, 53, 32);
+    const ImageF conf = randomF(97, 53, 33);
+
+    auto run = [&](int threads) {
+        BilateralGrid g(97, 53, 4.0, 8);
+        const ExecPolicy pol{threads, 2};
+        g.splat(guide, value, &conf, nullptr, pol);
+        g.blur(nullptr, pol);
+        return std::pair<BilateralGrid, ImageF>(
+            g, g.slice(guide, 0.0f, nullptr, pol));
+    };
+
+    const auto [g1, s1] = run(1);
+    for (int threads : {2, 8}) {
+        const auto [gn, sn] = run(threads);
+        for (int k = 0; k < g1.gz(); ++k) {
+            for (int j = 0; j < g1.gy(); ++j) {
+                for (int i = 0; i < g1.gx(); ++i) {
+                    ASSERT_EQ(g1.vertexValue(i, j, k),
+                              gn.vertexValue(i, j, k))
+                        << threads << " threads, vertex " << i << ","
+                        << j << "," << k;
+                    ASSERT_EQ(g1.vertexWeight(i, j, k),
+                              gn.vertexWeight(i, j, k));
+                }
+            }
+        }
+        expectImagesBitIdentical(s1, sn);
+    }
+}
+
+TEST(ParallelKernels, BilateralFilterGridMatchesSerial)
+{
+    const ImageF img = randomF(64, 48, 77);
+    const ImageF serial = bilateralFilterGrid(img, 4.0, 8, 2);
+    const ImageF threaded = bilateralFilterGrid(img, 4.0, 8, 2, nullptr,
+                                                ExecPolicy{8, 1});
+    expectImagesBitIdentical(serial, threaded);
+}
+
+TEST(ParallelKernels, DetectorHitsAndStatsBitIdenticalAcrossThreads)
+{
+    const Cascade cascade = syntheticCascade();
+    const ImageU8 gray = randomU8(160, 120, 4242);
+
+    auto run = [&](int threads, CascadeStats *stats) {
+        DetectorParams p;
+        p.adaptive_step = false;
+        p.static_step = 4;
+        p.scale_factor = 1.4;
+        p.exec = ExecPolicy{threads, 2};
+        const Detector d(cascade, p);
+        return d.rawHits(gray, stats);
+    };
+
+    CascadeStats stats1;
+    const std::vector<Rect> hits1 = run(1, &stats1);
+    EXPECT_GT(hits1.size(), 0u);
+    EXPECT_LT(hits1.size(), stats1.windows); // selective, not accept-all
+
+    for (int threads : {2, 8}) {
+        CascadeStats statsn;
+        const std::vector<Rect> hitsn = run(threads, &statsn);
+        ASSERT_EQ(hits1.size(), hitsn.size()) << threads << " threads";
+        for (size_t i = 0; i < hits1.size(); ++i) {
+            ASSERT_EQ(hits1[i], hitsn[i]) << "hit " << i;
+        }
+        EXPECT_EQ(stats1.windows, statsn.windows);
+        EXPECT_EQ(stats1.stages_entered, statsn.stages_entered);
+        EXPECT_EQ(stats1.features_evaluated, statsn.features_evaluated);
+        EXPECT_EQ(stats1.windows_accepted, statsn.windows_accepted);
+    }
+}
+
+TEST(ParallelKernels, DetectorStatsStillMatchWindowCount)
+{
+    const Cascade cascade = syntheticCascade();
+    const ImageU8 gray = randomU8(97, 61, 5);
+    DetectorParams p;
+    p.adaptive_step = true;
+    p.adaptive_frac = 0.08;
+    p.scale_factor = 1.3;
+    p.exec = ExecPolicy{4, 1};
+    const Detector d(cascade, p);
+    CascadeStats stats;
+    d.rawHits(gray, &stats);
+    EXPECT_EQ(stats.windows, d.windowCount(97, 61));
+}
+
+TEST(ParallelKernels, OversizedWindowsScanZeroPositions)
+{
+    // max_window_frac > 1 lets the sweep enumerate windows larger than
+    // an image dimension; those scales must contribute zero windows
+    // (not scan out of bounds, and not inflate windowCount).
+    const Cascade cascade = syntheticCascade();
+    const ImageU8 gray = randomU8(41, 29, 8);
+    DetectorParams p;
+    p.adaptive_step = true;
+    p.adaptive_frac = 0.05;
+    p.scale_factor = 1.05; // fine sweep hits window = dim + small
+    p.max_window_frac = 2.0;
+    const Detector d(cascade, p);
+    CascadeStats stats;
+    d.rawHits(gray, &stats);
+    EXPECT_EQ(stats.windows, d.windowCount(41, 29));
+    EXPECT_GT(stats.windows, 0u);
+}
+
+TEST(ParallelKernels, MlpForwardBatchMatchesSerialForward)
+{
+    const Mlp net(MlpTopology{{64, 32, 8, 1}}, 12);
+    Rng rng(99);
+    std::vector<std::vector<float>> inputs;
+    for (int i = 0; i < 37; ++i) {
+        std::vector<float> in(64);
+        for (auto &v : in) {
+            v = static_cast<float>(rng.uniform());
+        }
+        inputs.push_back(std::move(in));
+    }
+    const auto batch = net.forwardBatch(inputs, ExecPolicy{8, 3});
+    ASSERT_EQ(batch.size(), inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const auto one = net.forward(inputs[i]);
+        ASSERT_EQ(batch[i].size(), one.size());
+        for (size_t o = 0; o < one.size(); ++o) {
+            ASSERT_EQ(batch[i][o], one[o]);
+        }
+    }
+}
+
+TEST(ParallelKernels, BssaPipelineBitIdenticalAcrossThreads)
+{
+    const ImageF left = randomF(48, 36, 1);
+    const ImageF right = randomF(48, 36, 2);
+
+    auto run = [&](int threads) {
+        BssaConfig cfg;
+        cfg.max_disparity = 8;
+        cfg.solver_iterations = 3;
+        cfg.exec = ExecPolicy{threads, 2};
+        return BssaStereo(cfg).compute(left, right);
+    };
+    const BssaResult serial = run(1);
+    const BssaResult threaded = run(8);
+    expectImagesBitIdentical(serial.raw_disparity, threaded.raw_disparity);
+    expectImagesBitIdentical(serial.confidence, threaded.confidence);
+    expectImagesBitIdentical(serial.disparity, threaded.disparity);
+}
+
+} // namespace
+} // namespace incam
