@@ -43,6 +43,16 @@ PipelineConfig::toString(const Pipeline &p) const
     return out;
 }
 
+PipelineConfig
+PipelineConfig::full(const Pipeline &p, Impl impl, int cut)
+{
+    PipelineConfig cfg;
+    cfg.include.assign(static_cast<size_t>(p.blockCount()), true);
+    cfg.impl.assign(static_cast<size_t>(p.blockCount()), impl);
+    cfg.cut = cut < 0 ? p.blockCount() : cut;
+    return cfg;
+}
+
 PipelineEvaluator::PipelineEvaluator(const Pipeline &pipeline,
                                      NetworkLink link)
     : pipe(pipeline), net(std::move(link))

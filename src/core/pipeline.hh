@@ -70,6 +70,14 @@ struct PipelineConfig
 
     /** Compact display string, e.g. "S|B1(ASIC)+B3(ASIC)||B4". */
     std::string toString(const Pipeline &p) const;
+
+    /**
+     * The everything-included configuration: all blocks on @p impl,
+     * cut at @p cut (default: fully in camera). Every block must
+     * provide @p impl.
+     */
+    static PipelineConfig full(const Pipeline &p, Impl impl = Impl::Asic,
+                               int cut = -1);
 };
 
 /** Energy-semantics evaluation result. */

@@ -146,7 +146,13 @@ ThreadPool::run(uint64_t chunk_count, int max_participants,
     }
     cv.notify_all();
 
-    execute(*job); // the caller is always a participant
+    // The caller is always a participant — and counts as a worker for
+    // the duration, so nested dispatch from a chunk body it executes
+    // runs inline instead of posting a second job that would divert
+    // late-waking workers from this one.
+    tls_in_worker = true;
+    execute(*job);
+    tls_in_worker = false;
     {
         std::unique_lock<std::mutex> lk(job->done_mu);
         job->done_cv.wait(lk, [&] {

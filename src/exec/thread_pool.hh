@@ -5,9 +5,11 @@
  * The pool executes one *job* at a time: a job is `chunk_count` chunks
  * handed out through a single atomic counter, so chunks are claimed in
  * index order and load-balance naturally without per-task queues or
- * stealing. The caller of run() always participates, so a pool with no
- * workers degrades gracefully to serial execution, and nested run()
- * calls from inside a worker execute inline rather than deadlocking.
+ * stealing. The caller of run() always participates (and counts as a
+ * worker while it does), so a pool with no workers degrades gracefully
+ * to serial execution, and nested run() calls from inside any
+ * participant — worker or caller — execute inline rather than
+ * corrupting the active job or deadlocking.
  *
  * Workers are spawned on demand up to the largest participant count any
  * job has asked for (capped), so a process that only ever runs serial
@@ -45,7 +47,8 @@ class ThreadPool
     /** The process-wide pool used by parallel_for/parallel_reduce. */
     static ThreadPool &global();
 
-    /** True when called from inside a pool worker (nested dispatch). */
+    /** True when called from inside any participant of an active job —
+     *  a pool worker, or the caller while it executes chunks. */
     static bool inWorker();
 
     /**

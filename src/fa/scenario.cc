@@ -52,6 +52,25 @@ measureFa(const FaRunResult &with_all_blocks, const FaRunResult &md_nn_scan,
     return m;
 }
 
+FaMeasurements
+nominalFaMeasurements(int width, int height, int nn_input)
+{
+    FaMeasurements m;
+    m.frame_w = width;
+    m.frame_h = height;
+    m.frame_bytes =
+        DataSize::bytes(static_cast<double>(width) * height);
+    m.crop_bytes =
+        DataSize::bytes(static_cast<double>(nn_input) * nn_input);
+    m.motion_per_frame = MotionAccelModel{}.frameEnergy(width, height);
+    m.motion_pass = 0.30;
+    m.vj_per_frame = Energy::microjoules(0.9);
+    m.vj_pass = 0.05;
+    m.nn_asic_per_frame = Energy::microjoules(0.35);
+    m.nn_mcu_per_frame = Energy::microjoules(45.0);
+    return m;
+}
+
 Pipeline
 buildFaPipeline(const FaMeasurements &m)
 {

@@ -63,6 +63,17 @@ FaMeasurements measureFa(const FaRunResult &with_all_blocks,
  */
 Pipeline buildFaPipeline(const FaMeasurements &m);
 
+/**
+ * Representative FA measurements without the ~90 s simulator runs:
+ * the motion energy comes from the accelerator model directly, the
+ * remaining figures are the values the full measureFa flow lands on
+ * for the default scenario (see bench_fa_pipeline). For harnesses —
+ * the streaming runtime, benches, examples — that need a realistic FA
+ * pipeline cheaply, not a freshly measured one.
+ */
+FaMeasurements nominalFaMeasurements(int width = 160, int height = 120,
+                                     int nn_input = 20);
+
 } // namespace incam
 
 #endif // INCAM_FA_SCENARIO_HH

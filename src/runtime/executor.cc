@@ -1,0 +1,84 @@
+#include "runtime/executor.hh"
+
+#include <algorithm>
+
+#include "fa/auth.hh"
+#include "image/codec.hh"
+#include "image/ops.hh"
+
+namespace incam {
+
+MotionGateExecutor::MotionGateExecutor(MotionConfig cfg) : detector(cfg)
+{
+}
+
+bool
+MotionGateExecutor::process(Frame &frame)
+{
+    if (frame.image.empty()) {
+        return true; // synthetic traffic carries no evidence to gate on
+    }
+    return detector.update(frame.image);
+}
+
+VjCropExecutor::VjCropExecutor(const Cascade &cascade,
+                               DetectorParams params, int crop_side)
+    : model(cascade), conf(params), side(crop_side)
+{
+}
+
+bool
+VjCropExecutor::process(Frame &frame)
+{
+    if (frame.image.empty()) {
+        return true;
+    }
+    const Detector detector(model, conf);
+    auto detections = detector.detect(frame.image);
+    if (detections.empty()) {
+        return false;
+    }
+    // Strongest detection (most merged raw hits) becomes the crop.
+    const auto best = std::max_element(
+        detections.begin(), detections.end(),
+        [](const Detection &a, const Detection &b) {
+            return a.neighbors < b.neighbors;
+        });
+    frame.image = toU8(extractCrop(frame.image, best->box, side));
+    frame.bytes = frame.image.byteSize();
+    return true;
+}
+
+NnScoreExecutor::NnScoreExecutor(const Mlp &net) : mlp(net)
+{
+}
+
+bool
+NnScoreExecutor::process(Frame &frame)
+{
+    if (frame.image.empty()) {
+        return true;
+    }
+    frame.score = mlp.forward(cropToInput(toFloat(frame.image))).front();
+    frame.image = ImageU8{}; // only the verdict travels on
+    return true;
+}
+
+EncodeExecutor::EncodeExecutor(int quality) : dct_quality(quality)
+{
+}
+
+bool
+EncodeExecutor::process(Frame &frame)
+{
+    if (frame.image.empty()) {
+        return true; // nothing to encode; keep the modeled size
+    }
+    const EncodedImage enc =
+        dct_quality > 0 ? DctCodec::encode(frame.image, dct_quality)
+                        : LosslessCodec::encode(frame.image);
+    frame.bytes = enc.byteSize();
+    return true;
+}
+
+} // namespace incam

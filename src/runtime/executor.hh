@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Per-block frame executors for the streaming runtime.
+ *
+ * A stage of the streaming pipeline owns at most one BlockExecutor —
+ * the code that actually touches the frame. Blocks whose kernels exist
+ * in the repo get real executors (motion detection -> src/motion, the
+ * VJ scan -> src/vj, NN scoring -> src/nn, compression -> the image
+ * codecs); everything else runs as a purely *modeled* stage with no
+ * executor at all, where the stage's token bucket supplies the block's
+ * service time and its declared output size supplies the data
+ * transform. Real executors make the data-dependent behaviour real:
+ * the motion gate passes the frames that actually contain motion, the
+ * codec emits the bytes this frame actually compresses to.
+ *
+ * To add a new block executor: derive from BlockExecutor, transform
+ * the frame in process() (update `frame.bytes` if the representation
+ * changes), return whether the frame should continue downstream, and
+ * attach it with StreamingPipeline::setExecutor. An executor is only
+ * ever called from one stage thread, so it may keep mutable state
+ * (e.g. the motion detector's reference frame) without locking.
+ */
+
+#ifndef INCAM_RUNTIME_EXECUTOR_HH
+#define INCAM_RUNTIME_EXECUTOR_HH
+
+#include "motion/motion.hh"
+#include "nn/mlp.hh"
+#include "runtime/frame.hh"
+#include "vj/detector.hh"
+
+namespace incam {
+
+/** The work a pipeline stage performs on each frame. */
+class BlockExecutor
+{
+  public:
+    virtual ~BlockExecutor() = default;
+
+    /**
+     * Process @p frame in place. Returning false drops the frame (the
+     * data-driven form of filter gating); true forwards it downstream.
+     */
+    virtual bool process(Frame &frame) = 0;
+};
+
+/** Real frame-difference motion gate (src/motion). */
+class MotionGateExecutor : public BlockExecutor
+{
+  public:
+    explicit MotionGateExecutor(MotionConfig cfg = {});
+
+    /** Passes frames the detector flags; frames without pixels pass. */
+    bool process(Frame &frame) override;
+
+  private:
+    MotionDetector detector;
+};
+
+/** Real Viola-Jones scan (src/vj): crops the strongest detection. */
+class VjCropExecutor : public BlockExecutor
+{
+  public:
+    /** Crops to @p crop_side x @p crop_side (the NN input geometry). */
+    VjCropExecutor(const Cascade &cascade, DetectorParams params,
+                   int crop_side);
+
+    /** Drops frames with no detection; else replaces image with crop. */
+    bool process(Frame &frame) override;
+
+  private:
+    const Cascade &model;
+    DetectorParams conf;
+    int side;
+};
+
+/** Real MLP inference (src/nn): scores the crop, ships the verdict. */
+class NnScoreExecutor : public BlockExecutor
+{
+  public:
+    explicit NnScoreExecutor(const Mlp &net);
+
+    /** Stores the network output in frame.score; always passes. */
+    bool process(Frame &frame) override;
+
+  private:
+    const Mlp &mlp;
+};
+
+/** Real in-camera compression (src/image codecs). */
+class EncodeExecutor : public BlockExecutor
+{
+  public:
+    /** @p quality in (0,100] selects the lossy DCT coder; 0 lossless. */
+    explicit EncodeExecutor(int quality = 0);
+
+    /** Sets frame.bytes to this frame's actual encoded size. */
+    bool process(Frame &frame) override;
+
+  private:
+    int dct_quality;
+};
+
+} // namespace incam
+
+#endif // INCAM_RUNTIME_EXECUTOR_HH

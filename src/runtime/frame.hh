@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The unit of traffic in the streaming runtime.
+ *
+ * A Frame is what travels down the stage graph: a sequence id assigned
+ * by the source, an optional pixel payload (real-kernel executors need
+ * actual rasters; purely modeled stages move only byte counts), and the
+ * size of the frame's *current representation* — the quantity the
+ * uplink stage charges for when the frame crosses the offload cut.
+ * Stages rewrite `bytes` as they transform the frame (a crop shrinks
+ * it, a codec sets it to the encoded size), mirroring how
+ * PipelineEvaluator::cutBytes tracks the last in-camera block's output.
+ */
+
+#ifndef INCAM_RUNTIME_FRAME_HH
+#define INCAM_RUNTIME_FRAME_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "image/image.hh"
+
+namespace incam {
+
+/** One frame flowing through the streaming pipeline. */
+struct Frame
+{
+    /** Source-assigned sequence number (0-based, strictly increasing). */
+    int64_t id = 0;
+
+    /** Pixel payload; empty for synthetic (bytes-only) traffic. */
+    ImageU8 image;
+
+    /** Size of the frame's current representation on the wire. */
+    DataSize bytes;
+
+    /** Scalar analytic result (e.g. the NN authentication score). */
+    double score = 0.0;
+};
+
+} // namespace incam
+
+#endif // INCAM_RUNTIME_FRAME_HH

@@ -1,0 +1,68 @@
+#include "runtime/frame_queue.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+FrameQueue::FrameQueue(int capacity) : cap(capacity)
+{
+    incam_assert(capacity > 0, "queue capacity must be positive, got ",
+                 capacity);
+    ring.resize(static_cast<size_t>(capacity));
+}
+
+bool
+FrameQueue::push(Frame f)
+{
+    std::unique_lock<std::mutex> lk(mu);
+    not_full.wait(lk, [&] {
+        return closed || count < static_cast<size_t>(cap);
+    });
+    if (closed) {
+        return false;
+    }
+    ring[(head + count) % static_cast<size_t>(cap)] = std::move(f);
+    ++count;
+    peak = std::max(peak, static_cast<int>(count));
+    lk.unlock();
+    not_empty.notify_one();
+    return true;
+}
+
+bool
+FrameQueue::pop(Frame &out)
+{
+    std::unique_lock<std::mutex> lk(mu);
+    not_empty.wait(lk, [&] { return closed || count > 0; });
+    if (count == 0) {
+        return false; // closed and drained
+    }
+    out = std::move(ring[head]);
+    head = (head + 1) % static_cast<size_t>(cap);
+    --count;
+    lk.unlock();
+    not_full.notify_one();
+    return true;
+}
+
+void
+FrameQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        closed = true;
+    }
+    not_full.notify_all();
+    not_empty.notify_all();
+}
+
+int
+FrameQueue::peakDepth() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return peak;
+}
+
+} // namespace incam

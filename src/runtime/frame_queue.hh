@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer frame queue.
+ *
+ * Stages of the streaming runtime are connected pairwise by these
+ * queues: each queue has exactly one producing stage and one consuming
+ * stage (the SPSC contract), a fixed ring capacity that provides
+ * backpressure (a fast producer blocks instead of ballooning memory),
+ * and close() semantics for clean shutdown — the producer closes the
+ * queue after its last frame, the consumer drains whatever is buffered
+ * and then sees pop() return false.
+ *
+ * Synchronization is a mutex plus two condition variables rather than a
+ * lock-free ring: queue operations happen once per *frame* (hundreds to
+ * thousands of Hz) while the expensive work happens inside the stages,
+ * so uncontended lock cost is noise — and the mutex keeps every
+ * interleaving trivially data-race-free under TSan, which CI enforces.
+ */
+
+#ifndef INCAM_RUNTIME_FRAME_QUEUE_HH
+#define INCAM_RUNTIME_FRAME_QUEUE_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "runtime/frame.hh"
+
+namespace incam {
+
+/** Bounded SPSC queue with blocking push/pop and close semantics. */
+class FrameQueue
+{
+  public:
+    explicit FrameQueue(int capacity);
+
+    FrameQueue(const FrameQueue &) = delete;
+    FrameQueue &operator=(const FrameQueue &) = delete;
+
+    /**
+     * Enqueue @p f, blocking while the queue is full. Returns false —
+     * and drops the frame — if the queue was closed (the consumer died;
+     * the producer should wind down).
+     */
+    bool push(Frame f);
+
+    /**
+     * Dequeue into @p out, blocking while the queue is empty. Returns
+     * false only when the queue is closed *and* fully drained, so no
+     * pushed frame is ever lost across shutdown.
+     */
+    bool pop(Frame &out);
+
+    /** Mark the stream complete (idempotent; wakes both sides). */
+    void close();
+
+    int capacity() const { return cap; }
+
+    /** Highest occupancy ever observed — the backpressure telltale. */
+    int peakDepth() const;
+
+  private:
+    const int cap;
+    mutable std::mutex mu;
+    std::condition_variable not_full;
+    std::condition_variable not_empty;
+    std::vector<Frame> ring;
+    size_t head = 0; ///< next pop slot
+    size_t count = 0;
+    int peak = 0;
+    bool closed = false;
+};
+
+} // namespace incam
+
+#endif // INCAM_RUNTIME_FRAME_QUEUE_HH

@@ -1,0 +1,50 @@
+#include "runtime/pacer.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst_tokens)
+    : tokens_per_sec(rate_per_sec), burst(burst_tokens)
+{
+    incam_assert(rate_per_sec <= 0.0 || burst_tokens > 0.0,
+                 "a paced bucket needs a positive burst");
+}
+
+void
+TokenBucket::refill(std::chrono::steady_clock::time_point now)
+{
+    if (!started) {
+        // The bucket starts empty: no free burst before the first frame.
+        started = true;
+        last = now;
+        return;
+    }
+    const double dt =
+        std::chrono::duration<double>(now - last).count();
+    credit = std::min(burst, credit + dt * tokens_per_sec);
+    last = now;
+}
+
+void
+TokenBucket::acquire(double tokens)
+{
+    if (tokens_per_sec <= 0.0) {
+        return;
+    }
+    refill(std::chrono::steady_clock::now());
+    credit -= tokens;
+    if (credit >= 0.0) {
+        return;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(-credit / tokens_per_sec));
+    // Re-read the clock: an oversleep banks credit (capped at the
+    // burst), an undersleep leaves debt for the next acquire.
+    refill(std::chrono::steady_clock::now());
+}
+
+} // namespace incam

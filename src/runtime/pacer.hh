@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Token-bucket pacing for modeled service rates.
+ *
+ * The runtime executes *modeled* hardware (an ASIC motion block, a
+ * radio link) on a host CPU, so something must make a stage take the
+ * time the model says it takes. A TokenBucket accrues credit at the
+ * modeled rate up to a small burst bound; acquiring more credit than is
+ * banked sleeps for the deficit. Credit is allowed to go negative
+ * (debt), which is what makes the long-run rate *exact* under sleep
+ * jitter: an oversleep banks the surplus (bounded by the burst), an
+ * undersleep leaves debt the next acquire pays off, so error never
+ * accumulates — the property the measured-vs-model comparison depends
+ * on. The same abstraction paces compute stages (rate = 1/service
+ * time, whole-frame tokens) and the uplink (rate = link goodput,
+ * byte tokens), where the burst models the radio's frame buffer.
+ */
+
+#ifndef INCAM_RUNTIME_PACER_HH
+#define INCAM_RUNTIME_PACER_HH
+
+#include <chrono>
+
+namespace incam {
+
+/** Sleep-based token bucket; rate in tokens/sec against steady_clock. */
+class TokenBucket
+{
+  public:
+    /**
+     * @p rate_per_sec tokens accrue per second, banked up to
+     * @p burst_tokens. A non-positive rate disables pacing entirely.
+     */
+    TokenBucket(double rate_per_sec, double burst_tokens);
+
+    /**
+     * Consume @p tokens, sleeping until the bucket can cover them.
+     * Requests larger than the burst are honoured by going into debt.
+     */
+    void acquire(double tokens);
+
+    double rate() const { return tokens_per_sec; }
+
+  private:
+    void refill(std::chrono::steady_clock::time_point now);
+
+    double tokens_per_sec;
+    double burst;
+    double credit = 0.0;
+    bool started = false;
+    std::chrono::steady_clock::time_point last;
+};
+
+} // namespace incam
+
+#endif // INCAM_RUNTIME_PACER_HH

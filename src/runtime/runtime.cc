@@ -1,0 +1,326 @@
+#include "runtime/runtime.hh"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.hh"
+#include "exec/thread_pool.hh"
+#include "runtime/frame_queue.hh"
+#include "runtime/pacer.hh"
+
+namespace incam {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsBetween(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/** Mutable measurement state of one stage, owned by one thread. */
+struct StageState
+{
+    int64_t in = 0;
+    int64_t out = 0;
+    int64_t dropped = 0;
+    double busy_seconds = 0.0;
+    Energy energy;
+    DataSize bytes_sent;
+    Clock::time_point first_delivery;
+    Clock::time_point last_delivery;
+    bool delivered_any = false;
+};
+
+} // namespace
+
+StreamingPipeline::StreamingPipeline(const Pipeline &pipeline,
+                                     const PipelineConfig &config,
+                                     NetworkLink link,
+                                     RuntimeOptions options)
+    : pipe(pipeline), cfg(config), net(std::move(link)),
+      opts(std::move(options))
+{
+    PipelineEvaluator(pipe, net).check(cfg);
+    incam_assert(opts.frames > 0, "a stream needs at least one frame");
+    incam_assert(opts.time_scale > 0.0, "time_scale must be positive");
+    for (int i = 0; i < cfg.cut; ++i) {
+        if (!cfg.include[static_cast<size_t>(i)]) {
+            continue;
+        }
+        const Block &b = pipe.block(i);
+        const Impl impl = cfg.impl[static_cast<size_t>(i)];
+        const ImplCost &cost = b.cost(impl);
+        StageSpec spec;
+        spec.name = b.name() + "(" + implName(impl) + ")";
+        spec.block_index = i;
+        spec.service = cost.time;
+        spec.energy = cost.energy;
+        spec.out_bytes = b.outputBytes();
+        spec.pass_fraction = b.passFraction();
+        specs.push_back(std::move(spec));
+    }
+}
+
+void
+StreamingPipeline::setExecutor(int block_index,
+                               std::unique_ptr<BlockExecutor> executor)
+{
+    for (auto &spec : specs) {
+        if (spec.block_index == block_index) {
+            spec.executor = std::move(executor);
+            return;
+        }
+    }
+    incam_fatal("block ", block_index,
+                " is not an included in-camera stage of this config");
+}
+
+void
+StreamingPipeline::setFrameFill(std::function<void(Frame &)> fill)
+{
+    fill_fn = std::move(fill);
+}
+
+RuntimeReport
+StreamingPipeline::run()
+{
+    incam_assert(!consumed, "a StreamingPipeline instance is single-use");
+    consumed = true;
+    incam_assert(!ThreadPool::inWorker(),
+                 "the streaming runtime cannot run nested inside a "
+                 "thread-pool worker: stage loops need real concurrency");
+
+    // Stage graph: source -> [block stages] -> uplink, with one queue
+    // between each adjacent pair.
+    const size_t n_blocks = specs.size();
+    const size_t n_stages = n_blocks + 2;
+    // Every stage loop must run concurrently or the chain deadlocks on
+    // a full queue, so the pool's participant cap bounds the chain.
+    incam_assert(n_stages <=
+                     static_cast<size_t>(ThreadPool::kMaxWorkers) + 1,
+                 "pipeline needs ", n_stages,
+                 " concurrent stages but the thread pool caps at ",
+                 ThreadPool::kMaxWorkers + 1, " participants");
+    std::vector<std::unique_ptr<FrameQueue>> queues;
+    for (size_t i = 0; i + 1 < n_stages; ++i) {
+        queues.push_back(std::make_unique<FrameQueue>(opts.queue_capacity));
+    }
+    std::vector<StageState> state(n_stages);
+
+    // One stage throwing must not strand its neighbours on a queue:
+    // record the first error, close the stage's queues (which cascades
+    // a clean shutdown through the chain), and rethrow after the join.
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    auto guard = [&](size_t stage, auto &&body) {
+        try {
+            body();
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lk(error_mu);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+            if (stage > 0) {
+                queues[stage - 1]->close();
+            }
+            if (stage < queues.size()) {
+                queues[stage]->close();
+            }
+        }
+    };
+
+    const DataSize typical_bytes =
+        PipelineEvaluator(pipe, net).cutBytes(cfg);
+    const Clock::time_point run_start = Clock::now();
+
+    auto sourceLoop = [&] {
+        StageState &st = state[0];
+        FrameQueue &out = *queues[0];
+        TokenBucket pacer(opts.source_fps > 0.0
+                              ? opts.source_fps / opts.time_scale
+                              : 0.0,
+                          opts.stage_burst_frames);
+        for (int64_t id = 0; id < opts.frames; ++id) {
+            const Clock::time_point t0 = Clock::now();
+            Frame f;
+            f.id = id;
+            f.bytes = pipe.sourceBytes();
+            if (fill_fn) {
+                fill_fn(f);
+            }
+            pacer.acquire(1.0);
+            st.busy_seconds += secondsBetween(t0, Clock::now());
+            if (!out.push(std::move(f))) {
+                break; // downstream shut down early
+            }
+            ++st.out;
+        }
+        out.close();
+    };
+
+    auto blockLoop = [&](size_t b) {
+        StageSpec &spec = specs[b];
+        StageState &st = state[b + 1];
+        FrameQueue &in = *queues[b];
+        FrameQueue &out = *queues[b + 1];
+        const double rate =
+            opts.pace_stages && spec.service.sec() > 0.0
+                ? 1.0 / (spec.service.sec() * opts.time_scale)
+                : 0.0;
+        TokenBucket pacer(rate, opts.stage_burst_frames);
+        double pass_credit = 0.0;
+        Frame f;
+        while (in.pop(f)) {
+            const Clock::time_point t0 = Clock::now();
+            ++st.in;
+            st.energy += spec.energy;
+            // The modeled representation change; a real executor may
+            // refine it (e.g. a codec's actual encoded size).
+            f.bytes = spec.out_bytes;
+            bool executor_pass = true;
+            if (spec.executor) {
+                executor_pass = spec.executor->process(f);
+            }
+            pacer.acquire(1.0);
+            bool pass = true;
+            switch (opts.gating) {
+              case GatingMode::None:
+                break;
+              case GatingMode::Model:
+                // Bresenham accumulator: after n frames exactly
+                // floor(n * pass_fraction + eps) have passed.
+                pass_credit += spec.pass_fraction;
+                pass = pass_credit + 1e-9 >= 1.0;
+                if (pass) {
+                    pass_credit -= 1.0;
+                }
+                break;
+              case GatingMode::Executor:
+                pass = executor_pass;
+                break;
+            }
+            st.busy_seconds += secondsBetween(t0, Clock::now());
+            if (!pass) {
+                ++st.dropped;
+                continue;
+            }
+            if (!out.push(std::move(f))) {
+                break;
+            }
+            ++st.out;
+        }
+        in.close();
+        out.close();
+    };
+
+    auto uplinkLoop = [&] {
+        StageState &st = state.back();
+        FrameQueue &in = *queues.back();
+        TokenBucket pacer(opts.pace_link
+                              ? net.goodput().bytesPerSecond() /
+                                    opts.time_scale
+                              : 0.0,
+                          opts.link_burst_frames * typical_bytes.b());
+        int64_t last_id = -1;
+        Frame f;
+        while (in.pop(f)) {
+            const Clock::time_point t0 = Clock::now();
+            ++st.in;
+            incam_assert(f.id > last_id,
+                         "uplink saw frame ", f.id, " after ", last_id,
+                         ": SPSC ordering violated");
+            last_id = f.id;
+            pacer.acquire(f.bytes.b());
+            st.energy += net.transferEnergy(f.bytes);
+            st.bytes_sent += f.bytes;
+            ++st.out;
+            const Clock::time_point t1 = Clock::now();
+            st.busy_seconds += secondsBetween(t0, t1);
+            if (!st.delivered_any) {
+                st.delivered_any = true;
+                st.first_delivery = t1;
+            }
+            st.last_delivery = t1;
+        }
+        in.close();
+    };
+
+    // Every stage loop is one chunk of a single fork-join job with one
+    // participant per stage, so all loops run concurrently; a stage
+    // blocked on a queue simply sleeps in its chunk.
+    ThreadPool::global().run(
+        static_cast<uint64_t>(n_stages), static_cast<int>(n_stages),
+        [&](uint64_t c) {
+            if (c == 0) {
+                guard(0, sourceLoop);
+            } else if (c + 1 < n_stages) {
+                guard(c, [&] { blockLoop(c - 1); });
+            } else {
+                guard(c, uplinkLoop);
+            }
+        });
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+
+    // ----- assemble the report (all stage threads have joined) -----
+    RuntimeReport rep;
+    rep.config = cfg.toString(pipe);
+    rep.source_frames = state[0].out;
+    const StageState &sink = state.back();
+    rep.delivered_frames = sink.out;
+    const Clock::time_point end =
+        sink.delivered_any ? sink.last_delivery : Clock::now();
+    rep.wall_seconds = secondsBetween(run_start, end);
+    if (sink.out >= 2) {
+        rep.measured_fps =
+            static_cast<double>(sink.out - 1) /
+            secondsBetween(sink.first_delivery, sink.last_delivery);
+    } else if (rep.wall_seconds > 0.0) {
+        rep.measured_fps =
+            static_cast<double>(sink.out) / rep.wall_seconds;
+    }
+    rep.model_fps = rep.measured_fps * opts.time_scale;
+
+    for (size_t b = 0; b < n_blocks; ++b) {
+        const StageState &st = state[b + 1];
+        StageReport sr;
+        sr.name = specs[b].name;
+        sr.frames_in = st.in;
+        sr.frames_out = st.out;
+        sr.frames_dropped = st.dropped;
+        sr.busy_seconds = st.busy_seconds;
+        sr.occupancy = rep.wall_seconds > 0.0
+                           ? st.busy_seconds / rep.wall_seconds
+                           : 0.0;
+        sr.peak_queue_depth = queues[b]->peakDepth();
+        sr.energy = st.energy;
+        rep.compute_energy += st.energy;
+        rep.stages.push_back(std::move(sr));
+    }
+
+    rep.link.frames_sent = sink.out;
+    rep.link.bytes_sent = sink.bytes_sent;
+    rep.link.energy = sink.energy;
+    rep.link.peak_queue_depth = queues.back()->peakDepth();
+    const double link_capacity =
+        net.goodput().bytesPerSecond() / opts.time_scale *
+        rep.wall_seconds;
+    rep.link.utilization =
+        link_capacity > 0.0 ? sink.bytes_sent.b() / link_capacity : 0.0;
+    rep.comm_energy = sink.energy;
+    if (rep.source_frames > 0) {
+        rep.joules_per_frame =
+            rep.total_energy() / static_cast<double>(rep.source_frames);
+    }
+    return rep;
+}
+
+} // namespace incam

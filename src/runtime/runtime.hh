@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Streaming execution of a configured pipeline — the analytical cost
+ * framework made to *run*.
+ *
+ * core/ predicts what a (Pipeline, PipelineConfig, NetworkLink) triple
+ * costs; this module executes it over real frame traffic and measures.
+ * The configuration is compiled into a chain of stages — a frame
+ * source, one stage per included in-camera block (index < cut), and an
+ * uplink stage at the offload cut — connected by bounded SPSC frame
+ * queues and run concurrently, one stage per thread, on the shared
+ * exec/ thread pool (each stage loop is one chunk of a fork-join job
+ * with as many participants as stages).
+ *
+ * Each compute stage is paced by a token bucket at the block's modeled
+ * service rate (1 / ImplCost.time), so the executing pipeline exhibits
+ * the model's claimed steady-state behaviour: frames pipeline across
+ * stages and the slowest stage dominates. The uplink stage paces at
+ * the link's goodput in byte tokens and charges the link's per-bit
+ * energy for every byte that crosses the cut. Filter blocks gate
+ * downstream traffic either deterministically (a Bresenham-style
+ * accumulator reproducing the block's declared pass fraction *exactly*)
+ * or by what their real executor observes in the pixels.
+ *
+ * The resulting RuntimeReport — measured FPS, per-stage occupancy and
+ * queue depths, measured J/frame — is directly comparable to the
+ * analytical EnergyReport / ThroughputReport for the same
+ * configuration; bench_runtime_vs_model and tests/test_runtime.cc hold
+ * the two within tolerance of each other.
+ */
+
+#ifndef INCAM_RUNTIME_RUNTIME_HH
+#define INCAM_RUNTIME_RUNTIME_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "runtime/executor.hh"
+#include "runtime/frame.hh"
+
+namespace incam {
+
+/** How filter blocks decide which frames continue downstream. */
+enum class GatingMode
+{
+    /** Every frame passes — the throughput-semantics comparison mode
+     *  (ThroughputReport ignores pass fractions too). */
+    None,
+    /** Deterministic accumulator reproducing each block's declared
+     *  pass fraction exactly — the energy-semantics comparison mode. */
+    Model,
+    /** The stage's executor decides from the pixels (real traffic). */
+    Executor,
+};
+
+/** Knobs of a streaming run. */
+struct RuntimeOptions
+{
+    /** Frames the source emits before closing the stream. */
+    int64_t frames = 240;
+
+    /** Capacity of every inter-stage queue (backpressure bound). */
+    int queue_capacity = 8;
+
+    GatingMode gating = GatingMode::Model;
+
+    /**
+     * Stretch every modeled service time (block times and link
+     * transfer times) by this factor: > 1 slows the pipeline down,
+     * < 1 speeds it up. Measured rates are reported both raw and
+     * normalized back to model time, so slow real-world pipelines
+     * (a sub-FPS backscatter camera) can be validated in milliseconds
+     * and microsecond-scale ones stretched above the host's sleep
+     * granularity.
+     */
+    double time_scale = 1.0;
+
+    /**
+     * Pace compute stages at their modeled service rate. With pacing
+     * off a stage runs as fast as its executor does — measuring the
+     * real software kernel instead of the modeled hardware block.
+     */
+    bool pace_stages = true;
+
+    /**
+     * Pace the uplink stage at the link's modeled goodput. Turning it
+     * off (with pace_stages) makes a run pure counting — energy and
+     * gating tests finish in milliseconds regardless of how slow the
+     * modeled radio is.
+     */
+    bool pace_link = true;
+
+    /** Token-bucket burst, in frames, for compute-stage pacers. */
+    double stage_burst_frames = 2.0;
+
+    /** Token-bucket burst, in frames' worth of bytes, for the uplink. */
+    double link_burst_frames = 2.0;
+
+    /** Source emission rate in model FPS; 0 saturates the pipeline. */
+    double source_fps = 0.0;
+};
+
+/** Measured behaviour of one stage over a run. */
+struct StageReport
+{
+    std::string name;
+    int64_t frames_in = 0;      ///< frames popped from the input queue
+    int64_t frames_out = 0;     ///< frames forwarded downstream
+    int64_t frames_dropped = 0; ///< frames gated away
+    double busy_seconds = 0.0;  ///< time spent serving (work + pacing)
+    double occupancy = 0.0;     ///< busy_seconds / run wall time
+    int peak_queue_depth = 0;   ///< high-watermark of the input queue
+    Energy energy;              ///< modeled energy charged to the block
+};
+
+/** Measured behaviour of the uplink stage. */
+struct LinkReport
+{
+    int64_t frames_sent = 0;
+    DataSize bytes_sent;
+    Energy energy;            ///< per-bit radio cost of bytes_sent
+    double utilization = 0.0; ///< bytes_sent / (goodput * wall time)
+    int peak_queue_depth = 0; ///< high-watermark of the uplink queue
+};
+
+/** The measured counterpart of EnergyReport / ThroughputReport. */
+struct RuntimeReport
+{
+    std::string config;          ///< PipelineConfig::toString form
+    int64_t source_frames = 0;   ///< frames the source emitted
+    int64_t delivered_frames = 0;///< frames that crossed the uplink
+    double wall_seconds = 0.0;   ///< first source emission -> last delivery
+
+    /**
+     * Steady-state delivery rate at the sink: (delivered - 1) / (last
+     * delivery - first delivery), which excises the pipeline-fill
+     * latency a short run would otherwise smear into the rate.
+     */
+    double measured_fps = 0.0;
+
+    /** measured_fps normalized back to model time (x time_scale) —
+     *  the number to hold against ThroughputReport::total_fps. */
+    double model_fps = 0.0;
+
+    Energy compute_energy; ///< sum of in-camera stage energies
+    Energy comm_energy;    ///< uplink radio energy
+
+    /** Total modeled J per *source* frame — the EnergyReport analogue
+     *  (duty-scaling emerges from gated frame counts). */
+    Energy joules_per_frame;
+
+    std::vector<StageReport> stages; ///< in-camera stages, chain order
+    LinkReport link;
+
+    Energy
+    total_energy() const
+    {
+        return compute_energy + comm_energy;
+    }
+};
+
+/**
+ * A runnable instance of one pipeline configuration.
+ *
+ * Build it, optionally attach real executors and a frame fill
+ * callback, then run(). Each instance is single-use: run() consumes
+ * the stream. Must not be invoked from inside a thread-pool worker
+ * (stage loops need real concurrency, not inline nesting).
+ */
+class StreamingPipeline
+{
+  public:
+    StreamingPipeline(const Pipeline &pipeline,
+                      const PipelineConfig &config, NetworkLink link,
+                      RuntimeOptions options = {});
+
+    /**
+     * Attach a real executor to block @p block_index (which must be
+     * included and in-camera under the config). Blocks without an
+     * executor run as purely modeled stages.
+     */
+    void setExecutor(int block_index,
+                     std::unique_ptr<BlockExecutor> executor);
+
+    /**
+     * Provide pixel payloads: called once per source frame (in id
+     * order, from the source stage's thread) to fill frame.image.
+     * Without a source, frames carry only byte counts.
+     */
+    void setFrameFill(std::function<void(Frame &)> fill);
+
+    /** Execute the stream to completion and report measurements. */
+    RuntimeReport run();
+
+  private:
+    struct StageSpec
+    {
+        std::string name;
+        int block_index = -1; ///< -1 for source/uplink
+        Time service;         ///< modeled per-frame time (0 = unpaced)
+        Energy energy;        ///< modeled per-frame energy
+        DataSize out_bytes;   ///< representation leaving this stage
+        double pass_fraction = 1.0;
+        std::unique_ptr<BlockExecutor> executor;
+    };
+
+    Pipeline pipe; ///< copied: the instance outlives factory temporaries
+    PipelineConfig cfg;
+    NetworkLink net;
+    RuntimeOptions opts;
+    std::vector<StageSpec> specs; ///< in-camera block stages, in order
+    std::function<void(Frame &)> fill_fn;
+    bool consumed = false;
+};
+
+} // namespace incam
+
+#endif // INCAM_RUNTIME_RUNTIME_HH

@@ -1,0 +1,61 @@
+#include "vr/scenario.hh"
+
+#include "common/logging.hh"
+
+namespace incam {
+
+Impl
+toCoreImpl(VrImpl impl)
+{
+    switch (impl) {
+      case VrImpl::Cpu:
+        return Impl::Cpu;
+      case VrImpl::Gpu:
+        return Impl::Gpu;
+      case VrImpl::Fpga:
+        return Impl::Fpga;
+    }
+    incam_panic("unknown VrImpl");
+}
+
+Pipeline
+buildVrPipeline(const VrPipelineModel &model)
+{
+    const VrGeometry &geom = model.geometry();
+    Pipeline pipe("vr-rig", geom.outputBytes(VrBlock::Sensor));
+
+    auto blockTime = [&](VrBlock stage, VrImpl impl) {
+        return Time::seconds(1.0 / model.blockComputeFps(stage, impl));
+    };
+
+    // B1/B2: streaming fabric at each camera node (one impl class).
+    Block b1("B1-Preprocess", /*optional=*/false,
+             geom.outputBytes(VrBlock::Preprocess));
+    b1.addImpl(Impl::Fpga,
+               {blockTime(VrBlock::Preprocess, VrImpl::Fpga), Energy{}});
+    pipe.add(b1);
+
+    Block b2("B2-Align", /*optional=*/false,
+             geom.outputBytes(VrBlock::Align));
+    b2.addImpl(Impl::Fpga,
+               {blockTime(VrBlock::Align, VrImpl::Fpga), Energy{}});
+    pipe.add(b2);
+
+    // B3/B4: the paper's three platform choices.
+    Block b3("B3-Depth", /*optional=*/false,
+             geom.outputBytes(VrBlock::Depth));
+    Block b4("B4-Stitch", /*optional=*/false,
+             geom.outputBytes(VrBlock::Stitch));
+    for (VrImpl impl : {VrImpl::Cpu, VrImpl::Gpu, VrImpl::Fpga}) {
+        b3.addImpl(toCoreImpl(impl),
+                   {blockTime(VrBlock::Depth, impl), Energy{}});
+        b4.addImpl(toCoreImpl(impl),
+                   {blockTime(VrBlock::Stitch, impl), Energy{}});
+    }
+    pipe.add(b3);
+    pipe.add(b4);
+
+    return pipe;
+}
+
+} // namespace incam

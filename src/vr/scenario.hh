@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Bridges the VR rig cost model into the core pipeline framework.
+ *
+ * Mirrors fa/scenario.hh for the throughput case study: the
+ * VrPipelineModel's per-block compute rates and output geometries are
+ * packaged as a core::Pipeline so the generic machinery — the offload
+ * evaluator, the optimizer, and above all the streaming runtime — can
+ * operate on the VR pipeline through the same interface as the FA one.
+ * B1/B2 carry their streaming-fabric implementation (FPGA class);
+ * B3/B4 carry one ImplCost per platform the paper evaluates (CPU, GPU,
+ * FPGA). The VR study prices throughput, not camera energy, so block
+ * energies are zero — exactly as the paper's Section IV-C treats them.
+ */
+
+#ifndef INCAM_VR_SCENARIO_HH
+#define INCAM_VR_SCENARIO_HH
+
+#include "core/pipeline.hh"
+#include "vr/pipeline_model.hh"
+
+namespace incam {
+
+/** Map a VR implementation class onto the core framework's enum. */
+Impl toCoreImpl(VrImpl impl);
+
+/**
+ * Build the Fig. 5 chain S -> B1 -> B2 -> B3 -> B4 as a core Pipeline,
+ * with block times 1/blockComputeFps and output sizes from the rig
+ * geometry. Every block is core (the paper varies the *cut*, never
+ * excludes a VR block).
+ */
+Pipeline buildVrPipeline(const VrPipelineModel &model);
+
+} // namespace incam
+
+#endif // INCAM_VR_SCENARIO_HH

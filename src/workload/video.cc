@@ -157,6 +157,13 @@ SecurityVideo::frame(int index) const
     return out;
 }
 
+DataSize
+SecurityVideo::frameBytes() const
+{
+    return DataSize::bytes(static_cast<double>(config.width) *
+                           config.height);
+}
+
 int
 SecurityVideo::faceFrames() const
 {

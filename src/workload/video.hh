@@ -68,6 +68,10 @@ class SecurityVideo
     int frameCount() const { return config.frames; }
     const SecurityVideoConfig &cfg() const { return config; }
 
+    /** Raw size of one grayscale sensor frame — what streaming the
+     *  source would put on the wire (communication-cost currency). */
+    DataSize frameBytes() const;
+
     /** Generate frame @p index (0-based). Deterministic per index. */
     VideoFrame frame(int index) const;
 

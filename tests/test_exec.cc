@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
@@ -193,6 +194,22 @@ TEST(ThreadPool, GrowsOnDemandAndReportsWorkers)
     EXPECT_EQ(touched.load(), 64);
     // threads=4 asks for 3 helpers; the pool must have spawned them.
     EXPECT_GE(ThreadPool::global().workerCount(), 3);
+    EXPECT_FALSE(ThreadPool::inWorker());
+}
+
+TEST(ThreadPool, EveryChunkRunsAsAWorker)
+{
+    // The caller participates in its own job, and while it does it
+    // must count as a worker — otherwise a nested dispatch from a
+    // chunk it executes would post a second job mid-flight and divert
+    // late-waking workers from the active one.
+    std::array<bool, 8> in_worker{};
+    ThreadPool::global().run(8, 2, [&](uint64_t c) {
+        in_worker[c] = ThreadPool::inWorker();
+    });
+    for (bool flag : in_worker) {
+        EXPECT_TRUE(flag);
+    }
     EXPECT_FALSE(ThreadPool::inWorker());
 }
 
