@@ -1,0 +1,309 @@
+/**
+ * @file
+ * The fleet model vs the executing fleet, swept over scale and links.
+ *
+ * For every (link, camera count) point this harness builds a
+ * heterogeneous fleet — WISPCam-style FA swarms on backscatter,
+ * raw-streaming FA cameras on Wi-Fi, a VR rig with mixed offload cuts
+ * on 25 GbE; mixed frame sizes, cuts and weights throughout — and
+ * measures it twice against the analytical fleet model:
+ *
+ *  - a *paced* run (throughput semantics, saturated sources): the sum
+ *    of per-camera measured FPS is held against
+ *    FleetModelReport::aggregate_fps, and each camera against its
+ *    predicted contended share;
+ *  - a *counting* run (energy semantics, pacing off): each camera's
+ *    measured J per source frame is held against its duty-scaled
+ *    analytical prediction.
+ *
+ * Camera counts sweep 1 / 4 / 16 / 64 — from a solo camera (the
+ * arbiter must reduce to a plain goodput pacer) to a 64-camera
+ * backscatter swarm and a VR rig sharing one trunk. Frame budgets are
+ * proportional to each camera's predicted rate so the fleet stays
+ * stationary (everyone finishes together), and time_scale compresses
+ * each point to under ~2 s of wall time.
+ *
+ *   bench_fleet [--quick]
+ *
+ * Exits non-zero if any point's aggregate FPS strays more than 15%
+ * from the model or any camera's energy strays more than 3% — the
+ * fleet-model fidelity bar. Ends with one BENCH_JSON line for
+ * trajectory tracking.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/fleet_model.hh"
+#include "core/network.hh"
+#include "fa/scenario.hh"
+#include "fleet/fleet.hh"
+#include "vr/scenario.hh"
+
+using namespace incam;
+
+namespace {
+
+constexpr double kAggFpsTolerance = 0.15;
+constexpr double kEnergyTolerance = 0.03;
+
+/** One camera blueprint: pipeline + config + weight. */
+struct CameraSpec
+{
+    std::string name;
+    const Pipeline *pipeline = nullptr;
+    PipelineConfig config;
+    double weight = 1.0;
+};
+
+/** One swept fleet point and its measured-vs-model outcome. */
+struct PointResult
+{
+    std::string link_name;
+    int cameras = 0;
+    SharePolicy policy = SharePolicy::Fair;
+    double predicted_agg_fps = 0.0;
+    double measured_agg_fps = 0.0;
+    double max_cam_fps_err = 0.0;
+    double max_energy_err = 0.0;
+    double time_scale = 1.0;
+    double wall_seconds = 0.0;
+
+    double
+    aggError() const
+    {
+        return std::abs(measured_agg_fps - predicted_agg_fps) /
+               predicted_agg_fps;
+    }
+
+    bool
+    within() const
+    {
+        return aggError() <= kAggFpsTolerance &&
+               max_energy_err <= kEnergyTolerance;
+    }
+};
+
+/** Model, then run, one fleet point in both semantics. */
+PointResult
+measurePoint(const std::string &link_name, const NetworkLink &link,
+             const std::vector<CameraSpec> &specs, SharePolicy policy,
+             bool quick)
+{
+    PointResult res;
+    res.link_name = link_name;
+    res.cameras = static_cast<int>(specs.size());
+    res.policy = policy;
+
+    // ---- model ----
+    std::vector<FleetCameraModel> model_cams;
+    for (const CameraSpec &s : specs) {
+        FleetCameraModel m;
+        m.name = s.name;
+        m.pipeline = s.pipeline;
+        m.config = s.config;
+        m.weight = s.weight;
+        model_cams.push_back(std::move(m));
+    }
+    const FleetModelReport model = fleetReport(model_cams, link, policy);
+    res.predicted_agg_fps = model.aggregate_fps;
+
+    // ---- paced throughput run ----
+    // Frames proportional to each camera's predicted rate keep the
+    // contention stationary; time_scale targets a host-friendly
+    // per-camera real rate (gentler for wide fleets, which already
+    // multiply the arbiter's event rate by N).
+    double min_fps = model.cameras[0].fps, max_fps = min_fps;
+    for (const FleetShare &share : model.cameras) {
+        min_fps = std::min(min_fps, share.fps);
+        max_fps = std::max(max_fps, share.fps);
+    }
+    const double base_frames = quick ? 16.0 : 28.0;
+    const double target_real_fps = specs.size() > 16 ? 60.0 : 120.0;
+    const double t_model = base_frames / min_fps;
+    res.time_scale = max_fps / target_real_fps;
+
+    FleetOptions paced;
+    paced.policy = policy;
+    paced.gating = GatingMode::None;
+    paced.time_scale = res.time_scale;
+    CameraFleet fleet(link, paced);
+    for (size_t i = 0; i < specs.size(); ++i) {
+        FleetCamera cam(specs[i].name, *specs[i].pipeline,
+                        specs[i].config);
+        cam.weight = specs[i].weight;
+        cam.frames = std::max<int64_t>(
+            8, static_cast<int64_t>(
+                   std::lround(t_model * model.cameras[i].fps)));
+        fleet.addCamera(std::move(cam));
+    }
+    const FleetRunReport run = fleet.run();
+    res.measured_agg_fps = run.aggregate_model_fps;
+    res.wall_seconds = run.wall_seconds;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const double predicted = model.cameras[i].fps;
+        const double measured = run.cameras[i].runtime.model_fps;
+        res.max_cam_fps_err =
+            std::max(res.max_cam_fps_err,
+                     std::abs(measured - predicted) / predicted);
+    }
+
+    // ---- counting energy run ----
+    // Contention changes when frames arrive, never what each frame
+    // costs, so energy validates in fast counting mode. 200 frames
+    // keeps every FA duty product integral (0.30, 0.30 x 0.05).
+    FleetOptions counting;
+    counting.policy = policy;
+    counting.gating = GatingMode::Model;
+    counting.pace_stages = false;
+    counting.pace_link = false;
+    CameraFleet counting_fleet(link, counting);
+    for (const CameraSpec &s : specs) {
+        FleetCamera cam(s.name, *s.pipeline, s.config);
+        cam.weight = s.weight;
+        cam.frames = 200;
+        counting_fleet.addCamera(std::move(cam));
+    }
+    const FleetRunReport counted = counting_fleet.run();
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const double predicted = model.cameras[i].jpf.j();
+        if (predicted <= 0.0) {
+            continue; // VR all-local: the model prices no energy
+        }
+        const double measured =
+            counted.cameras[i].runtime.joules_per_frame.j();
+        res.max_energy_err =
+            std::max(res.max_energy_err,
+                     std::abs(measured - predicted) / predicted);
+    }
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    banner("fleet vs model",
+           "N cameras, one arbitrated uplink: measured shares held "
+           "against the fleet model");
+    paperSays("one camera, one link; the deployments it motivates — "
+              "WISPCam swarms, VR rigs — share the medium");
+    std::printf("mode: %s\n\n", quick ? "quick (CI smoke)" : "full");
+
+    // The two FA flavours (two sensor geometries) and the VR rig.
+    const Pipeline fa_large = buildFaPipeline(nominalFaMeasurements());
+    const Pipeline fa_small =
+        buildFaPipeline(nominalFaMeasurements(128, 96, 18));
+    const Pipeline vr = buildVrPipeline(VrPipelineModel{});
+
+    const std::vector<int> counts = {1, 4, 16, 64};
+    std::vector<PointResult> results;
+
+    for (int n : counts) {
+        // WISPCam swarm on backscatter: everyone computes in camera
+        // and uploads the detected face crop (cut 2); two crop
+        // geometries; fair arbitration.
+        std::vector<CameraSpec> swarm;
+        for (int i = 0; i < n; ++i) {
+            CameraSpec s;
+            s.name = "wisp" + std::to_string(i);
+            s.pipeline = i % 2 == 0 ? &fa_large : &fa_small;
+            s.config = PipelineConfig::full(*s.pipeline, Impl::Asic, 2);
+            swarm.push_back(std::move(s));
+        }
+        results.push_back(measurePoint("backscatter",
+                                       backscatterUplink(), swarm,
+                                       SharePolicy::Fair, quick));
+
+        // Raw-streaming FA cameras on Wi-Fi (cut 0, the "dumb
+        // camera" fleet): two frame geometries, every fourth camera
+        // weighted double — weighted arbitration.
+        std::vector<CameraSpec> streamers;
+        for (int i = 0; i < n; ++i) {
+            CameraSpec s;
+            s.name = "cam" + std::to_string(i);
+            s.pipeline = i % 2 == 0 ? &fa_large : &fa_small;
+            s.config = PipelineConfig::full(*s.pipeline, Impl::Asic, 0);
+            s.weight = i % 4 == 3 ? 2.0 : 1.0;
+            streamers.push_back(std::move(s));
+        }
+        results.push_back(measurePoint("wifi", wifiUplink(), streamers,
+                                       SharePolicy::Weighted, quick));
+
+        // VR rig on 25 GbE: alternating offload cuts (full-local
+        // stitch upload vs depth-map offload), the bigger uploads
+        // weighted double — weighted arbitration.
+        std::vector<CameraSpec> rig;
+        for (int i = 0; i < n; ++i) {
+            CameraSpec s;
+            s.name = "vr" + std::to_string(i);
+            s.pipeline = &vr;
+            const int cut = i % 2 == 0 ? 4 : 3;
+            s.config = PipelineConfig::full(vr, Impl::Fpga, cut);
+            s.weight = cut == 3 ? 2.0 : 1.0;
+            rig.push_back(std::move(s));
+        }
+        results.push_back(measurePoint("25gbe", twentyFiveGbE(), rig,
+                                       SharePolicy::Weighted, quick));
+    }
+
+    std::printf("%-12s %4s %-9s %12s %12s %7s %9s %9s %7s\n", "link",
+                "cams", "policy", "pred aggFPS", "meas aggFPS", "err",
+                "worstFPS", "worstE", "wall");
+    bool within = true;
+    for (const PointResult &r : results) {
+        within = within && r.within();
+        std::printf("%-12s %4d %-9s %12.2f %12.2f %6.1f%% %8.1f%% "
+                    "%8.2f%% %6.2fs%s\n",
+                    r.link_name.c_str(), r.cameras,
+                    sharePolicyName(r.policy), r.predicted_agg_fps,
+                    r.measured_agg_fps, 100.0 * r.aggError(),
+                    100.0 * r.max_cam_fps_err,
+                    100.0 * r.max_energy_err, r.wall_seconds,
+                    r.within() ? "" : "  <-- OUT OF TOLERANCE");
+    }
+
+    std::printf("\nBENCH_JSON {\"bench\":\"fleet\",\"quick\":%s,"
+                "\"points\":[",
+                quick ? "true" : "false");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const PointResult &r = results[i];
+        std::printf("%s{\"link\":\"%s\",\"cameras\":%d,"
+                    "\"policy\":\"%s\",\"predicted_agg_fps\":%.3f,"
+                    "\"measured_agg_fps\":%.3f,\"agg_err\":%.4f,"
+                    "\"max_cam_fps_err\":%.4f,\"max_energy_err\":%.4f,"
+                    "\"time_scale\":%.5f,\"wall_s\":%.3f}",
+                    i ? "," : "", r.link_name.c_str(), r.cameras,
+                    sharePolicyName(r.policy), r.predicted_agg_fps,
+                    r.measured_agg_fps, r.aggError(),
+                    r.max_cam_fps_err, r.max_energy_err, r.time_scale,
+                    r.wall_seconds);
+    }
+    std::printf("]}\n");
+
+    if (!within) {
+        std::fprintf(stderr,
+                     "FAIL: at least one point strayed beyond %.0f%% "
+                     "aggregate FPS / %.0f%% energy tolerance\n",
+                     100.0 * kAggFpsTolerance,
+                     100.0 * kEnergyTolerance);
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,346 @@
+#include "core/fleet_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+const char *
+sharePolicyName(SharePolicy policy)
+{
+    switch (policy) {
+      case SharePolicy::Fair:
+        return "fair";
+      case SharePolicy::Weighted:
+        return "weighted";
+      case SharePolicy::StrictPriority:
+        return "strict-priority";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Weighted max-min fair allocation (progressive water filling) of
+ * @p capacity bytes/s among demands. Demands below their weighted
+ * share keep their demand; the residual is re-divided by weight among
+ * the still-backlogged flows. Zero demands get zero.
+ */
+std::vector<double>
+waterfillFair(const std::vector<double> &demands,
+              const std::vector<double> &weights, double capacity)
+{
+    const size_t n = demands.size();
+    std::vector<double> alloc(n, 0.0);
+    std::vector<bool> active(n);
+    for (size_t i = 0; i < n; ++i) {
+        active[i] = demands[i] > 0.0;
+    }
+    double cap = capacity;
+    for (;;) {
+        double sum_w = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            if (active[i]) {
+                sum_w += weights[i];
+            }
+        }
+        if (sum_w <= 0.0 || cap <= 0.0) {
+            break;
+        }
+        // Settle every flow whose demand fits inside its weighted
+        // share of the remaining capacity; if none does, the rest are
+        // all backlogged and split the remainder by weight.
+        bool settled_any = false;
+        for (size_t i = 0; i < n; ++i) {
+            if (!active[i]) {
+                continue;
+            }
+            const double share = cap * weights[i] / sum_w;
+            if (demands[i] <= share * (1.0 + 1e-12)) {
+                alloc[i] = demands[i];
+                active[i] = false;
+                settled_any = true;
+            }
+        }
+        if (settled_any) {
+            // Recompute remaining capacity from scratch to avoid
+            // accumulating subtraction error across rounds.
+            cap = capacity;
+            for (size_t i = 0; i < n; ++i) {
+                if (!active[i]) {
+                    cap -= alloc[i];
+                }
+            }
+            cap = std::max(0.0, cap);
+            continue;
+        }
+        for (size_t i = 0; i < n; ++i) {
+            if (active[i]) {
+                alloc[i] = cap * weights[i] / sum_w;
+            }
+        }
+        break;
+    }
+    return alloc;
+}
+
+/** Allocate under a policy; weight means share (fair/weighted) or
+ *  priority rank (strict). */
+std::vector<double>
+allocate(SharePolicy policy, const std::vector<double> &demands,
+         const std::vector<double> &weights, double capacity)
+{
+    const size_t n = demands.size();
+    switch (policy) {
+      case SharePolicy::Fair: {
+        const std::vector<double> ones(n, 1.0);
+        return waterfillFair(demands, ones, capacity);
+      }
+      case SharePolicy::Weighted:
+        return waterfillFair(demands, weights, capacity);
+      case SharePolicy::StrictPriority: {
+        // Tiers in descending priority; each tier water-fills (equal
+        // weights) whatever the tiers above left over.
+        std::vector<double> tiers(weights);
+        std::sort(tiers.begin(), tiers.end(), std::greater<double>());
+        tiers.erase(std::unique(tiers.begin(), tiers.end()),
+                    tiers.end());
+        std::vector<double> alloc(n, 0.0);
+        double cap = capacity;
+        for (double tier : tiers) {
+            std::vector<size_t> members;
+            std::vector<double> d, w;
+            for (size_t i = 0; i < n; ++i) {
+                if (weights[i] == tier) {
+                    members.push_back(i);
+                    d.push_back(demands[i]);
+                    w.push_back(1.0);
+                }
+            }
+            const std::vector<double> tier_alloc =
+                waterfillFair(d, w, cap);
+            for (size_t k = 0; k < members.size(); ++k) {
+                alloc[members[k]] = tier_alloc[k];
+                cap -= tier_alloc[k];
+            }
+            cap = std::max(0.0, cap);
+        }
+        return alloc;
+      }
+    }
+    incam_panic("unknown SharePolicy");
+}
+
+/** Per-candidate numbers the optimizer re-allocates over and over. */
+struct CandidateCost
+{
+    double offered_fps = 0.0;
+    double bytes = 0.0;
+    double demand_bps = 0.0;
+    double jpf = 0.0;
+};
+
+CandidateCost
+candidateCost(const PipelineEvaluator &eval, const PipelineConfig &cfg,
+              double source_fps)
+{
+    CandidateCost c;
+    c.offered_fps = eval.evaluateThroughput(cfg).compute_fps;
+    if (source_fps > 0.0) {
+        c.offered_fps = std::min(c.offered_fps, source_fps);
+    }
+    c.bytes = eval.cutBytes(cfg).b();
+    c.demand_bps = c.bytes > 0.0 ? c.offered_fps * c.bytes : 0.0;
+    c.jpf = eval.evaluateEnergy(cfg).total().j();
+    return c;
+}
+
+/** Delivered FPS of one camera given its link allocation. */
+double
+deliveredFps(const CandidateCost &c, double alloc_bps)
+{
+    if (c.bytes <= 0.0) {
+        return c.offered_fps; // the link is never the bottleneck
+    }
+    return std::min(c.offered_fps, alloc_bps / c.bytes);
+}
+
+} // namespace
+
+FleetModelReport
+fleetReport(const std::vector<FleetCameraModel> &cameras,
+            const NetworkLink &link, SharePolicy policy)
+{
+    incam_assert(!cameras.empty(), "a fleet needs at least one camera");
+    const size_t n = cameras.size();
+    FleetModelReport rep;
+    rep.capacity_bps = link.goodput().bytesPerSecond();
+
+    std::vector<CandidateCost> costs(n);
+    std::vector<double> demands(n), weights(n);
+    for (size_t i = 0; i < n; ++i) {
+        const FleetCameraModel &cam = cameras[i];
+        incam_assert(cam.pipeline != nullptr, "camera '", cam.name,
+                     "' has no pipeline");
+        incam_assert(cam.weight > 0.0, "camera '", cam.name,
+                     "' needs a positive weight");
+        const PipelineEvaluator eval(*cam.pipeline, link);
+        costs[i] = candidateCost(eval, cam.config, cam.source_fps);
+        demands[i] = costs[i].demand_bps;
+        weights[i] = cam.weight;
+    }
+
+    const std::vector<double> alloc =
+        allocate(policy, demands, weights, rep.capacity_bps);
+
+    double allocated = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const CandidateCost &c = costs[i];
+        FleetShare share;
+        share.name = cameras[i].name;
+        share.offered_fps = c.offered_fps;
+        share.cut_bytes = DataSize::bytes(c.bytes);
+        share.demand_bps = c.demand_bps;
+        share.allocated_bps = alloc[i];
+        share.link_fps = c.bytes > 0.0 ? alloc[i] / c.bytes : kInf;
+        share.fps = deliveredFps(c, alloc[i]);
+        share.jpf = Energy::joules(c.jpf);
+        share.link_bound = c.bytes > 0.0 && share.link_fps < c.offered_fps;
+        rep.aggregate_fps += share.fps;
+        rep.total_jpf += share.jpf;
+        rep.offered_bps += std::isfinite(c.demand_bps) ? c.demand_bps
+                                                       : rep.capacity_bps;
+        allocated += share.fps * c.bytes;
+        rep.cameras.push_back(std::move(share));
+    }
+    rep.utilization =
+        rep.capacity_bps > 0.0 ? allocated / rep.capacity_bps : 0.0;
+    return rep;
+}
+
+FleetOptimizer::FleetOptimizer(std::vector<FleetCameraModel> cameras,
+                               NetworkLink link, SharePolicy share_policy)
+    : cams(std::move(cameras)), net(std::move(link)),
+      policy(share_policy)
+{
+    incam_assert(!cams.empty(), "a fleet needs at least one camera");
+}
+
+FleetChoice
+FleetOptimizer::best(const FleetOptimizerGoal &goal) const
+{
+    const size_t n = cams.size();
+
+    // Per-camera candidate configurations, best-first under the
+    // matching single-camera goal (total ordering: ties broken by cut
+    // and config string, so the whole search is platform-stable).
+    OptimizerGoal per_goal;
+    per_goal.kind = goal.kind == FleetOptimizerGoal::Kind::MinTotalEnergy
+                        ? OptimizerGoal::Kind::MinEnergy
+                        : OptimizerGoal::Kind::MaxThroughput;
+    per_goal.min_fps = goal.per_camera_min_fps;
+
+    std::vector<std::vector<ConfigResult>> candidates(n);
+    std::vector<std::vector<CandidateCost>> costs(n);
+    std::vector<double> weights(n);
+    for (size_t i = 0; i < n; ++i) {
+        incam_assert(cams[i].pipeline != nullptr, "camera '",
+                     cams[i].name, "' has no pipeline");
+        const PipelineOptimizer opt(*cams[i].pipeline, net);
+        candidates[i] = opt.enumerate(per_goal);
+        const PipelineEvaluator eval(*cams[i].pipeline, net);
+        for (const ConfigResult &r : candidates[i]) {
+            costs[i].push_back(
+                candidateCost(eval, r.config, cams[i].source_fps));
+        }
+        weights[i] = cams[i].weight;
+    }
+
+    // Objective of one assignment, on the cached candidate costs.
+    auto evaluate = [&](const std::vector<size_t> &idx) {
+        std::vector<double> demands(n);
+        for (size_t i = 0; i < n; ++i) {
+            demands[i] = costs[i][idx[i]].demand_bps;
+        }
+        const std::vector<double> alloc =
+            allocate(policy, demands, weights,
+                     net.goodput().bytesPerSecond());
+        double aggregate = 0.0, total_jpf = 0.0;
+        bool feasible = true;
+        for (size_t i = 0; i < n; ++i) {
+            const double fps = deliveredFps(costs[i][idx[i]], alloc[i]);
+            aggregate += fps;
+            total_jpf += costs[i][idx[i]].jpf;
+            if (goal.per_camera_min_fps > 0.0 &&
+                fps < goal.per_camera_min_fps) {
+                feasible = false;
+            }
+        }
+        const double objective =
+            goal.kind == FleetOptimizerGoal::Kind::MinTotalEnergy
+                ? total_jpf
+                : -aggregate;
+        return std::make_pair(feasible, objective);
+    };
+
+    // Start every camera at its standalone best, then coordinate
+    // descent: re-pick each camera against the fleet objective with
+    // the others fixed until a sweep changes nothing. Strict
+    // improvement is required to move, so equal-objective candidates
+    // keep the earliest (best standalone) index — deterministic.
+    std::vector<size_t> idx(n, 0);
+    auto [cur_feasible, cur_objective] = evaluate(idx);
+    const int kMaxSweeps = 8;
+    for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+        bool changed = false;
+        for (size_t i = 0; i < n; ++i) {
+            size_t best_j = idx[i];
+            bool best_feasible = cur_feasible;
+            double best_objective = cur_objective;
+            for (size_t j = 0; j < candidates[i].size(); ++j) {
+                if (j == idx[i]) {
+                    continue;
+                }
+                idx[i] = j;
+                const auto [f, o] = evaluate(idx);
+                const bool better =
+                    (f && !best_feasible) ||
+                    (f == best_feasible && o < best_objective - 1e-12);
+                if (better) {
+                    best_j = j;
+                    best_feasible = f;
+                    best_objective = o;
+                }
+            }
+            idx[i] = best_j;
+            if (best_objective != cur_objective ||
+                best_feasible != cur_feasible) {
+                changed = true;
+            }
+            cur_feasible = best_feasible;
+            cur_objective = best_objective;
+        }
+        if (!changed) {
+            break;
+        }
+    }
+
+    FleetChoice choice;
+    std::vector<FleetCameraModel> final_cams(cams);
+    for (size_t i = 0; i < n; ++i) {
+        choice.configs.push_back(candidates[i][idx[i]].config);
+        final_cams[i].config = candidates[i][idx[i]].config;
+    }
+    choice.report = fleetReport(final_cams, net, policy);
+    choice.feasible = cur_feasible;
+    choice.objective = cur_objective;
+    return choice;
+}
+
+} // namespace incam

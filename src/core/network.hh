@@ -13,6 +13,7 @@
 #ifndef INCAM_CORE_NETWORK_HH
 #define INCAM_CORE_NETWORK_HH
 
+#include <limits>
 #include <string>
 
 #include "common/units.hh"
@@ -34,21 +35,35 @@ struct NetworkLink
         return bandwidth * protocol_efficiency;
     }
 
-    /** Time to move @p s across the link. */
+    /**
+     * Time to move @p s across the link. A zero-byte transfer (a
+     * fully-gating filter before the cut) costs no time: the link is
+     * never the bottleneck.
+     */
     Time
     transferTime(DataSize s) const
     {
+        if (s.b() <= 0.0) {
+            return Time{};
+        }
         return goodput().transferTime(s);
     }
 
-    /** Frames per second the link sustains at @p s bytes per frame. */
+    /**
+     * Frames per second the link sustains at @p s bytes per frame.
+     * Zero bytes per frame means the link never limits the rate:
+     * infinite FPS, not a divide-by-zero.
+     */
     double
     framesPerSecond(DataSize s) const
     {
+        if (s.b() <= 0.0) {
+            return std::numeric_limits<double>::infinity();
+        }
         return goodput().bytesPerSecond() / s.b();
     }
 
-    /** Camera-side energy to transmit @p s. */
+    /** Camera-side energy to transmit @p s (zero for zero bytes). */
     Energy
     transferEnergy(DataSize s) const
     {

@@ -82,13 +82,24 @@ PipelineOptimizer::enumerate(const OptimizerGoal &goal) const
         }
     }
 
-    std::stable_sort(results.begin(), results.end(),
-                     [](const ConfigResult &a, const ConfigResult &b) {
-                         if (a.feasible != b.feasible) {
-                             return a.feasible;
-                         }
-                         return a.objective < b.objective;
-                     });
+    // Rank by feasibility then objective, with a *total* tie-break
+    // (cut position, then the config display string) so equal-objective
+    // configurations order identically on every platform and standard
+    // library — best() must be stable across ctest runs and compilers.
+    std::sort(results.begin(), results.end(),
+              [&pipe](const ConfigResult &a, const ConfigResult &b) {
+                  if (a.feasible != b.feasible) {
+                      return a.feasible;
+                  }
+                  if (a.objective != b.objective) {
+                      return a.objective < b.objective;
+                  }
+                  if (a.config.cut != b.config.cut) {
+                      return a.config.cut < b.config.cut;
+                  }
+                  return a.config.toString(pipe) <
+                         b.config.toString(pipe);
+              });
     return results;
 }
 

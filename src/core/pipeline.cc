@@ -148,6 +148,8 @@ PipelineEvaluator::evaluateThroughput(const PipelineConfig &cfg) const
     }
     // Even a fully in-camera pipeline ships its product (the stereo
     // video stream), so the link cost applies at every cut position.
+    // Zero bytes at the cut (a fully-gating filter) means the link is
+    // never the bottleneck: framesPerSecond reports infinity there.
     rep.comm_fps = net.framesPerSecond(cutBytes(cfg));
     rep.total_fps = std::min(rep.compute_fps, rep.comm_fps);
     return rep;

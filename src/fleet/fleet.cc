@@ -1,0 +1,188 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.hh"
+#include "exec/thread_pool.hh"
+
+namespace incam {
+
+CameraFleet::CameraFleet(NetworkLink link, FleetOptions options)
+    : net(std::move(link)), opts(std::move(options))
+{
+    incam_assert(opts.time_scale > 0.0, "time_scale must be positive");
+}
+
+int
+CameraFleet::addCamera(FleetCamera camera)
+{
+    incam_assert(!consumed, "a CameraFleet instance is single-use");
+    incam_assert(camera.weight > 0.0, "camera '", camera.name,
+                 "' needs a positive weight");
+    incam_assert(camera.frames > 0, "camera '", camera.name,
+                 "' needs at least one frame");
+    // Validate the configuration now, not mid-run.
+    PipelineEvaluator(camera.pipeline, net).check(camera.config);
+    cams.push_back(std::move(camera));
+    return static_cast<int>(cams.size()) - 1;
+}
+
+std::vector<FleetCameraModel>
+CameraFleet::modelCameras() const
+{
+    std::vector<FleetCameraModel> out;
+    out.reserve(cams.size());
+    for (const FleetCamera &cam : cams) {
+        FleetCameraModel m;
+        m.name = cam.name;
+        m.pipeline = &cam.pipeline;
+        m.config = cam.config;
+        m.weight = cam.weight;
+        m.source_fps = cam.source_fps;
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+FleetRunReport
+CameraFleet::run()
+{
+    incam_assert(!consumed, "a CameraFleet instance is single-use");
+    consumed = true;
+    incam_assert(!cams.empty(), "a fleet needs at least one camera");
+    incam_assert(!ThreadPool::inWorker(),
+                 "a fleet cannot run nested inside a thread-pool "
+                 "worker: camera loops need real concurrency");
+    const size_t n = cams.size();
+
+    // The arbiter replaces every camera's private uplink pacer; its
+    // burst models the radio's frame buffer, sized to the largest
+    // frame any camera puts on the wire.
+    SharedLink::Options link_opts;
+    link_opts.policy = opts.policy;
+    link_opts.time_scale = opts.time_scale;
+    link_opts.pace = opts.pace_link;
+    double max_cut_bytes = 0.0;
+    for (const FleetCamera &cam : cams) {
+        max_cut_bytes = std::max(
+            max_cut_bytes,
+            PipelineEvaluator(cam.pipeline, net).cutBytes(cam.config).b());
+    }
+    link_opts.burst_bytes = opts.link_burst_frames * max_cut_bytes;
+    SharedLink shared(net, link_opts);
+
+    std::vector<std::unique_ptr<StreamingPipeline>> pipes;
+    pipes.reserve(n);
+    for (const FleetCamera &cam : cams) {
+        RuntimeOptions ro;
+        ro.frames = cam.frames;
+        ro.queue_capacity = opts.queue_capacity;
+        ro.gating = opts.gating;
+        ro.time_scale = opts.time_scale;
+        ro.pace_stages = opts.pace_stages;
+        ro.pace_link = opts.pace_link;
+        ro.stage_burst_frames = opts.stage_burst_frames;
+        ro.link_burst_frames = opts.link_burst_frames;
+        ro.source_fps = cam.source_fps;
+        auto sp = std::make_unique<StreamingPipeline>(
+            cam.pipeline, cam.config, net, ro);
+        const int endpoint = shared.addEndpoint(cam.name, cam.weight);
+        sp->attachUplinkArbiter(&shared, endpoint);
+        if (cam.customize) {
+            cam.customize(*sp);
+        }
+        pipes.push_back(std::move(sp));
+    }
+
+    std::vector<RuntimeReport> reports(n);
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    auto record = [&](std::exception_ptr e) {
+        std::lock_guard<std::mutex> lk(error_mu);
+        if (!first_error) {
+            first_error = std::move(e);
+        }
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!opts.threaded_stages) {
+        // One serial camera loop per pool chunk; all run concurrently.
+        incam_assert(
+            n <= static_cast<size_t>(ThreadPool::kMaxWorkers) + 1,
+            "fleet has ", n, " cameras but the thread pool caps at ",
+            ThreadPool::kMaxWorkers + 1, " concurrent participants");
+        ThreadPool::global().run(
+            static_cast<uint64_t>(n), static_cast<int>(n),
+            [&](uint64_t c) {
+                try {
+                    reports[c] = pipes[c]->runInline();
+                } catch (...) {
+                    record(std::current_exception());
+                }
+            });
+    } else {
+        // Every stage of every camera is one chunk of a single
+        // fork-join job, so all the queued stage loops of the whole
+        // fleet run concurrently.
+        std::vector<std::pair<size_t, int>> slots;
+        for (size_t i = 0; i < n; ++i) {
+            for (int s = 0; s < pipes[i]->stageCount(); ++s) {
+                slots.emplace_back(i, s);
+            }
+        }
+        incam_assert(
+            slots.size() <=
+                static_cast<size_t>(ThreadPool::kMaxWorkers) + 1,
+            "fleet needs ", slots.size(),
+            " concurrent stage loops but the thread pool caps at ",
+            ThreadPool::kMaxWorkers + 1,
+            " participants; use inline cameras for large fleets");
+        for (auto &sp : pipes) {
+            sp->beginRun();
+        }
+        ThreadPool::global().run(
+            static_cast<uint64_t>(slots.size()),
+            static_cast<int>(slots.size()), [&](uint64_t c) {
+                pipes[slots[c].first]->runStage(slots[c].second);
+            });
+        for (size_t i = 0; i < n; ++i) {
+            try {
+                reports[i] = pipes[i]->finishRun();
+            } catch (...) {
+                record(std::current_exception());
+            }
+        }
+    }
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+
+    FleetRunReport rep;
+    rep.wall_seconds = wall;
+    const std::vector<LinkEndpointReport> shares = shared.report();
+    for (size_t i = 0; i < n; ++i) {
+        FleetCameraReport cr;
+        cr.name = cams[i].name;
+        cr.weight = cams[i].weight;
+        cr.runtime = std::move(reports[i]);
+        cr.link = shares[i];
+        rep.aggregate_model_fps += cr.runtime.model_fps;
+        rep.total_energy += cr.runtime.total_energy();
+        rep.uplink_bytes += cr.runtime.link.bytes_sent;
+        rep.cameras.push_back(std::move(cr));
+    }
+    const double capacity =
+        net.goodput().bytesPerSecond() / opts.time_scale * wall;
+    rep.link_utilization =
+        capacity > 0.0 ? rep.uplink_bytes.b() / capacity : 0.0;
+    return rep;
+}
+
+} // namespace incam

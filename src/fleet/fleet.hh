@@ -1,0 +1,149 @@
+/**
+ * @file
+ * CameraFleet — N streaming pipelines, one arbitrated uplink.
+ *
+ * The runtime counterpart of core/fleet_model.hh: a fleet owns one
+ * NetworkLink budget, wraps it in a SharedLink arbiter, and runs every
+ * camera's StreamingPipeline concurrently on the shared exec/ thread
+ * pool with each uplink stage acquiring its bytes through the arbiter
+ * instead of a private pacer. Cameras are heterogeneous: FA swarms
+ * and VR rigs, different configs, cuts, frame sizes, frame counts and
+ * weights, side by side under one resource budget.
+ *
+ * Two execution shapes:
+ *
+ *  - *Inline* (default): one thread per camera runs the whole chain
+ *    serially (StreamingPipeline::runInline). Token buckets refill in
+ *    parallel wall time, so each camera still exhibits min(stage
+ *    rates, granted link rate); a fleet scales to
+ *    ThreadPool::kMaxWorkers cameras.
+ *
+ *  - *Threaded stages*: every stage of every camera gets its own
+ *    concurrent loop with bounded queues between stages — the full
+ *    single-pipeline machinery, flattened into one fork-join job.
+ *    Richer (per-stage backpressure, queue depths) but each camera
+ *    costs stageCount() threads, so it suits small rigs.
+ *
+ * In both shapes a camera that finishes (or fails) simply stops
+ * competing: the arbiter is work-conserving, so its goodput share
+ * flows to the surviving cameras immediately, and a failing camera
+ * drains only its own queues — siblings never stall.
+ */
+
+#ifndef INCAM_FLEET_FLEET_HH
+#define INCAM_FLEET_FLEET_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/fleet_model.hh"
+#include "core/pipeline.hh"
+#include "fleet/shared_link.hh"
+#include "runtime/runtime.hh"
+
+namespace incam {
+
+/** One camera of a fleet: a pipeline configuration plus traffic. */
+struct FleetCamera
+{
+    FleetCamera(std::string camera_name, Pipeline camera_pipeline,
+                PipelineConfig camera_config)
+        : name(std::move(camera_name)),
+          pipeline(std::move(camera_pipeline)),
+          config(std::move(camera_config))
+    {
+    }
+
+    std::string name;
+    Pipeline pipeline;      ///< copied: the fleet owns its cameras
+    PipelineConfig config;
+    /** Share weight (Weighted) or priority rank (StrictPriority). */
+    double weight = 1.0;
+    /** Frames this camera's source emits before closing. */
+    int64_t frames = 240;
+    /** Source emission cap in model FPS; 0 saturates the pipeline. */
+    double source_fps = 0.0;
+    /** Optional hook to attach executors / frame fill to the built
+     *  StreamingPipeline before the run starts. */
+    std::function<void(StreamingPipeline &)> customize;
+};
+
+/** Fleet-wide knobs; per-camera knobs live on FleetCamera. */
+struct FleetOptions
+{
+    SharePolicy policy = SharePolicy::Fair;
+    GatingMode gating = GatingMode::Model;
+    double time_scale = 1.0;
+    bool pace_stages = true;
+    bool pace_link = true;
+    /** Run every stage of every camera as its own thread (small rigs)
+     *  instead of one serial loop per camera. */
+    bool threaded_stages = false;
+    int queue_capacity = 8;
+    double stage_burst_frames = 2.0;
+    double link_burst_frames = 2.0;
+};
+
+/** One camera's measured run plus its share of the arbitrated link. */
+struct FleetCameraReport
+{
+    std::string name;
+    double weight = 1.0;
+    RuntimeReport runtime;
+    LinkEndpointReport link;
+};
+
+/** The fleet-level analogue of RuntimeReport. */
+struct FleetRunReport
+{
+    std::vector<FleetCameraReport> cameras;
+    double wall_seconds = 0.0;
+    /** Sum of per-camera measured FPS, normalized to model time —
+     *  the number to hold against FleetModelReport::aggregate_fps. */
+    double aggregate_model_fps = 0.0;
+    Energy total_energy;
+    DataSize uplink_bytes;
+    /** Bytes sent / (goodput x wall): 1.0 when the link saturates. */
+    double link_utilization = 0.0;
+};
+
+/** Runs heterogeneous pipelines against one arbitrated uplink. */
+class CameraFleet
+{
+  public:
+    CameraFleet(NetworkLink link, FleetOptions options = {});
+
+    /** Add a camera; returns its index (== its arbiter endpoint). */
+    int addCamera(FleetCamera camera);
+
+    int cameraCount() const { return static_cast<int>(cams.size()); }
+    const NetworkLink &link() const { return net; }
+
+    /**
+     * The analytical mirror of the current fleet, for
+     * fleetReport(modelCameras(), link(), options.policy) style
+     * measured-vs-model comparisons. Pipeline pointers reference the
+     * fleet's own cameras: valid while the fleet lives.
+     */
+    std::vector<FleetCameraModel> modelCameras() const;
+
+    /**
+     * Execute every camera's stream to completion and report. Single
+     * use; must not be called from inside a thread-pool worker.
+     * Rethrows the first camera error after every stream has wound
+     * down (surviving cameras complete normally).
+     */
+    FleetRunReport run();
+
+  private:
+    NetworkLink net;
+    FleetOptions opts;
+    std::deque<FleetCamera> cams; ///< deque: stable Pipeline addresses
+    bool consumed = false;
+};
+
+} // namespace incam
+
+#endif // INCAM_FLEET_FLEET_HH

@@ -1,0 +1,243 @@
+#include "fleet/shared_link.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+SharedLink::SharedLink(NetworkLink link, Options options)
+    : net(std::move(link)), opts(options)
+{
+    incam_assert(opts.time_scale > 0.0, "time_scale must be positive");
+    rate_bps = net.goodput().bytesPerSecond() / opts.time_scale;
+    incam_assert(!opts.pace || rate_bps > 0.0,
+                 "a paced shared link needs positive goodput");
+}
+
+int
+SharedLink::addEndpoint(std::string name, double weight)
+{
+    incam_assert(weight > 0.0, "endpoint '", name,
+                 "' needs a positive weight");
+    std::lock_guard<std::mutex> lk(mu);
+    Endpoint ep;
+    ep.name = std::move(name);
+    ep.weight = weight;
+    endpoints.push_back(std::move(ep));
+    return static_cast<int>(endpoints.size()) - 1;
+}
+
+double
+SharedLink::drainRateLocked(const Endpoint &ep) const
+{
+    if (!ep.active) {
+        return 0.0;
+    }
+    switch (opts.policy) {
+      case SharePolicy::Fair: {
+        double n_active = 0.0;
+        for (const Endpoint &o : endpoints) {
+            n_active += o.active ? 1.0 : 0.0;
+        }
+        return rate_bps / n_active;
+      }
+      case SharePolicy::Weighted: {
+        double total_w = 0.0;
+        for (const Endpoint &o : endpoints) {
+            total_w += o.active ? o.weight : 0.0;
+        }
+        return rate_bps * ep.weight / total_w;
+      }
+      case SharePolicy::StrictPriority: {
+        // Only the highest tier with traffic in flight drains; ties
+        // split it evenly.
+        double top = 0.0;
+        for (const Endpoint &o : endpoints) {
+            if (o.active) {
+                top = std::max(top, o.weight);
+            }
+        }
+        if (ep.weight < top) {
+            return 0.0;
+        }
+        double n_top = 0.0;
+        for (const Endpoint &o : endpoints) {
+            n_top += (o.active && o.weight == top) ? 1.0 : 0.0;
+        }
+        return rate_bps / n_top;
+      }
+    }
+    incam_panic("unknown SharePolicy");
+}
+
+void
+SharedLink::advanceLocked(Clock::time_point now)
+{
+    if (!clock_started) {
+        clock_started = true;
+        last_advance = now;
+        return;
+    }
+    // Timestamps can arrive out of order (sampled before the lock was
+    // contended); the fluid clock must only move forward, or the same
+    // wall-time interval drains twice.
+    if (now <= last_advance) {
+        return;
+    }
+    const double dt =
+        std::chrono::duration<double>(now - last_advance).count();
+    last_advance = now;
+    // Fluid GPS step: rates are constant between events, and every
+    // mutation of the active set calls advanceLocked first, so one
+    // linear pass is exact. Shared denominators are hoisted so the
+    // step is O(endpoints), not O(endpoints^2).
+    double denom = 0.0, top = 0.0;
+    switch (opts.policy) {
+      case SharePolicy::Fair:
+        for (const Endpoint &ep : endpoints) {
+            denom += ep.active ? 1.0 : 0.0;
+        }
+        break;
+      case SharePolicy::Weighted:
+        for (const Endpoint &ep : endpoints) {
+            denom += ep.active ? ep.weight : 0.0;
+        }
+        break;
+      case SharePolicy::StrictPriority:
+        for (const Endpoint &ep : endpoints) {
+            if (ep.active) {
+                top = std::max(top, ep.weight);
+            }
+        }
+        for (const Endpoint &ep : endpoints) {
+            denom += (ep.active && ep.weight == top) ? 1.0 : 0.0;
+        }
+        break;
+    }
+    if (denom <= 0.0) {
+        return;
+    }
+    for (Endpoint &ep : endpoints) {
+        if (!ep.active) {
+            continue;
+        }
+        switch (opts.policy) {
+          case SharePolicy::Fair:
+            ep.remaining -= rate_bps / denom * dt;
+            break;
+          case SharePolicy::Weighted:
+            ep.remaining -= rate_bps * ep.weight / denom * dt;
+            break;
+          case SharePolicy::StrictPriority:
+            if (ep.weight == top) {
+                ep.remaining -= rate_bps / denom * dt;
+            }
+            break;
+        }
+    }
+}
+
+void
+SharedLink::acquire(int endpoint, double bytes)
+{
+    incam_assert(bytes >= 0.0, "negative transmission size");
+
+    const Clock::time_point t0 = Clock::now();
+    std::unique_lock<std::mutex> lk(mu);
+    incam_assert(endpoint >= 0 &&
+                     static_cast<size_t>(endpoint) < endpoints.size(),
+                 "unknown endpoint ", endpoint);
+    Endpoint &ep = endpoints[static_cast<size_t>(endpoint)];
+
+    if (!opts.pace) {
+        // Counting mode: account the traffic, skip the medium.
+        ++ep.grants;
+        ep.bytes += bytes;
+        return;
+    }
+
+    incam_assert(!ep.active, "endpoint ", endpoint,
+                 " has concurrent acquires (uplinks are serial)");
+    advanceLocked(Clock::now()); // post-lock: t0 may be stale by now
+
+    const double burst = opts.burst_bytes > 0.0
+                             ? opts.burst_bytes
+                             : std::max(1.0, 2.0 * bytes);
+    // Banked overshoot from previous transmissions covers the front
+    // of this one; it may cover all of it.
+    const double need = bytes - ep.bank;
+    ep.bank = std::max(0.0, -need);
+    if (need > 0.0) {
+        ep.remaining = need;
+        ep.active = true;
+        // No notify on arrival: a waiter whose rate just dropped
+        // wakes at its stale (too-early) finish, sees bytes left, and
+        // re-sleeps — self-correcting, and it halves the wakeups.
+        for (;;) {
+            advanceLocked(Clock::now());
+            if (ep.remaining <= 0.0) {
+                break;
+            }
+            const double my_rate = drainRateLocked(ep);
+            if (my_rate <= 0.0) {
+                // A higher StrictPriority tier owns the medium; wait
+                // for the active set to change.
+                cv.wait(lk);
+                continue;
+            }
+            const auto finish =
+                last_advance +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(ep.remaining /
+                                                  my_rate));
+            cv.wait_until(lk, finish);
+        }
+        ep.active = false;
+        // Overshoot keeps draining while the camera oversleeps; bank
+        // it (bounded) against the next transmission so jitter never
+        // accumulates into rate error.
+        ep.bank = std::min(burst, ep.bank - ep.remaining);
+        ep.remaining = 0.0;
+        cv.notify_all(); // survivors' rates grow
+    }
+    ++ep.grants;
+    ep.bytes += bytes;
+    ep.wait_seconds +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void
+SharedLink::release(int endpoint)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        incam_assert(endpoint >= 0 &&
+                         static_cast<size_t>(endpoint) <
+                             endpoints.size(),
+                     "unknown endpoint ", endpoint);
+        endpoints[static_cast<size_t>(endpoint)].released = true;
+    }
+    cv.notify_all();
+}
+
+std::vector<LinkEndpointReport>
+SharedLink::report() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    std::vector<LinkEndpointReport> out;
+    out.reserve(endpoints.size());
+    for (const Endpoint &ep : endpoints) {
+        LinkEndpointReport r;
+        r.name = ep.name;
+        r.weight = ep.weight;
+        r.grants = ep.grants;
+        r.bytes = DataSize::bytes(ep.bytes);
+        r.wait_seconds = ep.wait_seconds;
+        r.released = ep.released;
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+} // namespace incam

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * SharedLink — a thread-safe weighted byte arbiter over one NetworkLink.
+ *
+ * A fleet of cameras shares one physical uplink (the WISPCam swarm's
+ * RF reader, the VR rig's 25 GbE trunk), and whoever divides the
+ * medium decides each camera's goodput share. SharedLink divides it
+ * by *fluid* weighted fair sharing (generalized processor sharing):
+ * every endpoint with a transmission in flight drains concurrently at
+ * goodput x weight / (total active weight), and acquire(bytes)
+ * blocks its caller until that camera's bytes have drained. When an
+ * endpoint's transmission finishes or a new one arrives, the drain
+ * rates re-divide instantly, so backlogged endpoints converge to
+ * goodput shares proportional to their weights, endpoints demanding
+ * less keep their demand, and the residual redistributes — weighted
+ * max-min fairness, precisely the allocation core/fleet_model.hh
+ * predicts.
+ *
+ * The fluid model (rather than serialized per-frame grants) matters
+ * because every camera keeps at most one transmission in flight: a
+ * serialized arbiter decides only among the requests *queued at a
+ * frame boundary*, and a camera that re-arrives a microsecond after
+ * each grant degenerates to round-robin no matter its weight. Fluid
+ * sharing has no boundaries to race: weights hold at every instant.
+ *
+ * Pacing is debt-based like runtime/pacer.hh: a request keeps
+ * draining while its camera oversleeps, and the overshoot is banked
+ * (bounded by a burst) against the camera's next transmission, so
+ * sleep jitter never accumulates into rate error — the property the
+ * fleet's measured-vs-model comparison depends on.
+ *
+ * StrictPriority drains only the highest-priority tier with traffic
+ * in flight: lower tiers stall entirely (and can starve) while a
+ * higher tier transmits, ties sharing fairly within their tier.
+ *
+ * An endpoint that finishes (or dies) simply stops acquiring —
+ * release() marks it done for reporting — and sharing is
+ * work-conserving: its share flows to the survivors immediately, and
+ * nothing ever blocks on a camera that no longer competes.
+ */
+
+#ifndef INCAM_FLEET_SHARED_LINK_HH
+#define INCAM_FLEET_SHARED_LINK_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/fleet_model.hh"
+#include "core/network.hh"
+#include "runtime/runtime.hh"
+
+namespace incam {
+
+/** Per-endpoint accounting of a SharedLink run. */
+struct LinkEndpointReport
+{
+    std::string name;
+    double weight = 1.0;
+    int64_t grants = 0;       ///< transmissions completed
+    DataSize bytes;           ///< bytes granted in total
+    double wait_seconds = 0.0;///< time spent blocked in acquire()
+    bool released = false;    ///< endpoint declared its stream done
+};
+
+/** Fluid weighted-fair byte arbiter shared by a fleet's uplinks. */
+class SharedLink : public UplinkArbiter
+{
+  public:
+    struct Options
+    {
+        SharePolicy policy = SharePolicy::Fair;
+
+        /** Stretch transmission times like RuntimeOptions::time_scale. */
+        double time_scale = 1.0;
+
+        /**
+         * Pace transmissions at the link's goodput. Off, acquire()
+         * returns immediately but still accounts traffic — the
+         * counting mode energy validation runs use.
+         */
+        bool pace = true;
+
+        /**
+         * Per-endpoint overshoot bank in bytes (the radio's frame
+         * buffer): sleep overshoot keeps draining and credits the
+         * next transmission up to this bound. <= 0 sizes it
+         * automatically to two of the endpoint's first frame.
+         */
+        double burst_bytes = 0.0;
+    };
+
+    explicit SharedLink(NetworkLink link) : SharedLink(link, Options()) {}
+    SharedLink(NetworkLink link, Options options);
+
+    /**
+     * Register a camera uplink; the returned id names it in acquire().
+     * Weight is the share weight (Weighted) or priority rank
+     * (StrictPriority); Fair ignores it. Register every endpoint
+     * before traffic starts.
+     */
+    int addEndpoint(std::string name, double weight = 1.0);
+
+    /** Block until @p bytes of @p endpoint's traffic have drained. */
+    void acquire(int endpoint, double bytes) override;
+
+    /** Mark the endpoint's stream complete (idempotent). */
+    void release(int endpoint) override;
+
+    const NetworkLink &link() const { return net; }
+    const Options &options() const { return opts; }
+
+    /** Per-endpoint accounting snapshot (thread-safe). */
+    std::vector<LinkEndpointReport> report() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Endpoint
+    {
+        std::string name;
+        double weight = 1.0;
+        bool active = false;    ///< a transmission is in flight
+        double remaining = 0.0; ///< bytes left to drain (may go < 0)
+        double bank = 0.0;      ///< banked overshoot, bounded by burst
+        int64_t grants = 0;
+        double bytes = 0.0;
+        double wait_seconds = 0.0;
+        bool released = false;
+    };
+
+    /** Drain every eligible in-flight transmission for the wall time
+     *  elapsed since the last call. Caller holds mu. */
+    void advanceLocked(Clock::time_point now);
+
+    /** This endpoint's current drain rate in bytes/s (0 while a
+     *  higher StrictPriority tier transmits). Caller holds mu. */
+    double drainRateLocked(const Endpoint &ep) const;
+
+    NetworkLink net;
+    Options opts;
+    double rate_bps = 0.0; ///< goodput / time_scale, real bytes/s
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    /** Deque: Endpoint addresses stay stable across addEndpoint, so a
+     *  waiter blocked in acquire() never holds a dangling reference. */
+    std::deque<Endpoint> endpoints;
+    Clock::time_point last_advance;
+    bool clock_started = false;
+};
+
+} // namespace incam
+
+#endif // INCAM_FLEET_SHARED_LINK_HH

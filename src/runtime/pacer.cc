@@ -1,6 +1,7 @@
 #include "runtime/pacer.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <thread>
 
 #include "common/logging.hh"
@@ -10,8 +11,26 @@ namespace incam {
 TokenBucket::TokenBucket(double rate_per_sec, double burst_tokens)
     : tokens_per_sec(rate_per_sec), burst(burst_tokens)
 {
-    incam_assert(rate_per_sec <= 0.0 || burst_tokens > 0.0,
-                 "a paced bucket needs a positive burst");
+    // Degenerate rates degrade to "pacing disabled" instead of
+    // sleeping forever or poisoning the credit arithmetic:
+    //  - NaN / +-inf: a zero-service-time block models infinite rate
+    //    (1/0), and overflowed arithmetic can yield NaN — neither can
+    //    pace, so both mean unpaced.
+    //  - Denormal (or any rate below DBL_MIN): the first acquire would
+    //    sleep for ~1e300 seconds, i.e. hang the stage.
+    // isnormal() rejects all of the above plus zero in one predicate.
+    if (std::isnan(tokens_per_sec)) {
+        incam_warn("TokenBucket rate is NaN; pacing disabled");
+    }
+    if (!std::isnormal(tokens_per_sec) || tokens_per_sec < 0.0) {
+        tokens_per_sec = 0.0;
+    }
+    // A paced bucket with no burst capacity (e.g. a zero-byte uplink
+    // frame size) cannot bank credit; treat it as unpaced too.
+    if (tokens_per_sec > 0.0 &&
+        !(std::isfinite(burst) && burst > 0.0)) {
+        tokens_per_sec = 0.0;
+    }
 }
 
 void

@@ -22,21 +22,32 @@ secondsBetween(Clock::time_point a, Clock::time_point b)
     return std::chrono::duration<double>(b - a).count();
 }
 
-/** Mutable measurement state of one stage, owned by one thread. */
-struct StageState
-{
-    int64_t in = 0;
-    int64_t out = 0;
-    int64_t dropped = 0;
-    double busy_seconds = 0.0;
-    Energy energy;
-    DataSize bytes_sent;
-    Clock::time_point first_delivery;
-    Clock::time_point last_delivery;
-    bool delivered_any = false;
-};
-
 } // namespace
+
+/** Queues plus measurement state of one run (threaded or inline). */
+struct StreamingPipeline::RunState
+{
+    /** Mutable measurement state of one stage, owned by one thread. */
+    struct StageState
+    {
+        int64_t in = 0;
+        int64_t out = 0;
+        int64_t dropped = 0;
+        double busy_seconds = 0.0;
+        Energy energy;
+        DataSize bytes_sent;
+        Clock::time_point first_delivery;
+        Clock::time_point last_delivery;
+        bool delivered_any = false;
+    };
+
+    std::vector<std::unique_ptr<FrameQueue>> queues; ///< empty inline
+    std::vector<StageState> state;
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    DataSize typical_bytes;
+    Clock::time_point run_start;
+};
 
 StreamingPipeline::StreamingPipeline(const Pipeline &pipeline,
                                      const PipelineConfig &config,
@@ -66,6 +77,8 @@ StreamingPipeline::StreamingPipeline(const Pipeline &pipeline,
     }
 }
 
+StreamingPipeline::~StreamingPipeline() = default;
+
 void
 StreamingPipeline::setExecutor(int block_index,
                                std::unique_ptr<BlockExecutor> executor)
@@ -86,199 +99,344 @@ StreamingPipeline::setFrameFill(std::function<void(Frame &)> fill)
     fill_fn = std::move(fill);
 }
 
-RuntimeReport
-StreamingPipeline::run()
+void
+StreamingPipeline::attachUplinkArbiter(UplinkArbiter *shared, int endpoint)
+{
+    incam_assert(shared != nullptr && endpoint >= 0,
+                 "an uplink arbiter needs a valid endpoint");
+    arbiter = shared;
+    arbiter_endpoint = endpoint;
+}
+
+void
+StreamingPipeline::initRun()
 {
     incam_assert(!consumed, "a StreamingPipeline instance is single-use");
     consumed = true;
+    rs = std::make_unique<RunState>();
+    rs->state.resize(specs.size() + 2);
+    rs->typical_bytes = PipelineEvaluator(pipe, net).cutBytes(cfg);
+    rs->run_start = Clock::now();
+}
+
+void
+StreamingPipeline::beginRun()
+{
+    initRun();
+    const size_t n_stages = specs.size() + 2;
+    for (size_t i = 0; i + 1 < n_stages; ++i) {
+        rs->queues.push_back(
+            std::make_unique<FrameQueue>(opts.queue_capacity));
+    }
+}
+
+bool
+StreamingPipeline::processBlockFrame(size_t b, Frame &f,
+                                     TokenBucket &pacer,
+                                     double &pass_credit)
+{
+    StageSpec &spec = specs[b];
+    RunState::StageState &st = rs->state[b + 1];
+    const Clock::time_point t0 = Clock::now();
+    ++st.in;
+    st.energy += spec.energy;
+    // The modeled representation change; a real executor may refine
+    // it (e.g. a codec's actual encoded size).
+    f.bytes = spec.out_bytes;
+    bool executor_pass = true;
+    if (spec.executor) {
+        executor_pass = spec.executor->process(f);
+    }
+    pacer.acquire(1.0);
+    bool pass = true;
+    switch (opts.gating) {
+      case GatingMode::None:
+        break;
+      case GatingMode::Model:
+        // Bresenham accumulator: after n frames exactly
+        // floor(n * pass_fraction + eps) have passed.
+        pass_credit += spec.pass_fraction;
+        pass = pass_credit + 1e-9 >= 1.0;
+        if (pass) {
+            pass_credit -= 1.0;
+        }
+        break;
+      case GatingMode::Executor:
+        pass = executor_pass;
+        break;
+    }
+    st.busy_seconds += secondsBetween(t0, Clock::now());
+    if (!pass) {
+        ++st.dropped;
+    }
+    return pass;
+}
+
+void
+StreamingPipeline::deliverFrame(Frame &f, TokenBucket &pacer,
+                                int64_t &last_id)
+{
+    RunState::StageState &st = rs->state.back();
+    const Clock::time_point t0 = Clock::now();
+    ++st.in;
+    incam_assert(f.id > last_id, "uplink saw frame ", f.id, " after ",
+                 last_id, ": SPSC ordering violated");
+    last_id = f.id;
+    if (arbiter) {
+        arbiter->acquire(arbiter_endpoint, f.bytes.b());
+    } else {
+        pacer.acquire(f.bytes.b());
+    }
+    st.energy += net.transferEnergy(f.bytes);
+    st.bytes_sent += f.bytes;
+    ++st.out;
+    const Clock::time_point t1 = Clock::now();
+    st.busy_seconds += secondsBetween(t0, t1);
+    if (!st.delivered_any) {
+        st.delivered_any = true;
+        st.first_delivery = t1;
+    }
+    st.last_delivery = t1;
+}
+
+TokenBucket
+StreamingPipeline::makeSourcePacer() const
+{
+    return TokenBucket(opts.source_fps > 0.0
+                           ? opts.source_fps / opts.time_scale
+                           : 0.0,
+                       opts.stage_burst_frames);
+}
+
+TokenBucket
+StreamingPipeline::makeStagePacer(size_t b) const
+{
+    const StageSpec &spec = specs[b];
+    const double rate = opts.pace_stages && spec.service.sec() > 0.0
+                            ? 1.0 / (spec.service.sec() * opts.time_scale)
+                            : 0.0;
+    return TokenBucket(rate, opts.stage_burst_frames);
+}
+
+TokenBucket
+StreamingPipeline::makeLinkPacer() const
+{
+    // With an arbiter attached the shared link paces (or counts) every
+    // transmission; the private bucket exists only for solo runs.
+    return TokenBucket(!arbiter && opts.pace_link
+                           ? net.goodput().bytesPerSecond() /
+                                 opts.time_scale
+                           : 0.0,
+                       opts.link_burst_frames * rs->typical_bytes.b());
+}
+
+void
+StreamingPipeline::sourceLoop()
+{
+    RunState::StageState &st = rs->state[0];
+    FrameQueue &out = *rs->queues[0];
+    TokenBucket pacer = makeSourcePacer();
+    for (int64_t id = 0; id < opts.frames; ++id) {
+        Frame f = makeSourceFrame(id, pacer);
+        if (!out.push(std::move(f))) {
+            break; // downstream shut down early
+        }
+        ++st.out;
+    }
+    out.close();
+}
+
+Frame
+StreamingPipeline::makeSourceFrame(int64_t id, TokenBucket &pacer)
+{
+    RunState::StageState &st = rs->state[0];
+    const Clock::time_point t0 = Clock::now();
+    Frame f;
+    f.id = id;
+    f.bytes = pipe.sourceBytes();
+    if (fill_fn) {
+        fill_fn(f);
+    }
+    pacer.acquire(1.0);
+    st.busy_seconds += secondsBetween(t0, Clock::now());
+    return f;
+}
+
+void
+StreamingPipeline::blockLoop(size_t b)
+{
+    RunState::StageState &st = rs->state[b + 1];
+    FrameQueue &in = *rs->queues[b];
+    FrameQueue &out = *rs->queues[b + 1];
+    TokenBucket pacer = makeStagePacer(b);
+    double pass_credit = 0.0;
+    Frame f;
+    while (in.pop(f)) {
+        if (!processBlockFrame(b, f, pacer, pass_credit)) {
+            continue;
+        }
+        if (!out.push(std::move(f))) {
+            break;
+        }
+        ++st.out;
+    }
+    in.close();
+    out.close();
+}
+
+void
+StreamingPipeline::uplinkLoop()
+{
+    FrameQueue &in = *rs->queues.back();
+    TokenBucket pacer = makeLinkPacer();
+    int64_t last_id = -1;
+    Frame f;
+    while (in.pop(f)) {
+        deliverFrame(f, pacer, last_id);
+    }
+    in.close();
+    if (arbiter) {
+        arbiter->release(arbiter_endpoint);
+    }
+}
+
+void
+StreamingPipeline::runStage(int stage)
+{
+    incam_assert(rs != nullptr, "beginRun() must precede runStage()");
+    const size_t n_stages = specs.size() + 2;
+    incam_assert(stage >= 0 && static_cast<size_t>(stage) < n_stages,
+                 "stage ", stage, " out of range");
+    // One stage throwing must not strand its neighbours on a queue:
+    // record the first error, close the stage's queues (which cascades
+    // a clean shutdown through the chain), and rethrow in finishRun().
+    try {
+        if (stage == 0) {
+            sourceLoop();
+        } else if (static_cast<size_t>(stage) + 1 < n_stages) {
+            blockLoop(static_cast<size_t>(stage) - 1);
+        } else {
+            uplinkLoop();
+        }
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lk(rs->error_mu);
+            if (!rs->first_error) {
+                rs->first_error = std::current_exception();
+            }
+        }
+        const size_t s = static_cast<size_t>(stage);
+        if (s > 0) {
+            rs->queues[s - 1]->close();
+        }
+        if (s < rs->queues.size()) {
+            rs->queues[s]->close();
+        }
+        // An uplink that died while holding an arbiter registration
+        // must still release it, or siblings inherit a ghost endpoint.
+        if (arbiter && s + 1 == n_stages) {
+            arbiter->release(arbiter_endpoint);
+        }
+    }
+}
+
+RuntimeReport
+StreamingPipeline::run()
+{
     incam_assert(!ThreadPool::inWorker(),
                  "the streaming runtime cannot run nested inside a "
-                 "thread-pool worker: stage loops need real concurrency");
-
-    // Stage graph: source -> [block stages] -> uplink, with one queue
-    // between each adjacent pair.
-    const size_t n_blocks = specs.size();
-    const size_t n_stages = n_blocks + 2;
+                 "thread-pool worker: stage loops need real concurrency"
+                 " (use runInline() for single-thread execution)");
     // Every stage loop must run concurrently or the chain deadlocks on
     // a full queue, so the pool's participant cap bounds the chain.
+    const size_t n_stages = specs.size() + 2;
     incam_assert(n_stages <=
                      static_cast<size_t>(ThreadPool::kMaxWorkers) + 1,
                  "pipeline needs ", n_stages,
                  " concurrent stages but the thread pool caps at ",
                  ThreadPool::kMaxWorkers + 1, " participants");
-    std::vector<std::unique_ptr<FrameQueue>> queues;
-    for (size_t i = 0; i + 1 < n_stages; ++i) {
-        queues.push_back(std::make_unique<FrameQueue>(opts.queue_capacity));
-    }
-    std::vector<StageState> state(n_stages);
-
-    // One stage throwing must not strand its neighbours on a queue:
-    // record the first error, close the stage's queues (which cascades
-    // a clean shutdown through the chain), and rethrow after the join.
-    std::mutex error_mu;
-    std::exception_ptr first_error;
-    auto guard = [&](size_t stage, auto &&body) {
-        try {
-            body();
-        } catch (...) {
-            {
-                std::lock_guard<std::mutex> lk(error_mu);
-                if (!first_error) {
-                    first_error = std::current_exception();
-                }
-            }
-            if (stage > 0) {
-                queues[stage - 1]->close();
-            }
-            if (stage < queues.size()) {
-                queues[stage]->close();
-            }
-        }
-    };
-
-    const DataSize typical_bytes =
-        PipelineEvaluator(pipe, net).cutBytes(cfg);
-    const Clock::time_point run_start = Clock::now();
-
-    auto sourceLoop = [&] {
-        StageState &st = state[0];
-        FrameQueue &out = *queues[0];
-        TokenBucket pacer(opts.source_fps > 0.0
-                              ? opts.source_fps / opts.time_scale
-                              : 0.0,
-                          opts.stage_burst_frames);
-        for (int64_t id = 0; id < opts.frames; ++id) {
-            const Clock::time_point t0 = Clock::now();
-            Frame f;
-            f.id = id;
-            f.bytes = pipe.sourceBytes();
-            if (fill_fn) {
-                fill_fn(f);
-            }
-            pacer.acquire(1.0);
-            st.busy_seconds += secondsBetween(t0, Clock::now());
-            if (!out.push(std::move(f))) {
-                break; // downstream shut down early
-            }
-            ++st.out;
-        }
-        out.close();
-    };
-
-    auto blockLoop = [&](size_t b) {
-        StageSpec &spec = specs[b];
-        StageState &st = state[b + 1];
-        FrameQueue &in = *queues[b];
-        FrameQueue &out = *queues[b + 1];
-        const double rate =
-            opts.pace_stages && spec.service.sec() > 0.0
-                ? 1.0 / (spec.service.sec() * opts.time_scale)
-                : 0.0;
-        TokenBucket pacer(rate, opts.stage_burst_frames);
-        double pass_credit = 0.0;
-        Frame f;
-        while (in.pop(f)) {
-            const Clock::time_point t0 = Clock::now();
-            ++st.in;
-            st.energy += spec.energy;
-            // The modeled representation change; a real executor may
-            // refine it (e.g. a codec's actual encoded size).
-            f.bytes = spec.out_bytes;
-            bool executor_pass = true;
-            if (spec.executor) {
-                executor_pass = spec.executor->process(f);
-            }
-            pacer.acquire(1.0);
-            bool pass = true;
-            switch (opts.gating) {
-              case GatingMode::None:
-                break;
-              case GatingMode::Model:
-                // Bresenham accumulator: after n frames exactly
-                // floor(n * pass_fraction + eps) have passed.
-                pass_credit += spec.pass_fraction;
-                pass = pass_credit + 1e-9 >= 1.0;
-                if (pass) {
-                    pass_credit -= 1.0;
-                }
-                break;
-              case GatingMode::Executor:
-                pass = executor_pass;
-                break;
-            }
-            st.busy_seconds += secondsBetween(t0, Clock::now());
-            if (!pass) {
-                ++st.dropped;
-                continue;
-            }
-            if (!out.push(std::move(f))) {
-                break;
-            }
-            ++st.out;
-        }
-        in.close();
-        out.close();
-    };
-
-    auto uplinkLoop = [&] {
-        StageState &st = state.back();
-        FrameQueue &in = *queues.back();
-        TokenBucket pacer(opts.pace_link
-                              ? net.goodput().bytesPerSecond() /
-                                    opts.time_scale
-                              : 0.0,
-                          opts.link_burst_frames * typical_bytes.b());
-        int64_t last_id = -1;
-        Frame f;
-        while (in.pop(f)) {
-            const Clock::time_point t0 = Clock::now();
-            ++st.in;
-            incam_assert(f.id > last_id,
-                         "uplink saw frame ", f.id, " after ", last_id,
-                         ": SPSC ordering violated");
-            last_id = f.id;
-            pacer.acquire(f.bytes.b());
-            st.energy += net.transferEnergy(f.bytes);
-            st.bytes_sent += f.bytes;
-            ++st.out;
-            const Clock::time_point t1 = Clock::now();
-            st.busy_seconds += secondsBetween(t0, t1);
-            if (!st.delivered_any) {
-                st.delivered_any = true;
-                st.first_delivery = t1;
-            }
-            st.last_delivery = t1;
-        }
-        in.close();
-    };
-
+    beginRun();
     // Every stage loop is one chunk of a single fork-join job with one
     // participant per stage, so all loops run concurrently; a stage
     // blocked on a queue simply sleeps in its chunk.
     ThreadPool::global().run(
         static_cast<uint64_t>(n_stages), static_cast<int>(n_stages),
-        [&](uint64_t c) {
-            if (c == 0) {
-                guard(0, sourceLoop);
-            } else if (c + 1 < n_stages) {
-                guard(c, [&] { blockLoop(c - 1); });
+        [&](uint64_t c) { runStage(static_cast<int>(c)); });
+    return finishRun();
+}
+
+RuntimeReport
+StreamingPipeline::runInline()
+{
+    initRun(); // no queues: the chain runs as one serial loop
+
+    const size_t n_blocks = specs.size();
+    TokenBucket source_pacer = makeSourcePacer();
+    std::vector<TokenBucket> stage_pacers;
+    std::vector<double> pass_credit(n_blocks, 0.0);
+    for (size_t b = 0; b < n_blocks; ++b) {
+        stage_pacers.push_back(makeStagePacer(b));
+    }
+    TokenBucket link_pacer = makeLinkPacer();
+
+    // One loop drives each frame through the whole chain, reusing the
+    // per-frame stage bodies of the threaded shape. The buckets all
+    // refill against wall time while the loop sleeps in any one of
+    // them, so the steady-state rate is the min over stage/link rates,
+    // exactly as with one thread per stage — only pipeline-fill
+    // latency (which measured_fps already excises) differs.
+    int64_t last_id = -1;
+    try {
+    for (int64_t id = 0; id < opts.frames; ++id) {
+        Frame f = makeSourceFrame(id, source_pacer);
+        ++rs->state[0].out;
+
+        bool gated = false;
+        for (size_t b = 0; b < n_blocks && !gated; ++b) {
+            if (processBlockFrame(b, f, stage_pacers[b],
+                                  pass_credit[b])) {
+                ++rs->state[b + 1].out;
             } else {
-                guard(c, uplinkLoop);
+                gated = true;
             }
-        });
-    if (first_error) {
-        std::rethrow_exception(first_error);
+        }
+        if (gated) {
+            continue;
+        }
+        deliverFrame(f, link_pacer, last_id);
+    }
+    } catch (...) {
+        // A dead camera must not leave a ghost endpoint competing for
+        // the shared link its siblings are still using.
+        if (arbiter) {
+            arbiter->release(arbiter_endpoint);
+        }
+        throw;
+    }
+    if (arbiter) {
+        arbiter->release(arbiter_endpoint);
+    }
+    return finishRun();
+}
+
+RuntimeReport
+StreamingPipeline::finishRun()
+{
+    incam_assert(rs != nullptr, "no run to finish");
+    if (rs->first_error) {
+        std::exception_ptr err = rs->first_error;
+        rs.reset();
+        std::rethrow_exception(err);
     }
 
-    // ----- assemble the report (all stage threads have joined) -----
     RuntimeReport rep;
     rep.config = cfg.toString(pipe);
-    rep.source_frames = state[0].out;
-    const StageState &sink = state.back();
+    rep.source_frames = rs->state[0].out;
+    const RunState::StageState &sink = rs->state.back();
     rep.delivered_frames = sink.out;
     const Clock::time_point end =
         sink.delivered_any ? sink.last_delivery : Clock::now();
-    rep.wall_seconds = secondsBetween(run_start, end);
+    rep.wall_seconds = secondsBetween(rs->run_start, end);
     if (sink.out >= 2) {
         rep.measured_fps =
             static_cast<double>(sink.out - 1) /
@@ -289,8 +447,8 @@ StreamingPipeline::run()
     }
     rep.model_fps = rep.measured_fps * opts.time_scale;
 
-    for (size_t b = 0; b < n_blocks; ++b) {
-        const StageState &st = state[b + 1];
+    for (size_t b = 0; b < specs.size(); ++b) {
+        const RunState::StageState &st = rs->state[b + 1];
         StageReport sr;
         sr.name = specs[b].name;
         sr.frames_in = st.in;
@@ -300,7 +458,8 @@ StreamingPipeline::run()
         sr.occupancy = rep.wall_seconds > 0.0
                            ? st.busy_seconds / rep.wall_seconds
                            : 0.0;
-        sr.peak_queue_depth = queues[b]->peakDepth();
+        sr.peak_queue_depth =
+            rs->queues.empty() ? 0 : rs->queues[b]->peakDepth();
         sr.energy = st.energy;
         rep.compute_energy += st.energy;
         rep.stages.push_back(std::move(sr));
@@ -309,7 +468,8 @@ StreamingPipeline::run()
     rep.link.frames_sent = sink.out;
     rep.link.bytes_sent = sink.bytes_sent;
     rep.link.energy = sink.energy;
-    rep.link.peak_queue_depth = queues.back()->peakDepth();
+    rep.link.peak_queue_depth =
+        rs->queues.empty() ? 0 : rs->queues.back()->peakDepth();
     const double link_capacity =
         net.goodput().bytesPerSecond() / opts.time_scale *
         rep.wall_seconds;
@@ -320,6 +480,7 @@ StreamingPipeline::run()
         rep.joules_per_frame =
             rep.total_energy() / static_cast<double>(rep.source_frames);
     }
+    rs.reset();
     return rep;
 }
 

@@ -43,6 +43,34 @@
 
 namespace incam {
 
+class TokenBucket; // runtime/pacer.hh
+
+/**
+ * Arbitrated access to an uplink shared between pipelines.
+ *
+ * A StreamingPipeline's uplink stage normally paces itself against a
+ * private token bucket at the link's goodput. When several pipelines
+ * (a camera fleet) share one physical link, attach an arbiter instead:
+ * every byte that crosses any camera's cut is then acquired through
+ * one policy-governed grant queue. Implementations must be
+ * thread-safe; the canonical one is fleet/SharedLink.
+ */
+class UplinkArbiter
+{
+  public:
+    virtual ~UplinkArbiter() = default;
+
+    /**
+     * Block until @p endpoint may transmit @p bytes. Implementations
+     * decide pacing and ordering; a disabled (counting-only) arbiter
+     * returns immediately but still accounts the traffic.
+     */
+    virtual void acquire(int endpoint, double bytes) = 0;
+
+    /** The endpoint's stream ended; its share frees up immediately. */
+    virtual void release(int endpoint) = 0;
+};
+
 /** How filter blocks decide which frames continue downstream. */
 enum class GatingMode
 {
@@ -176,6 +204,7 @@ class StreamingPipeline
     StreamingPipeline(const Pipeline &pipeline,
                       const PipelineConfig &config, NetworkLink link,
                       RuntimeOptions options = {});
+    ~StreamingPipeline();
 
     /**
      * Attach a real executor to block @p block_index (which must be
@@ -192,10 +221,65 @@ class StreamingPipeline
      */
     void setFrameFill(std::function<void(Frame &)> fill);
 
+    /**
+     * Route the uplink stage through a shared arbiter (e.g. a fleet's
+     * SharedLink) as @p endpoint instead of the private goodput pacer.
+     * The arbiter must outlive the run; pace_link is then the
+     * arbiter's concern, not this pipeline's.
+     */
+    void attachUplinkArbiter(UplinkArbiter *arbiter, int endpoint);
+
     /** Execute the stream to completion and report measurements. */
     RuntimeReport run();
 
+    /**
+     * Execute the whole chain serially on the calling thread: one loop
+     * drives each frame source -> stages -> uplink with no queues.
+     * Token buckets accrue credit in parallel wall time, so the
+     * steady-state rate is still min(stage rates, link rate) — the
+     * execution mode a CameraFleet uses to run up to kMaxWorkers
+     * cameras concurrently at one thread per camera. Unlike run(),
+     * this may be called from inside a thread-pool worker.
+     */
+    RuntimeReport runInline();
+
+    // ------- fleet composition: externally scheduled stage loops -----
+    // A fleet that wants *queued* stages for several pipelines inside
+    // one fork-join job drives the phases itself: beginRun(), then
+    // every stage index in [0, stageCount()) must execute runStage()
+    // concurrently (they block on each other's queues), then
+    // finishRun() assembles the report and rethrows the first error.
+
+    /** Concurrent stage loops run() needs: source + blocks + uplink. */
+    int stageCount() const { return static_cast<int>(specs.size()) + 2; }
+    void beginRun();
+    void runStage(int stage);
+    RuntimeReport finishRun();
+
   private:
+    struct RunState; // stage queues + measurement state of one run
+
+    void initRun();
+    void sourceLoop();
+    void blockLoop(size_t b);
+    void uplinkLoop();
+    /** Per-frame source body (shared by the threaded and inline
+     *  shapes): construct, fill, pace, account. */
+    Frame makeSourceFrame(int64_t id, TokenBucket &pacer);
+    /** Pacer factories shared by both shapes, so the rate formulas
+     *  exist exactly once. */
+    TokenBucket makeSourcePacer() const;
+    TokenBucket makeStagePacer(size_t b) const;
+    TokenBucket makeLinkPacer() const;
+    /** Per-frame body of block stage @p b (shared by the threaded and
+     *  inline shapes): accounting, executor, pacing, gating. Returns
+     *  false when the frame was gated away (and counted dropped). */
+    bool processBlockFrame(size_t b, Frame &frame, TokenBucket &pacer,
+                           double &pass_credit);
+    /** Per-frame uplink body: pace (arbiter or @p pacer), charge the
+     *  radio, record the delivery. */
+    void deliverFrame(Frame &frame, TokenBucket &pacer,
+                      int64_t &last_id);
     struct StageSpec
     {
         std::string name;
@@ -213,6 +297,9 @@ class StreamingPipeline
     RuntimeOptions opts;
     std::vector<StageSpec> specs; ///< in-camera block stages, in order
     std::function<void(Frame &)> fill_fn;
+    UplinkArbiter *arbiter = nullptr; ///< non-owning; see attach docs
+    int arbiter_endpoint = -1;
+    std::unique_ptr<RunState> rs;
     bool consumed = false;
 };
 

@@ -271,5 +271,129 @@ TEST(PipelineConfig, ToStringShowsCutAndImpls)
     EXPECT_NE(s.find("||"), std::string::npos);
 }
 
+TEST(Optimizer, RankingIsTotallyOrderedAcrossTies)
+{
+    // Two interchangeable optional blocks produce equal-objective
+    // configurations in bulk; the ranking must still be a total order
+    // — (feasibility, objective, cut, config string) — so best() and
+    // the enumeration order cannot depend on the sort implementation.
+    Pipeline p("twins", DataSize::kilobytes(4));
+    for (const char *name : {"TwinA", "TwinB"}) {
+        Block b(name, /*optional=*/true, DataSize::kilobytes(4));
+        b.addImpl(Impl::Asic,
+                  {Time::microseconds(200), Energy::nanojoules(30)});
+        p.add(b);
+    }
+    Block core("Core", /*optional=*/false, DataSize::bytes(64));
+    core.addImpl(Impl::Asic,
+                 {Time::microseconds(50), Energy::nanojoules(80)});
+    p.add(core);
+
+    const PipelineOptimizer opt(p, testRadio());
+    OptimizerGoal goal;
+    const auto first = opt.enumerate(goal);
+    const auto second = opt.enumerate(goal);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].config.toString(p),
+                  second[i].config.toString(p));
+    }
+    // The declared total order actually holds between neighbours.
+    for (size_t i = 1; i < first.size(); ++i) {
+        const ConfigResult &a = first[i - 1];
+        const ConfigResult &b = first[i];
+        if (a.feasible != b.feasible) {
+            EXPECT_TRUE(a.feasible);
+        } else if (a.objective != b.objective) {
+            EXPECT_LT(a.objective, b.objective);
+        } else if (a.config.cut != b.config.cut) {
+            EXPECT_LT(a.config.cut, b.config.cut);
+        } else {
+            EXPECT_LT(a.config.toString(p), b.config.toString(p));
+        }
+    }
+}
+
+TEST(NetworkLink, ZeroByteTransferIsNeverTheBottleneck)
+{
+    const NetworkLink radio = testRadio();
+    EXPECT_TRUE(std::isinf(radio.framesPerSecond(DataSize::bytes(0))));
+    EXPECT_DOUBLE_EQ(radio.transferTime(DataSize::bytes(0)).sec(), 0.0);
+    EXPECT_DOUBLE_EQ(radio.transferEnergy(DataSize::bytes(0)).j(), 0.0);
+    // Positive sizes still price normally.
+    EXPECT_GT(radio.transferTime(DataSize::bytes(100)).sec(), 0.0);
+}
+
+/** FA-style chain whose final filter emits nothing (alarm-only). */
+Pipeline
+faStyleZeroBytePipeline()
+{
+    Pipeline p("fa-alarm", DataSize::kilobytes(19.2));
+    Block motion("MotionDetect", /*optional=*/true,
+                 DataSize::kilobytes(19.2));
+    motion.setPassFraction(0.3);
+    motion.addImpl(Impl::Asic,
+                   {Time::microseconds(640), Energy::nanojoules(60)});
+    p.add(motion);
+    Block alarm("Alarm", /*optional=*/false, DataSize::bytes(0));
+    alarm.addImpl(Impl::Asic,
+                  {Time::microseconds(20), Energy::nanojoules(100)});
+    p.add(alarm);
+    return p;
+}
+
+TEST(Pipeline, ZeroByteCutHasInfiniteCommFps)
+{
+    // FA flavour: motion gate then an alarm block that uploads nothing.
+    const Pipeline fa = faStyleZeroBytePipeline();
+    const PipelineEvaluator eval(fa, testRadio());
+    const PipelineConfig cfg = PipelineConfig::full(fa);
+
+    EXPECT_DOUBLE_EQ(eval.cutBytes(cfg).b(), 0.0);
+    const ThroughputReport t = eval.evaluateThroughput(cfg);
+    EXPECT_TRUE(std::isinf(t.comm_fps));
+    // The compute chain alone sets the rate: 1/640us.
+    EXPECT_DOUBLE_EQ(t.total_fps, t.compute_fps);
+    EXPECT_NEAR(t.compute_fps, 1562.5, 1e-6);
+
+    const EnergyReport e = eval.evaluateEnergy(cfg);
+    EXPECT_DOUBLE_EQ(e.communication.j(), 0.0);
+    EXPECT_GT(e.compute.j(), 0.0);
+
+    // VR flavour: a throughput chain whose last block emits nothing
+    // (in-camera analytics, verdict consumed locally).
+    Pipeline vr("vr-analytic", DataSize::megabytes(8));
+    const double times_us[] = {400.0, 600.0, 900.0};
+    int i = 0;
+    for (const char *name : {"B1", "B2", "B3-Sink"}) {
+        Block b(name, /*optional=*/false,
+                DataSize::bytes(i == 2 ? 0.0 : 4e6));
+        b.addImpl(Impl::Fpga, {Time::microseconds(times_us[i]),
+                               Energy::joules(0)});
+        vr.add(b);
+        ++i;
+    }
+    const PipelineEvaluator vr_eval(vr, twentyFiveGbE());
+    const ThroughputReport vt =
+        vr_eval.evaluateThroughput(PipelineConfig::full(vr, Impl::Fpga));
+    EXPECT_TRUE(std::isinf(vt.comm_fps));
+    EXPECT_NEAR(vt.total_fps, 1e6 / 900.0, 1e-6);
+}
+
+TEST(Optimizer, EnumeratesZeroByteCutsWithoutBlowingUp)
+{
+    const Pipeline fa = faStyleZeroBytePipeline();
+    const PipelineOptimizer opt(fa, testRadio());
+    OptimizerGoal goal;
+    goal.kind = OptimizerGoal::Kind::MaxThroughput;
+    const auto all = opt.enumerate(goal);
+    ASSERT_FALSE(all.empty());
+    for (const ConfigResult &r : all) {
+        EXPECT_FALSE(std::isnan(r.objective));
+    }
+    // Fully in-camera dominates: the link never constrains it.
+    EXPECT_EQ(opt.best(goal).config.cut, fa.blockCount());
+}
+
 } // namespace
 } // namespace incam

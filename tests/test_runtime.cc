@@ -11,6 +11,7 @@
  * jobs that run this binary at INCAM_THREADS = 1, 2 and 8.
  */
 
+#include <limits>
 #include <stdexcept>
 #include <thread>
 
@@ -105,6 +106,40 @@ TEST(FrameQueue, BackpressureBoundsDepth)
     producer.join();
     EXPECT_EQ(seen, total);
     EXPECT_LE(q.peakDepth(), 2);
+}
+
+TEST(TokenBucket, DegenerateRatesDegradeToUnpaced)
+{
+    // A degenerate block (zero service time) models an infinite or
+    // NaN rate; an underflowed rate would sleep for ~1e300 seconds.
+    // All of them must degrade to "pacing disabled", not hang.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    const double denormal = std::numeric_limits<double>::denorm_min();
+    for (double rate : {nan, inf, denormal, 0.0, -5.0}) {
+        TokenBucket bucket(rate, 2.0);
+        EXPECT_EQ(bucket.rate(), 0.0) << "rate " << rate;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < 1000; ++i) {
+            bucket.acquire(1.0);
+        }
+        const double dt = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        EXPECT_LT(dt, 0.5) << "rate " << rate << " paced anyway";
+    }
+
+    // A paced bucket with no burst capacity (e.g. a zero-byte uplink
+    // frame) cannot bank credit: also unpaced, not an abort.
+    for (double burst : {0.0, -1.0, inf, nan}) {
+        TokenBucket bucket(1000.0, burst);
+        EXPECT_EQ(bucket.rate(), 0.0) << "burst " << burst;
+        bucket.acquire(10.0); // returns immediately
+    }
+
+    // Sane inputs still pace.
+    TokenBucket sane(1000.0, 2.0);
+    EXPECT_EQ(sane.rate(), 1000.0);
 }
 
 TEST(TokenBucket, LongRunRateIsExact)
@@ -353,6 +388,88 @@ TEST(Runtime, RealCodecReportsActualEncodedBytes)
     EXPECT_LT(rep.link.bytes_sent.b(),
               static_cast<double>(video.frameCount()) *
                   video.frameBytes().b());
+}
+
+TEST(Runtime, ZeroByteCutStreamsWithoutPacingOrRadioCost)
+{
+    // A fully-gating filter before the cut: zero bytes cross the
+    // uplink, which previously meant a divide-by-zero in the link
+    // model and a zero-burst pacer. Now it means "link never the
+    // bottleneck": frames deliver, zero transfer time and energy.
+    Pipeline p("alarm-only", DataSize::kilobytes(19.2));
+    Block motion("MotionDetect", /*optional=*/true,
+                 DataSize::kilobytes(19.2));
+    motion.setPassFraction(0.5);
+    motion.addImpl(Impl::Asic, {Time{}, Energy::nanojoules(60)});
+    p.add(motion);
+    Block alarm("Alarm", /*optional=*/false, DataSize::bytes(0));
+    alarm.addImpl(Impl::Asic, {Time{}, Energy::nanojoules(100)});
+    p.add(alarm);
+
+    RuntimeOptions opts;
+    opts.frames = 100;
+    opts.gating = GatingMode::Model;
+    opts.pace_stages = false; // gating math only; pace_link stays on
+    StreamingPipeline sp(p, PipelineConfig::full(p), backscatterUplink(),
+                         opts);
+    const RuntimeReport rep = sp.run();
+    EXPECT_EQ(rep.delivered_frames, 50);
+    EXPECT_DOUBLE_EQ(rep.link.bytes_sent.b(), 0.0);
+    EXPECT_DOUBLE_EQ(rep.comm_energy.j(), 0.0);
+}
+
+TEST(Runtime, InlineRunMatchesThreadedCounts)
+{
+    // The serial one-thread execution a CameraFleet uses per camera
+    // must produce the same frame accounting as the threaded shape.
+    auto makeRun = [](bool inline_mode) {
+        const Pipeline pipe = filterPipeline();
+        RuntimeOptions opts;
+        opts.frames = 203;
+        opts.gating = GatingMode::Model;
+        opts.pace_stages = false;
+        opts.pace_link = false;
+        StreamingPipeline sp(pipe, PipelineConfig::full(pipe),
+                             twentyFiveGbE(), opts);
+        return inline_mode ? sp.runInline() : sp.run();
+    };
+    const RuntimeReport threaded = makeRun(false);
+    const RuntimeReport inlined = makeRun(true);
+
+    EXPECT_EQ(inlined.source_frames, threaded.source_frames);
+    EXPECT_EQ(inlined.delivered_frames, threaded.delivered_frames);
+    ASSERT_EQ(inlined.stages.size(), threaded.stages.size());
+    for (size_t i = 0; i < inlined.stages.size(); ++i) {
+        EXPECT_EQ(inlined.stages[i].frames_in,
+                  threaded.stages[i].frames_in);
+        EXPECT_EQ(inlined.stages[i].frames_out,
+                  threaded.stages[i].frames_out);
+        EXPECT_EQ(inlined.stages[i].frames_dropped,
+                  threaded.stages[i].frames_dropped);
+    }
+    EXPECT_DOUBLE_EQ(inlined.joules_per_frame.j(),
+                     threaded.joules_per_frame.j());
+}
+
+TEST(Runtime, InlineMeasuredFpsMatchesModel)
+{
+    // Inline execution paces with per-stage buckets refilling in
+    // parallel wall time, so its steady-state rate must also land on
+    // min(stage rates, link rate).
+    const Pipeline pipe = buildFaPipeline(nominalFaMeasurements());
+    const NetworkLink link = wifiUplink();
+    const PipelineConfig cfg = PipelineConfig::full(pipe, Impl::Asic, 2);
+    const double expected =
+        PipelineEvaluator(pipe, link).evaluateThroughput(cfg).total_fps;
+
+    RuntimeOptions opts;
+    opts.frames = 150;
+    opts.gating = GatingMode::None;
+    StreamingPipeline sp(pipe, cfg, link, opts);
+    const RuntimeReport rep = sp.runInline();
+    EXPECT_EQ(rep.delivered_frames, 150);
+    EXPECT_LT(relError(rep.model_fps, expected), 0.15)
+        << "measured " << rep.model_fps << " vs " << expected;
 }
 
 TEST(Runtime, ExecutorFailureShutsDownCleanly)
