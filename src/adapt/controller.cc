@@ -1,0 +1,371 @@
+#include "adapt/controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+namespace {
+
+/** Relative improvement of @p candidate over @p live (lower-is-better
+ *  objectives, possibly negative — MaxThroughput is -FPS). */
+double
+relativeGain(double live, double candidate)
+{
+    return (live - candidate) / std::max(std::abs(live), 1e-30);
+}
+
+/** Advance a fixed-cadence sample/decide clock to time @p t — the
+ *  shared loop body of both controllers' onFrame. */
+template <typename SampleFn, typename DecideFn>
+void
+advanceClock(double t, double &next_sample, double sample_period,
+             double &next_decision, double decision_period,
+             const SampleFn &sample, const DecideFn &decide)
+{
+    while (next_sample <= t) {
+        sample(next_sample);
+        next_sample += sample_period;
+    }
+    while (next_decision <= t) {
+        decide(next_decision);
+        next_decision += decision_period;
+    }
+}
+
+/** Ground-truth network conditions at trace time @p t as a sample. */
+ConditionSample
+networkSample(const NetworkTrace &trace, double t)
+{
+    ConditionSample s;
+    const NetworkLink &l = trace.at(Time::seconds(t));
+    s.goodput_bps = l.goodput().bytesPerSecond();
+    s.energy_per_bit_j = l.energy_per_bit.j();
+    return s;
+}
+
+} // namespace
+
+AdaptiveController::AdaptiveController(const Pipeline &pipeline,
+                                       NetworkLink base_link,
+                                       ControllerOptions options)
+    : pipe(pipeline), base(std::move(base_link)), opts(options),
+      est(opts.ewma_horizon)
+{
+    incam_assert(opts.decision_period > 0.0 && opts.sample_period > 0.0,
+                 "controller periods must be positive");
+    incam_assert(opts.sample_period <= opts.decision_period,
+                 "sampling must be at least as frequent as deciding");
+    incam_assert(opts.hysteresis >= 0.0, "hysteresis must be >= 0");
+    incam_assert(opts.min_dwell >= 0, "dwell must be >= 0");
+    incam_assert(opts.trace_fps > 0.0,
+                 "the controller needs a frame clock (trace_fps)");
+    next_decision = opts.decision_period;
+    decisions_since_switch = opts.min_dwell; // first switch unblocked
+}
+
+void
+AdaptiveController::useNetworkTrace(const NetworkTrace *trace)
+{
+    net_trace = trace;
+}
+
+void
+AdaptiveController::useContentTrace(const ContentTrace *trace)
+{
+    content_trace = trace;
+}
+
+void
+AdaptiveController::useTelemetry(const Telemetry *probe,
+                                 double time_scale)
+{
+    sampler = probe == nullptr
+                  ? nullptr
+                  : std::make_unique<TelemetrySampler>(*probe,
+                                                       time_scale);
+}
+
+void
+AdaptiveController::useTraceClock(std::function<double()> now)
+{
+    clock_fn = std::move(now);
+}
+
+void
+AdaptiveController::attach(StreamingPipeline &pipeline)
+{
+    incam_assert(!attached, "a controller drives exactly one pipeline");
+    attached = true;
+    sp = &pipeline;
+    live = sp->initialConfig();
+    sp->setSourceTick([this](int64_t id) { onFrame(id); });
+}
+
+void
+AdaptiveController::onFrame(int64_t id)
+{
+    if (!attached) {
+        // Offline replay (tests): adopt the planning default.
+        attached = true;
+        live = PipelineConfig::full(pipe);
+    }
+    const double t = clock_fn
+                         ? clock_fn()
+                         : static_cast<double>(id) / opts.trace_fps;
+    advanceClock(
+        t, next_sample, opts.sample_period, next_decision,
+        opts.decision_period, [this](double at) { sampleAt(at); },
+        [this](double at) { decideAt(at); });
+}
+
+void
+AdaptiveController::sampleAt(double t)
+{
+    ConditionSample s;
+    if (net_trace != nullptr) {
+        s = networkSample(*net_trace, t);
+    }
+    if (content_trace != nullptr) {
+        const ContentSegment &cs = content_trace->at(Time::seconds(t));
+        s.motion_pass = cs.motion_pass;
+        s.face_pass = cs.face_pass;
+    }
+    if (sampler != nullptr) {
+        // Measured fields beat trace ground truth where traffic
+        // actually flowed this window — except goodput, which only
+        // witnesses link *capacity* when the uplink was backlogged;
+        // an unsaturated window measures the pipeline's demand and
+        // would talk the estimator into believing a healthy link
+        // collapsed (see ConditionSample::queue_depth).
+        const ConditionSample m = sampler->sample(t);
+        if (m.goodput_bps >= 0.0 && m.queue_depth >= 1.0) {
+            s.goodput_bps = m.goodput_bps;
+        }
+        if (m.energy_per_bit_j >= 0.0) {
+            s.energy_per_bit_j = m.energy_per_bit_j;
+        }
+        if (m.motion_pass >= 0.0) {
+            s.motion_pass = m.motion_pass;
+        }
+        if (m.face_pass >= 0.0) {
+            s.face_pass = m.face_pass;
+        }
+        if (m.latency_s >= 0.0) {
+            s.latency_s = m.latency_s;
+        }
+    }
+    est.observe(t, s);
+}
+
+Pipeline
+withPassFractions(const Pipeline &pipe, double motion_pass,
+                  double face_pass)
+{
+    if (motion_pass < 0.0 && face_pass < 0.0) {
+        return pipe;
+    }
+    // Rebuild the pipeline with the given pass fractions folded into
+    // its filter blocks (in filter order: motion, then face).
+    Pipeline adjusted(pipe.name(), pipe.sourceBytes());
+    int ord = 0;
+    for (const Block &b : pipe.blocks()) {
+        Block nb = b;
+        if (b.passFraction() < 1.0) {
+            if (ord == 0 && motion_pass >= 0.0) {
+                nb.setPassFraction(std::clamp(motion_pass, 0.0, 1.0));
+            } else if (ord == 1 && face_pass >= 0.0) {
+                nb.setPassFraction(std::clamp(face_pass, 0.0, 1.0));
+            }
+            ++ord;
+        }
+        adjusted.add(std::move(nb));
+    }
+    return adjusted;
+}
+
+Pipeline
+AdaptiveController::planningPipeline() const
+{
+    return withPassFractions(pipe, est.motionPass(-1.0),
+                             est.facePass(-1.0));
+}
+
+void
+AdaptiveController::decideAt(double t)
+{
+    const Pipeline planning = planningPipeline();
+    const NetworkLink link =
+        est.hasNetwork() ? est.estimatedLink(base) : base;
+    PipelineOptimizer optimizer(planning, link);
+    const std::vector<ConfigResult> all =
+        optimizer.enumerate(opts.goal);
+    incam_assert(!all.empty(), "pipeline has no configurations");
+    const ConfigResult &best = all.front();
+
+    const std::string live_str = live.toString(planning);
+    double live_obj = 0.0;
+    bool live_feasible = false, live_found = false;
+    for (const ConfigResult &r : all) {
+        if (r.config.toString(planning) == live_str) {
+            live_obj = r.objective;
+            live_feasible = r.feasible;
+            live_found = true;
+            break;
+        }
+    }
+
+    AdaptiveDecision d;
+    d.t = t;
+    d.chosen = best.config.toString(planning);
+    d.config = best.config;
+    d.objective = best.objective;
+    d.live_objective = live_obj;
+    ++decisions_since_switch;
+
+    const bool different = d.chosen != live_str;
+    // A live config that fell below the throughput floor is switched
+    // away from immediately; otherwise the candidate must clear the
+    // hysteresis margin and the dwell must have elapsed.
+    const bool emergency = live_found && !live_feasible;
+    const double gain =
+        live_found ? relativeGain(live_obj, best.objective) : 1.0;
+    if (different && best.feasible &&
+        (emergency || (gain > opts.hysteresis &&
+                       decisions_since_switch >= opts.min_dwell))) {
+        live = best.config;
+        if (sp != nullptr) {
+            sp->reconfigure(live);
+        }
+        d.switched = true;
+        ++n_switches;
+        decisions_since_switch = 0;
+    }
+    log.push_back(std::move(d));
+}
+
+// ---------------------------------------------- FleetAdaptiveController
+
+FleetAdaptiveController::FleetAdaptiveController(
+    std::vector<FleetCameraModel> cameras, NetworkLink base_link,
+    SharePolicy share_policy, FleetOptimizerGoal fleet_goal,
+    ControllerOptions options)
+    : cams(std::move(cameras)), base(std::move(base_link)),
+      policy(share_policy), goal(fleet_goal), opts(options),
+      est(opts.ewma_horizon)
+{
+    incam_assert(!cams.empty(), "a fleet controller needs cameras");
+    incam_assert(opts.trace_fps > 0.0,
+                 "the controller needs a frame clock (trace_fps)");
+    // Own the planning pipelines: the caller's may be temporaries.
+    pipes.reserve(cams.size());
+    for (FleetCameraModel &cam : cams) {
+        incam_assert(cam.pipeline != nullptr, "camera '", cam.name,
+                     "' has no pipeline");
+        pipes.push_back(*cam.pipeline);
+        cam.pipeline = &pipes.back();
+    }
+    attached.assign(cams.size(), nullptr);
+    next_decision = opts.decision_period;
+    decisions_since_switch = opts.min_dwell;
+}
+
+void
+FleetAdaptiveController::useNetworkTrace(const NetworkTrace *trace)
+{
+    net_trace = trace;
+}
+
+void
+FleetAdaptiveController::attachCamera(StreamingPipeline &sp,
+                                      size_t index)
+{
+    incam_assert(index < attached.size(), "camera index out of range");
+    incam_assert(attached[index] == nullptr, "camera ", index,
+                 " attached twice");
+    attached[index] = &sp;
+    if (index == 0) {
+        sp.setSourceTick([this](int64_t id) { onFrame(id); });
+    }
+}
+
+void
+FleetAdaptiveController::onFrame(int64_t id)
+{
+    const double t = static_cast<double>(id) / opts.trace_fps;
+    advanceClock(
+        t, next_sample, opts.sample_period, next_decision,
+        opts.decision_period,
+        [this](double at) {
+            if (net_trace != nullptr) {
+                est.observe(at, networkSample(*net_trace, at));
+            }
+        },
+        [this](double at) { decideAt(at); });
+}
+
+void
+FleetAdaptiveController::decideAt(double t)
+{
+    const NetworkLink link =
+        est.hasNetwork() ? est.estimatedLink(base) : base;
+    const FleetOptimizer optimizer(cams, link, policy);
+    const FleetChoice choice = optimizer.best(goal);
+
+    // The live assignment's objective under the same estimates.
+    const FleetModelReport live_rep = fleetReport(cams, link, policy);
+    const double live_obj =
+        goal.kind == FleetOptimizerGoal::Kind::MaxAggregateFps
+            ? -live_rep.aggregate_fps
+            : live_rep.total_jpf.j();
+    // A live assignment that dropped below the per-camera floor is
+    // switched away from immediately (same emergency rule as the solo
+    // controller): hysteresis and dwell exist to damp marginal gains,
+    // not to prolong an infeasible operating point.
+    bool live_feasible = true;
+    if (goal.per_camera_min_fps > 0.0) {
+        for (const FleetShare &share : live_rep.cameras) {
+            live_feasible =
+                live_feasible && share.fps >= goal.per_camera_min_fps;
+        }
+    }
+
+    AdaptiveDecision d;
+    d.t = t;
+    d.objective = choice.objective;
+    d.live_objective = live_obj;
+    ++decisions_since_switch;
+
+    bool different = false;
+    for (size_t i = 0; i < cams.size(); ++i) {
+        if (choice.configs[i].toString(*cams[i].pipeline) !=
+            cams[i].config.toString(*cams[i].pipeline)) {
+            different = true;
+        }
+        d.chosen += (i > 0 ? "; " : "") +
+                    choice.configs[i].toString(*cams[i].pipeline);
+    }
+
+    const double gain = relativeGain(live_obj, choice.objective);
+    if (different && choice.feasible &&
+        (!live_feasible || (gain > opts.hysteresis &&
+                            decisions_since_switch >= opts.min_dwell))) {
+        for (size_t i = 0; i < cams.size(); ++i) {
+            const bool changed =
+                choice.configs[i].toString(*cams[i].pipeline) !=
+                cams[i].config.toString(*cams[i].pipeline);
+            cams[i].config = choice.configs[i];
+            if (changed && attached[i] != nullptr) {
+                attached[i]->reconfigure(cams[i].config);
+            }
+        }
+        d.switched = true;
+        ++n_switches;
+        decisions_since_switch = 0;
+    }
+    log.push_back(std::move(d));
+}
+
+} // namespace incam

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Windowed condition estimation — what the adaptive controller knows.
+ *
+ * The controller re-optimizes against *estimated* conditions, not
+ * ground truth: a real camera can only watch its own telemetry (bytes
+ * that actually crossed the uplink, frames its motion gate passed,
+ * end-to-end latency), and even a trace-driven simulation should see
+ * the world through a low-pass filter so the controller's reaction
+ * lag is modeled honestly. ConditionEstimator is that filter: an
+ * exponentially-weighted moving average per condition field with a
+ * configurable time horizon, fed either from trace ground truth
+ * (deterministic — the reproducible benchmarks), from a live
+ * Telemetry probe via TelemetrySampler (measured — the end-to-end
+ * tests), or both.
+ *
+ * Every field is optional per sample: a window in which nothing
+ * crossed the uplink says nothing about goodput, so the goodput EWMA
+ * simply keeps its last belief. Time is the model-time trace clock
+ * throughout.
+ */
+
+#ifndef INCAM_ADAPT_ESTIMATOR_HH
+#define INCAM_ADAPT_ESTIMATOR_HH
+
+#include "common/units.hh"
+#include "core/network.hh"
+#include "runtime/runtime.hh"
+
+namespace incam {
+
+/** One observation of the world; negative fields mean "not observed". */
+struct ConditionSample
+{
+    double goodput_bps = -1.0;      ///< link bytes/s actually seen
+    double energy_per_bit_j = -1.0; ///< radio J/bit actually paid
+    double motion_pass = -1.0;      ///< first-filter pass fraction
+    double face_pass = -1.0;        ///< second-filter pass fraction
+    double latency_s = -1.0;        ///< end-to-end, model seconds
+    /**
+     * Uplink queue depth at sampling time (measured samples only).
+     * Passive goodput measurement has a classic blind spot: bytes/s
+     * across an *unsaturated* link measures the pipeline's demand,
+     * not the link's capacity. A backlogged uplink (depth >= 1) is
+     * the saturation witness that makes the goodput field meaningful
+     * as a capacity estimate; consumers should ignore measured
+     * goodput without it.
+     */
+    double queue_depth = -1.0;
+};
+
+/** Per-field EWMA over ConditionSamples on a model-time clock. */
+class ConditionEstimator
+{
+  public:
+    /**
+     * @p horizon is the filter memory: a step change reaches ~63% of
+     * its new value one horizon after it happens, ~95% after three.
+     * Shorter horizons track faster but chase noise.
+     */
+    explicit ConditionEstimator(Time horizon);
+
+    /** Fold a sample observed at model time @p t into the filters.
+     *  Samples must arrive in non-decreasing time order. */
+    void observe(double t, const ConditionSample &sample);
+
+    /** True once any network field has been observed. */
+    bool hasNetwork() const { return goodput.seen || ebit.seen; }
+
+    /**
+     * @p base with every estimated network field substituted in:
+     * bandwidth becomes the believed goodput (protocol efficiency
+     * folds to 1 — goodput is what was measured), per-bit energy the
+     * believed price. Unobserved fields keep base's values.
+     */
+    NetworkLink estimatedLink(const NetworkLink &base) const;
+
+    /** Believed pass fractions / latency; fallback until observed. */
+    double motionPass(double fallback) const;
+    double facePass(double fallback) const;
+    double latency(double fallback) const;
+
+    void reset();
+
+  private:
+    struct Ewma
+    {
+        double value = 0.0;
+        double last_t = 0.0;
+        bool seen = false;
+
+        void fold(double t, double x, double tau);
+    };
+
+    double tau; ///< horizon in model seconds
+    Ewma goodput, ebit, motion, face, lat;
+};
+
+/**
+ * Differencing reader over a StreamingPipeline's Telemetry probe:
+ * each sample() computes the deltas since the previous call and turns
+ * them into a ConditionSample (rates over the window, pass fraction
+ * of the window's gate traffic). Windows without traffic leave the
+ * corresponding fields unobserved.
+ */
+class TelemetrySampler
+{
+  public:
+    /** @p time_scale converts measured wall latency to model time
+     *  (the same factor the runtime was configured with). */
+    TelemetrySampler(const Telemetry &probe, double time_scale);
+
+    /** Deltas since the last call, as of model time @p t. */
+    ConditionSample sample(double t);
+
+  private:
+    const Telemetry *src;
+    double scale;
+    double last_t = 0.0;
+    bool primed = false;
+    double bytes0 = 0.0, energy0 = 0.0, latency0 = 0.0;
+    int64_t gate_in0 = 0, gate_pass0 = 0, lat_n0 = 0;
+};
+
+} // namespace incam
+
+#endif // INCAM_ADAPT_ESTIMATOR_HH

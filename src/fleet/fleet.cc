@@ -8,6 +8,8 @@
 
 #include "common/logging.hh"
 #include "exec/thread_pool.hh"
+#include "trace/dynamic_link.hh"
+#include "trace/trace.hh"
 
 namespace incam {
 
@@ -73,7 +75,23 @@ CameraFleet::run()
             PipelineEvaluator(cam.pipeline, net).cutBytes(cam.config).b());
     }
     link_opts.burst_bytes = opts.link_burst_frames * max_cut_bytes;
-    SharedLink shared(net, link_opts);
+    // Start from the trace's opening conditions when one is attached,
+    // so the first frames are not priced at the stationary link.
+    SharedLink shared(opts.network_trace != nullptr
+                          ? opts.network_trace->at(Time{})
+                          : net,
+                      link_opts);
+    std::unique_ptr<DynamicLink> dyn;
+    if (opts.network_trace != nullptr) {
+        DynamicLink::Options dopts;
+        dopts.pace = opts.pace_link;
+        dopts.time_scale = opts.time_scale;
+        dyn = std::make_unique<DynamicLink>(*opts.network_trace, shared,
+                                            dopts);
+    }
+    UplinkArbiter *arbiter =
+        dyn != nullptr ? static_cast<UplinkArbiter *>(dyn.get())
+                       : &shared;
 
     std::vector<std::unique_ptr<StreamingPipeline>> pipes;
     pipes.reserve(n);
@@ -88,14 +106,18 @@ CameraFleet::run()
         ro.stage_burst_frames = opts.stage_burst_frames;
         ro.link_burst_frames = opts.link_burst_frames;
         ro.source_fps = cam.source_fps;
+        ro.trace_fps = opts.trace_fps;
         auto sp = std::make_unique<StreamingPipeline>(
             cam.pipeline, cam.config, net, ro);
         const int endpoint = shared.addEndpoint(cam.name, cam.weight);
-        sp->attachUplinkArbiter(&shared, endpoint);
+        sp->attachUplinkArbiter(arbiter, endpoint);
         if (cam.customize) {
             cam.customize(*sp);
         }
         pipes.push_back(std::move(sp));
+    }
+    if (dyn != nullptr) {
+        dyn->start(); // trace time zero = run start, not first frame
     }
 
     std::vector<RuntimeReport> reports(n);
@@ -178,8 +200,14 @@ CameraFleet::run()
         rep.uplink_bytes += cr.runtime.link.bytes_sent;
         rep.cameras.push_back(std::move(cr));
     }
+    // Under a trace the medium's capacity is the schedule's
+    // time-weighted mean, not the stationary construction link.
+    const Bandwidth goodput = opts.network_trace != nullptr
+                                  ? opts.network_trace->averageLink()
+                                        .goodput()
+                                  : net.goodput();
     const double capacity =
-        net.goodput().bytesPerSecond() / opts.time_scale * wall;
+        goodput.bytesPerSecond() / opts.time_scale * wall;
     rep.link_utilization =
         capacity > 0.0 ? rep.uplink_bytes.b() / capacity : 0.0;
     return rep;

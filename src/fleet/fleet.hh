@@ -45,6 +45,8 @@
 
 namespace incam {
 
+class NetworkTrace; // trace/trace.hh
+
 /** One camera of a fleet: a pipeline configuration plus traffic. */
 struct FleetCamera
 {
@@ -84,6 +86,16 @@ struct FleetOptions
     int queue_capacity = 8;
     double stage_burst_frames = 2.0;
     double link_burst_frames = 2.0;
+    /**
+     * Time-varying link conditions: the run wraps its SharedLink in a
+     * trace/DynamicLink that pushes each trace segment's capacity and
+     * per-bit price into the arbiter as the schedule advances. The
+     * trace must outlive the run. Null = stationary link (the fleet's
+     * NetworkLink as constructed).
+     */
+    const NetworkTrace *network_trace = nullptr;
+    /** Frame clock forwarded to every camera's RuntimeOptions. */
+    double trace_fps = 0.0;
 };
 
 /** One camera's measured run plus its share of the arbitrated link. */

@@ -118,30 +118,41 @@ SharedLink::advanceLocked(Clock::time_point now)
     if (denom <= 0.0) {
         return;
     }
+    const double ebit_j = net.energy_per_bit.j();
     for (Endpoint &ep : endpoints) {
         if (!ep.active) {
             continue;
         }
+        double drained = 0.0;
         switch (opts.policy) {
           case SharePolicy::Fair:
-            ep.remaining -= rate_bps / denom * dt;
+            drained = rate_bps / denom * dt;
             break;
           case SharePolicy::Weighted:
-            ep.remaining -= rate_bps * ep.weight / denom * dt;
+            drained = rate_bps * ep.weight / denom * dt;
             break;
           case SharePolicy::StrictPriority:
-            if (ep.weight == top) {
-                ep.remaining -= rate_bps / denom * dt;
-            }
+            drained = ep.weight == top ? rate_bps / denom * dt : 0.0;
             break;
         }
+        // Radio energy accrues per byte at the per-bit price in force
+        // *now* — a setLink halfway through a transmission prices the
+        // two halves differently, exactly as the trace model demands.
+        // Overshoot bytes (remaining already <= 0) belong to the next
+        // transmission and are priced when it claims them.
+        if (ep.remaining > 0.0) {
+            ep.tx_energy_j +=
+                std::min(ep.remaining, drained) * 8.0 * ebit_j;
+        }
+        ep.remaining -= drained;
     }
 }
 
-void
-SharedLink::acquire(int endpoint, double bytes)
+Energy
+SharedLink::acquire(int endpoint, double bytes, double trace_time_hint)
 {
     incam_assert(bytes >= 0.0, "negative transmission size");
+    (void)trace_time_hint; // a static link prices every instant alike
 
     const Clock::time_point t0 = Clock::now();
     std::unique_lock<std::mutex> lk(mu);
@@ -154,7 +165,7 @@ SharedLink::acquire(int endpoint, double bytes)
         // Counting mode: account the traffic, skip the medium.
         ++ep.grants;
         ep.bytes += bytes;
-        return;
+        return net.transferEnergy(DataSize::bytes(bytes));
     }
 
     incam_assert(!ep.active, "endpoint ", endpoint,
@@ -165,9 +176,13 @@ SharedLink::acquire(int endpoint, double bytes)
                              ? opts.burst_bytes
                              : std::max(1.0, 2.0 * bytes);
     // Banked overshoot from previous transmissions covers the front
-    // of this one; it may cover all of it.
+    // of this one; it may cover all of it. Those bytes drained under
+    // earlier link states but belong to this transmission — price
+    // them at the current per-bit cost on claiming.
     const double need = bytes - ep.bank;
+    const double claimed = std::min(bytes, ep.bank);
     ep.bank = std::max(0.0, -need);
+    ep.tx_energy_j = claimed * 8.0 * net.energy_per_bit.j();
     if (need > 0.0) {
         ep.remaining = need;
         ep.active = true;
@@ -205,6 +220,66 @@ SharedLink::acquire(int endpoint, double bytes)
     ep.bytes += bytes;
     ep.wait_seconds +=
         std::chrono::duration<double>(Clock::now() - t0).count();
+    return Energy::joules(ep.tx_energy_j);
+}
+
+void
+SharedLink::setLink(const NetworkLink &link)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        // Settle the fluid state first: bytes drained before this
+        // instant drained (and were priced) under the old link.
+        advanceLocked(Clock::now());
+        net = link;
+        rate_bps = net.goodput().bytesPerSecond() / opts.time_scale;
+        incam_assert(!opts.pace || rate_bps > 0.0,
+                     "a paced shared link needs positive goodput");
+    }
+    // Every waiter's finish estimate is stale now; wake them all to
+    // recompute against the new rate (a capacity drop self-corrects
+    // anyway, but a rise would otherwise oversleep).
+    cv.notify_all();
+}
+
+void
+SharedLink::setCapacity(Bandwidth bandwidth)
+{
+    {
+        // One critical section: a read-modify-write through setLink
+        // could lose a concurrent setLink's price change.
+        std::lock_guard<std::mutex> lk(mu);
+        advanceLocked(Clock::now());
+        net.bandwidth = bandwidth;
+        rate_bps = net.goodput().bytesPerSecond() / opts.time_scale;
+        incam_assert(!opts.pace || rate_bps > 0.0,
+                     "a paced shared link needs positive goodput");
+    }
+    cv.notify_all();
+}
+
+void
+SharedLink::setWeight(int endpoint, double weight)
+{
+    incam_assert(weight > 0.0, "endpoint weights must be positive");
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        incam_assert(endpoint >= 0 &&
+                         static_cast<size_t>(endpoint) <
+                             endpoints.size(),
+                     "unknown endpoint ", endpoint);
+        // History drained under the old weights stays drained.
+        advanceLocked(Clock::now());
+        endpoints[static_cast<size_t>(endpoint)].weight = weight;
+    }
+    cv.notify_all();
+}
+
+NetworkLink
+SharedLink::link() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return net;
 }
 
 void

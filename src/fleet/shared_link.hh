@@ -104,13 +104,39 @@ class SharedLink : public UplinkArbiter
      */
     int addEndpoint(std::string name, double weight = 1.0);
 
-    /** Block until @p bytes of @p endpoint's traffic have drained. */
-    void acquire(int endpoint, double bytes) override;
+    /**
+     * Block until @p bytes of @p endpoint's traffic have drained.
+     * Returns the camera-side radio energy of the transmission,
+     * integrated against the link state actually in force while each
+     * byte drained (setLink may change it mid-transmission).
+     */
+    Energy acquire(int endpoint, double bytes,
+                   double trace_time_hint = -1.0) override;
 
     /** Mark the endpoint's stream complete (idempotent). */
     void release(int endpoint) override;
 
-    const NetworkLink &link() const { return net; }
+    /**
+     * Live reconfiguration: replace the link state (capacity and
+     * per-bit energy) from this instant on. History is settled first —
+     * bytes already drained were drained (and priced) at the old rate;
+     * in-flight transmissions continue at the new one. Thread-safe
+     * against concurrent acquires; the trace layer's DynamicLink calls
+     * this on every trace-segment boundary.
+     */
+    void setLink(const NetworkLink &link);
+
+    /** setLink, changing only the capacity. */
+    void setCapacity(Bandwidth bandwidth);
+
+    /**
+     * Live share-weight change for one endpoint (re-prioritizing a
+     * camera mid-run). Settles history at the old weights first.
+     */
+    void setWeight(int endpoint, double weight);
+
+    /** Current link state (thread-safe snapshot). */
+    NetworkLink link() const;
     const Options &options() const { return opts; }
 
     /** Per-endpoint accounting snapshot (thread-safe). */
@@ -126,6 +152,9 @@ class SharedLink : public UplinkArbiter
         bool active = false;    ///< a transmission is in flight
         double remaining = 0.0; ///< bytes left to drain (may go < 0)
         double bank = 0.0;      ///< banked overshoot, bounded by burst
+        /** Radio joules integrated for the in-flight transmission at
+         *  the per-bit price in force while each byte drained. */
+        double tx_energy_j = 0.0;
         int64_t grants = 0;
         double bytes = 0.0;
         double wait_seconds = 0.0;

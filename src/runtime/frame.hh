@@ -15,6 +15,7 @@
 #ifndef INCAM_RUNTIME_FRAME_HH
 #define INCAM_RUNTIME_FRAME_HH
 
+#include <chrono>
 #include <cstdint>
 
 #include "common/units.hh"
@@ -36,6 +37,27 @@ struct Frame
 
     /** Scalar analytic result (e.g. the NN authentication score). */
     double score = 0.0;
+
+    /**
+     * Configuration epoch the frame was emitted under. Every stage
+     * executes the frame with this epoch's plan, so a mid-run
+     * reconfiguration applies cleanly to frames emitted after it while
+     * frames already in flight finish under the config they started
+     * with — no frame is ever dropped or double-processed by a switch.
+     */
+    int epoch = 0;
+
+    /**
+     * The frame's position on the model-time trace clock in seconds
+     * (frame id / RuntimeOptions::trace_fps), or -1 when no frame
+     * clock is configured. Time-varying traces price and gate the
+     * frame at this instant, which is what makes trace-coupled runs
+     * bit-deterministic regardless of host timing.
+     */
+    double trace_time = -1.0;
+
+    /** Wall-clock emission instant (end-to-end latency measurement). */
+    std::chrono::steady_clock::time_point emit;
 };
 
 } // namespace incam

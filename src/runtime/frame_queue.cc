@@ -65,4 +65,11 @@ FrameQueue::peakDepth() const
     return peak;
 }
 
+int
+FrameQueue::depth() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return static_cast<int>(count);
+}
+
 } // namespace incam

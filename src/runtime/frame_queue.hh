@@ -59,6 +59,9 @@ class FrameQueue
     /** Highest occupancy ever observed — the backpressure telltale. */
     int peakDepth() const;
 
+    /** Current occupancy (telemetry snapshot; racy by nature). */
+    int depth() const;
+
   private:
     const int cap;
     mutable std::mutex mu;

@@ -9,8 +9,26 @@
 namespace incam {
 
 TokenBucket::TokenBucket(double rate_per_sec, double burst_tokens)
-    : tokens_per_sec(rate_per_sec), burst(burst_tokens)
+    : tokens_per_sec(0.0), burst(burst_tokens)
 {
+    setRate(rate_per_sec);
+}
+
+void
+TokenBucket::setRate(double rate_per_sec)
+{
+    // Settle the elapsed interval at the old rate first, so credit and
+    // debt accrued before a mid-stream change are priced by the rate
+    // that was actually in force (refill caps the bank at the burst,
+    // so a rate increase cannot mint a fresh burst).
+    if (tokens_per_sec > 0.0) {
+        refill(std::chrono::steady_clock::now());
+    } else {
+        // An unpaced bucket banked nothing; pacing (re)starts now.
+        credit = 0.0;
+        started = false;
+    }
+    tokens_per_sec = rate_per_sec;
     // Degenerate rates degrade to "pacing disabled" instead of
     // sleeping forever or poisoning the credit arithmetic:
     //  - NaN / +-inf: a zero-service-time block models infinite rate

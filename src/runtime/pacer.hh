@@ -39,6 +39,24 @@ class TokenBucket
      */
     void acquire(double tokens);
 
+    /**
+     * Change the accrual rate mid-stream (an adaptive cut switch moves
+     * a stage to a different modeled service rate). Semantics:
+     *
+     *  - credit banked (or debt owed) so far is settled at the *old*
+     *    rate up to the moment of the change, then carries over — a
+     *    stage that owes time keeps owing it, so a rate change can
+     *    never be used to launder accumulated debt;
+     *  - the bank stays bounded by the same burst, so raising the rate
+     *    grants no free burst beyond what was already banked;
+     *  - the constructor's degenerate-rate clamps (NaN, +-inf,
+     *    denormal, <= 0 => pacing disabled) apply identically.
+     *
+     * Switching an unpaced bucket to a positive rate starts pacing
+     * from this instant with an empty bank.
+     */
+    void setRate(double rate_per_sec);
+
     double rate() const { return tokens_per_sec; }
 
   private:

@@ -1,6 +1,8 @@
 #include "runtime/runtime.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <mutex>
 #include <utility>
@@ -9,6 +11,7 @@
 #include "exec/thread_pool.hh"
 #include "runtime/frame_queue.hh"
 #include "runtime/pacer.hh"
+#include "trace/trace.hh"
 
 namespace incam {
 
@@ -20,6 +23,20 @@ double
 secondsBetween(Clock::time_point a, Clock::time_point b)
 {
     return std::chrono::duration<double>(b - a).count();
+}
+
+/** Nearest-rank percentile of an ascending-sorted sample vector. */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty()) {
+        return 0.0;
+    }
+    const size_t n = sorted.size();
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    rank = std::min(std::max<size_t>(rank, 1), n);
+    return sorted[rank - 1];
 }
 
 } // namespace
@@ -43,6 +60,7 @@ struct StreamingPipeline::RunState
 
     std::vector<std::unique_ptr<FrameQueue>> queues; ///< empty inline
     std::vector<StageState> state;
+    std::vector<double> latencies; ///< wall e2e per delivery (uplink)
     std::mutex error_mu;
     std::exception_ptr first_error;
     DataSize typical_bytes;
@@ -59,44 +77,102 @@ StreamingPipeline::StreamingPipeline(const Pipeline &pipeline,
     PipelineEvaluator(pipe, net).check(cfg);
     incam_assert(opts.frames > 0, "a stream needs at least one frame");
     incam_assert(opts.time_scale > 0.0, "time_scale must be positive");
-    for (int i = 0; i < cfg.cut; ++i) {
-        if (!cfg.include[static_cast<size_t>(i)]) {
-            continue;
-        }
+    incam_assert(opts.epoch_capacity >= 1,
+                 "epoch_capacity must cover at least the initial config");
+    int filter_ordinal = 0;
+    for (int i = 0; i < pipe.blockCount(); ++i) {
         const Block &b = pipe.block(i);
-        const Impl impl = cfg.impl[static_cast<size_t>(i)];
-        const ImplCost &cost = b.cost(impl);
         StageSpec spec;
-        spec.name = b.name() + "(" + implName(impl) + ")";
-        spec.block_index = i;
-        spec.service = cost.time;
-        spec.energy = cost.energy;
-        spec.out_bytes = b.outputBytes();
-        spec.pass_fraction = b.passFraction();
+        spec.name = b.name();
+        spec.filter_ordinal =
+            b.passFraction() < 1.0 ? filter_ordinal++ : -1;
         specs.push_back(std::move(spec));
     }
+    // The epoch table must never reallocate: stage threads index it
+    // concurrently with reconfigure() appends.
+    epochs.reserve(static_cast<size_t>(opts.epoch_capacity));
+    epochs.push_back(makeEpoch(cfg));
+    epoch_count.store(1, std::memory_order_release);
 }
 
 StreamingPipeline::~StreamingPipeline() = default;
+
+StreamingPipeline::Epoch
+StreamingPipeline::makeEpoch(const PipelineConfig &config) const
+{
+    Epoch ep;
+    ep.config = config;
+    for (int i = 0; i < pipe.blockCount(); ++i) {
+        const size_t bi = static_cast<size_t>(i);
+        const Block &b = pipe.block(i);
+        BlockPlan plan;
+        plan.active = i < config.cut && config.include[bi];
+        if (plan.active) {
+            const Impl impl = config.impl[bi];
+            const ImplCost &cost = b.cost(impl);
+            plan.service = cost.time;
+            plan.energy = cost.energy;
+            plan.out_bytes = b.outputBytes();
+            plan.pass_fraction = b.passFraction();
+            plan.pacer_rate =
+                opts.pace_stages && cost.time.sec() > 0.0
+                    ? 1.0 / (cost.time.sec() * opts.time_scale)
+                    : 0.0;
+            plan.stage_name =
+                b.name() + "(" + implName(impl) + ")";
+        } else {
+            plan.stage_name = b.name();
+        }
+        ep.plans.push_back(std::move(plan));
+    }
+    return ep;
+}
+
+void
+StreamingPipeline::reconfigure(const PipelineConfig &next)
+{
+    PipelineEvaluator(pipe, net).check(next);
+    Epoch ep = makeEpoch(next);
+    std::lock_guard<std::mutex> lk(epoch_mu);
+    incam_assert(epochs.size() < epochs.capacity(),
+                 "epoch table full (", epochs.capacity(),
+                 "): raise RuntimeOptions::epoch_capacity");
+    epochs.push_back(std::move(ep));
+    epoch_count.store(static_cast<int>(epochs.size()),
+                      std::memory_order_release);
+}
 
 void
 StreamingPipeline::setExecutor(int block_index,
                                std::unique_ptr<BlockExecutor> executor)
 {
-    for (auto &spec : specs) {
-        if (spec.block_index == block_index) {
-            spec.executor = std::move(executor);
-            return;
-        }
-    }
-    incam_fatal("block ", block_index,
-                " is not an included in-camera stage of this config");
+    incam_assert(block_index >= 0 &&
+                     static_cast<size_t>(block_index) < specs.size(),
+                 "block ", block_index,
+                 " is not a stage of this pipeline");
+    specs[static_cast<size_t>(block_index)].executor =
+        std::move(executor);
 }
 
 void
 StreamingPipeline::setFrameFill(std::function<void(Frame &)> fill)
 {
     fill_fn = std::move(fill);
+}
+
+void
+StreamingPipeline::setSourceTick(std::function<void(int64_t)> tick)
+{
+    tick_fn = std::move(tick);
+}
+
+void
+StreamingPipeline::setContentTrace(const ContentTrace *trace)
+{
+    incam_assert(trace == nullptr || opts.trace_fps > 0.0,
+                 "a content trace needs the frame clock: set "
+                 "RuntimeOptions::trace_fps");
+    content = trace;
 }
 
 void
@@ -133,29 +209,53 @@ StreamingPipeline::beginRun()
 bool
 StreamingPipeline::processBlockFrame(size_t b, Frame &f,
                                      TokenBucket &pacer,
+                                     int &pacer_epoch,
                                      double &pass_credit)
 {
     StageSpec &spec = specs[b];
     RunState::StageState &st = rs->state[b + 1];
-    const Clock::time_point t0 = Clock::now();
     ++st.in;
-    st.energy += spec.energy;
+    const Epoch &ep = epochs[static_cast<size_t>(f.epoch)];
+    const BlockPlan &plan = ep.plans[b];
+    if (!plan.active) {
+        // Cloud-side or excluded under this frame's epoch: the stage
+        // is an inert pass-through (no time, energy or gating).
+        return true;
+    }
+    const Clock::time_point t0 = Clock::now();
+    st.energy += plan.energy;
     // The modeled representation change; a real executor may refine
     // it (e.g. a codec's actual encoded size).
-    f.bytes = spec.out_bytes;
+    f.bytes = plan.out_bytes;
     bool executor_pass = true;
     if (spec.executor) {
         executor_pass = spec.executor->process(f);
     }
+    if (f.epoch != pacer_epoch) {
+        // The epoch moved this block to a different implementation
+        // (or back from the cloud): re-rate the pacer, debt intact.
+        pacer.setRate(plan.pacer_rate);
+        pacer_epoch = f.epoch;
+    }
     pacer.acquire(1.0);
+    double pass_fraction = plan.pass_fraction;
+    if (content != nullptr && spec.filter_ordinal >= 0) {
+        // Scene-content schedule: this filter's pass fraction at the
+        // frame's trace-clock instant.
+        const ContentSegment &cs =
+            content->at(Time::seconds(f.trace_time));
+        pass_fraction = spec.filter_ordinal == 0 ? cs.motion_pass
+                                                 : cs.face_pass;
+    }
     bool pass = true;
     switch (opts.gating) {
       case GatingMode::None:
         break;
       case GatingMode::Model:
         // Bresenham accumulator: after n frames exactly
-        // floor(n * pass_fraction + eps) have passed.
-        pass_credit += spec.pass_fraction;
+        // floor(n * pass_fraction + eps) have passed (with a content
+        // trace, the accumulator follows the schedule windows).
+        pass_credit += pass_fraction;
         pass = pass_credit + 1e-9 >= 1.0;
         if (pass) {
             pass_credit -= 1.0;
@@ -164,6 +264,16 @@ StreamingPipeline::processBlockFrame(size_t b, Frame &f,
       case GatingMode::Executor:
         pass = executor_pass;
         break;
+    }
+    // Gate telemetry is only meaningful when gating actually gates:
+    // under GatingMode::None every frame passes by construction, and
+    // feeding that to an estimator would teach it pass = 1.0 for a
+    // gate that was never exercised.
+    if (spec.filter_ordinal == 0 && opts.gating != GatingMode::None) {
+        probe.gate_in.fetch_add(1, std::memory_order_relaxed);
+        if (pass) {
+            probe.gate_pass.fetch_add(1, std::memory_order_relaxed);
+        }
     }
     st.busy_seconds += secondsBetween(t0, Clock::now());
     if (!pass) {
@@ -182,12 +292,15 @@ StreamingPipeline::deliverFrame(Frame &f, TokenBucket &pacer,
     incam_assert(f.id > last_id, "uplink saw frame ", f.id, " after ",
                  last_id, ": SPSC ordering violated");
     last_id = f.id;
+    Energy e;
     if (arbiter) {
-        arbiter->acquire(arbiter_endpoint, f.bytes.b());
+        e = arbiter->acquire(arbiter_endpoint, f.bytes.b(),
+                             f.trace_time);
     } else {
         pacer.acquire(f.bytes.b());
+        e = net.transferEnergy(f.bytes);
     }
-    st.energy += net.transferEnergy(f.bytes);
+    st.energy += e;
     st.bytes_sent += f.bytes;
     ++st.out;
     const Clock::time_point t1 = Clock::now();
@@ -197,6 +310,18 @@ StreamingPipeline::deliverFrame(Frame &f, TokenBucket &pacer,
         st.first_delivery = t1;
     }
     st.last_delivery = t1;
+
+    const double latency = secondsBetween(f.emit, t1);
+    rs->latencies.push_back(latency);
+    probe.delivered_frames.fetch_add(1, std::memory_order_relaxed);
+    probe.bytes_sent.fetch_add(f.bytes.b(), std::memory_order_relaxed);
+    probe.comm_energy_j.fetch_add(e.j(), std::memory_order_relaxed);
+    probe.latency_sum_s.fetch_add(latency, std::memory_order_relaxed);
+    probe.latency_count.fetch_add(1, std::memory_order_relaxed);
+    if (!rs->queues.empty()) {
+        probe.uplink_queue_depth.store(rs->queues.back()->depth(),
+                                       std::memory_order_relaxed);
+    }
 }
 
 TokenBucket
@@ -211,11 +336,8 @@ StreamingPipeline::makeSourcePacer() const
 TokenBucket
 StreamingPipeline::makeStagePacer(size_t b) const
 {
-    const StageSpec &spec = specs[b];
-    const double rate = opts.pace_stages && spec.service.sec() > 0.0
-                            ? 1.0 / (spec.service.sec() * opts.time_scale)
-                            : 0.0;
-    return TokenBucket(rate, opts.stage_burst_frames);
+    return TokenBucket(epochs.front().plans[b].pacer_rate,
+                       opts.stage_burst_frames);
 }
 
 TokenBucket
@@ -236,7 +358,7 @@ StreamingPipeline::sourceLoop()
     RunState::StageState &st = rs->state[0];
     FrameQueue &out = *rs->queues[0];
     TokenBucket pacer = makeSourcePacer();
-    for (int64_t id = 0; id < opts.frames; ++id) {
+    for (int64_t id = 0; id < opts.frames && !pastDeadline(); ++id) {
         Frame f = makeSourceFrame(id, pacer);
         if (!out.push(std::move(f))) {
             break; // downstream shut down early
@@ -244,6 +366,14 @@ StreamingPipeline::sourceLoop()
         ++st.out;
     }
     out.close();
+}
+
+bool
+StreamingPipeline::pastDeadline() const
+{
+    return opts.duration > 0.0 &&
+           secondsBetween(rs->run_start, Clock::now()) >=
+               opts.duration * opts.time_scale;
 }
 
 Frame
@@ -257,8 +387,19 @@ StreamingPipeline::makeSourceFrame(int64_t id, TokenBucket &pacer)
     if (fill_fn) {
         fill_fn(f);
     }
+    if (tick_fn) {
+        // The adaptive hook: runs before the epoch stamp so a
+        // reconfigure() issued here governs this very frame.
+        tick_fn(id);
+    }
+    f.epoch = epoch_count.load(std::memory_order_acquire) - 1;
+    f.trace_time = opts.trace_fps > 0.0
+                       ? static_cast<double>(id) / opts.trace_fps
+                       : -1.0;
     pacer.acquire(1.0);
-    st.busy_seconds += secondsBetween(t0, Clock::now());
+    f.emit = Clock::now();
+    probe.source_frames.fetch_add(1, std::memory_order_relaxed);
+    st.busy_seconds += secondsBetween(t0, f.emit);
     return f;
 }
 
@@ -269,10 +410,12 @@ StreamingPipeline::blockLoop(size_t b)
     FrameQueue &in = *rs->queues[b];
     FrameQueue &out = *rs->queues[b + 1];
     TokenBucket pacer = makeStagePacer(b);
+    int pacer_epoch = 0;
     double pass_credit = 0.0;
     Frame f;
     while (in.pop(f)) {
-        if (!processBlockFrame(b, f, pacer, pass_credit)) {
+        if (!processBlockFrame(b, f, pacer, pacer_epoch,
+                               pass_credit)) {
             continue;
         }
         if (!out.push(std::move(f))) {
@@ -373,6 +516,7 @@ StreamingPipeline::runInline()
     const size_t n_blocks = specs.size();
     TokenBucket source_pacer = makeSourcePacer();
     std::vector<TokenBucket> stage_pacers;
+    std::vector<int> pacer_epochs(n_blocks, 0);
     std::vector<double> pass_credit(n_blocks, 0.0);
     for (size_t b = 0; b < n_blocks; ++b) {
         stage_pacers.push_back(makeStagePacer(b));
@@ -382,19 +526,19 @@ StreamingPipeline::runInline()
     // One loop drives each frame through the whole chain, reusing the
     // per-frame stage bodies of the threaded shape. The buckets all
     // refill against wall time while the loop sleeps in any one of
-    // them, so the steady-state rate is the min over stage/link rates,
-    // exactly as with one thread per stage — only pipeline-fill
+    // them, so the steady-state rate is still the min over stage/link
+    // rates, exactly as with one thread per stage — only pipeline-fill
     // latency (which measured_fps already excises) differs.
     int64_t last_id = -1;
     try {
-    for (int64_t id = 0; id < opts.frames; ++id) {
+    for (int64_t id = 0; id < opts.frames && !pastDeadline(); ++id) {
         Frame f = makeSourceFrame(id, source_pacer);
         ++rs->state[0].out;
 
         bool gated = false;
         for (size_t b = 0; b < n_blocks && !gated; ++b) {
             if (processBlockFrame(b, f, stage_pacers[b],
-                                  pass_credit[b])) {
+                                  pacer_epochs[b], pass_credit[b])) {
                 ++rs->state[b + 1].out;
             } else {
                 gated = true;
@@ -447,10 +591,27 @@ StreamingPipeline::finishRun()
     }
     rep.model_fps = rep.measured_fps * opts.time_scale;
 
+    const int n_epochs = epoch_count.load(std::memory_order_acquire);
     for (size_t b = 0; b < specs.size(); ++b) {
         const RunState::StageState &st = rs->state[b + 1];
         StageReport sr;
+        // Label with the implementation the block actually ran on —
+        // or "(mixed)" when an adaptive run moved the block between
+        // implementations, so this one report row aggregates both.
         sr.name = specs[b].name;
+        for (int e = 0; e < n_epochs; ++e) {
+            const BlockPlan &plan =
+                epochs[static_cast<size_t>(e)].plans[b];
+            if (!plan.active) {
+                continue;
+            }
+            if (sr.name == specs[b].name) {
+                sr.name = plan.stage_name;
+            } else if (sr.name != plan.stage_name) {
+                sr.name = specs[b].name + "(mixed)";
+                break;
+            }
+        }
         sr.frames_in = st.in;
         sr.frames_out = st.out;
         sr.frames_dropped = st.dropped;
@@ -480,6 +641,17 @@ StreamingPipeline::finishRun()
         rep.joules_per_frame =
             rep.total_energy() / static_cast<double>(rep.source_frames);
     }
+
+    std::sort(rs->latencies.begin(), rs->latencies.end());
+    rep.latency_p50 =
+        percentile(rs->latencies, 0.50) / opts.time_scale;
+    rep.latency_p95 =
+        percentile(rs->latencies, 0.95) / opts.time_scale;
+    rep.latency_p99 =
+        percentile(rs->latencies, 0.99) / opts.time_scale;
+    rep.reconfigurations =
+        epoch_count.load(std::memory_order_acquire) - 1;
+
     rs.reset();
     return rep;
 }

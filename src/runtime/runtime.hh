@@ -5,35 +5,51 @@
  *
  * core/ predicts what a (Pipeline, PipelineConfig, NetworkLink) triple
  * costs; this module executes it over real frame traffic and measures.
- * The configuration is compiled into a chain of stages — a frame
- * source, one stage per included in-camera block (index < cut), and an
- * uplink stage at the offload cut — connected by bounded SPSC frame
- * queues and run concurrently, one stage per thread, on the shared
- * exec/ thread pool (each stage loop is one chunk of a fork-join job
- * with as many participants as stages).
+ * The pipeline is compiled into a chain of stages — a frame source,
+ * one stage per pipeline block, and an uplink stage — connected by
+ * bounded SPSC frame queues and run concurrently, one stage per
+ * thread, on the shared exec/ thread pool (each stage loop is one
+ * chunk of a fork-join job with as many participants as stages).
  *
- * Each compute stage is paced by a token bucket at the block's modeled
- * service rate (1 / ImplCost.time), so the executing pipeline exhibits
- * the model's claimed steady-state behaviour: frames pipeline across
- * stages and the slowest stage dominates. The uplink stage paces at
- * the link's goodput in byte tokens and charges the link's per-bit
- * energy for every byte that crosses the cut. Filter blocks gate
- * downstream traffic either deterministically (a Bresenham-style
- * accumulator reproducing the block's declared pass fraction *exactly*)
- * or by what their real executor observes in the pixels.
+ * What each block stage *does* to a frame is governed by the frame's
+ * configuration **epoch**. An epoch resolves the PipelineConfig into a
+ * per-block plan: blocks included and before the offload cut are
+ * active (modeled service time, energy, output bytes, gating); blocks
+ * excluded or at/after the cut are inert pass-throughs. reconfigure()
+ * publishes a new epoch mid-run, and the source stamps it onto every
+ * subsequent frame — frames already in flight complete under the
+ * epoch they started with, which is what makes an adaptive cut switch
+ * lossless by construction: no frame is ever dropped, duplicated or
+ * double-priced by a switch, and adapt/AdaptiveController leans on
+ * exactly this guarantee.
+ *
+ * Each active compute stage is paced by a token bucket at the block's
+ * modeled service rate (1 / ImplCost.time), so the executing pipeline
+ * exhibits the model's claimed steady-state behaviour: frames pipeline
+ * across stages and the slowest stage dominates. The uplink stage
+ * paces at the link's goodput in byte tokens and charges the link's
+ * per-bit energy for every byte that crosses the cut. Filter blocks
+ * gate downstream traffic either deterministically (a Bresenham-style
+ * accumulator reproducing the block's declared pass fraction *exactly*
+ * — or, with a ContentTrace attached, the trace's time-varying pass
+ * fraction) or by what their real executor observes in the pixels.
  *
  * The resulting RuntimeReport — measured FPS, per-stage occupancy and
- * queue depths, measured J/frame — is directly comparable to the
- * analytical EnergyReport / ThroughputReport for the same
- * configuration; bench_runtime_vs_model and tests/test_runtime.cc hold
- * the two within tolerance of each other.
+ * queue depths, measured J/frame, end-to-end latency percentiles — is
+ * directly comparable to the analytical EnergyReport /
+ * ThroughputReport for the same configuration; bench_runtime_vs_model
+ * and tests/test_runtime.cc hold the two within tolerance of each
+ * other. A lock-free Telemetry probe additionally exposes the running
+ * counters mid-stream, which is what adapt/ConditionEstimator samples.
  */
 
 #ifndef INCAM_RUNTIME_RUNTIME_HH
 #define INCAM_RUNTIME_RUNTIME_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,17 +59,22 @@
 
 namespace incam {
 
-class TokenBucket; // runtime/pacer.hh
+class TokenBucket;  // runtime/pacer.hh
+class ContentTrace; // trace/trace.hh
 
 /**
- * Arbitrated access to an uplink shared between pipelines.
+ * Arbitrated access to an uplink shared between pipelines, or driven
+ * by a time-varying link trace — anything that decides *when* bytes
+ * may cross and what radio energy they cost.
  *
  * A StreamingPipeline's uplink stage normally paces itself against a
- * private token bucket at the link's goodput. When several pipelines
- * (a camera fleet) share one physical link, attach an arbiter instead:
- * every byte that crosses any camera's cut is then acquired through
- * one policy-governed grant queue. Implementations must be
- * thread-safe; the canonical one is fleet/SharedLink.
+ * private token bucket at its static link's goodput. When several
+ * pipelines (a camera fleet) share one physical link, or the link's
+ * conditions vary over time, attach an arbiter instead: every byte
+ * that crosses any camera's cut is then acquired through one
+ * policy-governed grant queue. Implementations must be thread-safe;
+ * the canonical ones are fleet/SharedLink (weighted fair sharing) and
+ * trace/DynamicLink (trace-driven capacity and pricing).
  */
 class UplinkArbiter
 {
@@ -61,11 +82,17 @@ class UplinkArbiter
     virtual ~UplinkArbiter() = default;
 
     /**
-     * Block until @p endpoint may transmit @p bytes. Implementations
-     * decide pacing and ordering; a disabled (counting-only) arbiter
-     * returns immediately but still accounts the traffic.
+     * Block until @p endpoint may transmit @p bytes, and return the
+     * camera-side radio energy the transmission cost (time-varying
+     * links price it against the link state in force while the bytes
+     * drained). @p trace_time_hint is the frame's position on the
+     * model-time trace clock in seconds, or negative when the caller
+     * has no frame clock — arbiters with their own clock ignore it.
+     * A disabled (counting-only) arbiter returns immediately but
+     * still accounts and prices the traffic.
      */
-    virtual void acquire(int endpoint, double bytes) = 0;
+    virtual Energy acquire(int endpoint, double bytes,
+                           double trace_time_hint = -1.0) = 0;
 
     /** The endpoint's stream ended; its share frees up immediately. */
     virtual void release(int endpoint) = 0;
@@ -89,6 +116,15 @@ struct RuntimeOptions
 {
     /** Frames the source emits before closing the stream. */
     int64_t frames = 240;
+
+    /**
+     * Stop the source after this many *model seconds* of wall run
+     * time (wall / time_scale), whatever the frame count reached — a
+     * paced run against a finite trace ends at the trace horizon
+     * instead of overrunning into its final segment. 0 disables;
+     * `frames` still caps the stream either way.
+     */
+    double duration = 0.0;
 
     /** Capacity of every inter-stage queue (backpressure bound). */
     int queue_capacity = 8;
@@ -129,6 +165,23 @@ struct RuntimeOptions
 
     /** Source emission rate in model FPS; 0 saturates the pipeline. */
     double source_fps = 0.0;
+
+    /**
+     * Model-time frame clock for trace-coupled runs: frame i sits at
+     * i / trace_fps seconds on the trace clock (Frame::trace_time).
+     * Zero disables the frame clock — trace consumers then fall back
+     * to wall time. A frame clock makes trace pricing, content gating
+     * and adaptive decisions bit-deterministic regardless of host
+     * timing, so every determinism test sets it.
+     */
+    double trace_fps = 0.0;
+
+    /**
+     * Maximum number of configuration epochs (initial + reconfigure()
+     * calls) a run can see. Sized up front so the epoch table never
+     * reallocates under concurrent stage readers.
+     */
+    int epoch_capacity = 256;
 };
 
 /** Measured behaviour of one stage over a run. */
@@ -180,7 +233,21 @@ struct RuntimeReport
      *  (duty-scaling emerges from gated frame counts). */
     Energy joules_per_frame;
 
-    std::vector<StageReport> stages; ///< in-camera stages, chain order
+    /**
+     * End-to-end latency percentiles over delivered frames, source
+     * emission to uplink completion, normalized to model time
+     * (measured wall latency / time_scale), in seconds. Zero when
+     * nothing was delivered. The adaptive controller's service-level
+     * view of the pipeline; nearest-rank percentiles.
+     */
+    double latency_p50 = 0.0;
+    double latency_p95 = 0.0;
+    double latency_p99 = 0.0;
+
+    /** Mid-run reconfigure() calls that took effect (epochs - 1). */
+    int64_t reconfigurations = 0;
+
+    std::vector<StageReport> stages; ///< one per pipeline block, in order
     LinkReport link;
 
     Energy
@@ -191,12 +258,39 @@ struct RuntimeReport
 };
 
 /**
+ * Live counters of a streaming run, updated lock-free by the stage
+ * threads and readable from any other thread at any time — the raw
+ * feed adapt/ConditionEstimator computes windowed rates from. All
+ * counters are cumulative since the start of the run; a sampler
+ * differencing two snapshots gets exact per-window deltas.
+ */
+struct Telemetry
+{
+    std::atomic<int64_t> source_frames{0};
+    std::atomic<int64_t> delivered_frames{0};
+    /** Frames offered to / passed by the pipeline's first filter
+     *  block (pass fraction < 1) while it was active. */
+    std::atomic<int64_t> gate_in{0};
+    std::atomic<int64_t> gate_pass{0};
+    std::atomic<double> bytes_sent{0.0};     ///< bytes across the cut
+    std::atomic<double> comm_energy_j{0.0};  ///< radio joules so far
+    std::atomic<double> latency_sum_s{0.0};  ///< wall end-to-end sum
+    std::atomic<int64_t> latency_count{0};
+    std::atomic<int> uplink_queue_depth{0};  ///< depth at last delivery
+
+    Telemetry() = default;
+    Telemetry(const Telemetry &) = delete;
+    Telemetry &operator=(const Telemetry &) = delete;
+};
+
+/**
  * A runnable instance of one pipeline configuration.
  *
- * Build it, optionally attach real executors and a frame fill
- * callback, then run(). Each instance is single-use: run() consumes
- * the stream. Must not be invoked from inside a thread-pool worker
- * (stage loops need real concurrency, not inline nesting).
+ * Build it, optionally attach real executors, traces, an adaptive
+ * controller's tick and a frame fill callback, then run(). Each
+ * instance is single-use: run() consumes the stream. Must not be
+ * invoked from inside a thread-pool worker (stage loops need real
+ * concurrency, not inline nesting).
  */
 class StreamingPipeline
 {
@@ -207,8 +301,8 @@ class StreamingPipeline
     ~StreamingPipeline();
 
     /**
-     * Attach a real executor to block @p block_index (which must be
-     * included and in-camera under the config). Blocks without an
+     * Attach a real executor to block @p block_index. The executor
+     * runs whenever an epoch has the block active; blocks without an
      * executor run as purely modeled stages.
      */
     void setExecutor(int block_index,
@@ -222,12 +316,46 @@ class StreamingPipeline
     void setFrameFill(std::function<void(Frame &)> fill);
 
     /**
-     * Route the uplink stage through a shared arbiter (e.g. a fleet's
-     * SharedLink) as @p endpoint instead of the private goodput pacer.
-     * The arbiter must outlive the run; pace_link is then the
-     * arbiter's concern, not this pipeline's.
+     * Observe every source emission: called with the frame id from
+     * the source stage's thread *before* the frame's epoch is
+     * stamped, so a reconfigure() issued inside the callback applies
+     * to this very frame. The adaptive controller's clock: with a
+     * frame clock (trace_fps) its decisions land on deterministic
+     * frame boundaries.
+     */
+    void setSourceTick(std::function<void(int64_t id)> tick);
+
+    /**
+     * Drive Model-gating pass fractions from a content schedule: the
+     * pipeline's first filter block follows motion_pass, the second
+     * follows face_pass, each read at the frame's trace clock. The
+     * trace must outlive the run; requires a frame clock (trace_fps).
+     */
+    void setContentTrace(const ContentTrace *trace);
+
+    /**
+     * Route the uplink stage through a shared arbiter (a fleet's
+     * SharedLink, a trace's DynamicLink) as @p endpoint instead of
+     * the private goodput pacer. The arbiter must outlive the run;
+     * pace_link is then the arbiter's concern, not this pipeline's.
      */
     void attachUplinkArbiter(UplinkArbiter *arbiter, int endpoint);
+
+    /**
+     * Switch the live configuration: frames emitted from now on run
+     * under @p next (new cut, inclusion set and implementations);
+     * frames in flight finish under their stamped epoch. Thread-safe
+     * against a running stream and against itself; typically called
+     * from the source tick. Validates @p next against the pipeline
+     * and link exactly like construction does.
+     */
+    void reconfigure(const PipelineConfig &next);
+
+    /** The configuration the pipeline was constructed with. */
+    const PipelineConfig &initialConfig() const { return cfg; }
+
+    /** Live counters (valid before, during and after the run). */
+    const Telemetry &telemetry() const { return probe; }
 
     /** Execute the stream to completion and report measurements. */
     RuntimeReport run();
@@ -259,12 +387,33 @@ class StreamingPipeline
   private:
     struct RunState; // stage queues + measurement state of one run
 
+    /** One block's resolved execution plan under one configuration. */
+    struct BlockPlan
+    {
+        bool active = false;  ///< included and before the cut
+        Time service;         ///< modeled per-frame time (0 = unpaced)
+        Energy energy;        ///< modeled per-frame energy
+        DataSize out_bytes;   ///< representation leaving this block
+        double pass_fraction = 1.0;
+        double pacer_rate = 0.0; ///< real tokens/s (0 = unpaced)
+        std::string stage_name;  ///< "Block(IMPL)" or plain name
+    };
+
+    /** One published configuration and its per-block plans. */
+    struct Epoch
+    {
+        PipelineConfig config;
+        std::vector<BlockPlan> plans; ///< one per pipeline block
+    };
+
     void initRun();
     void sourceLoop();
     void blockLoop(size_t b);
     void uplinkLoop();
+    /** RuntimeOptions::duration elapsed (always false when unset). */
+    bool pastDeadline() const;
     /** Per-frame source body (shared by the threaded and inline
-     *  shapes): construct, fill, pace, account. */
+     *  shapes): construct, fill, tick, stamp, pace, account. */
     Frame makeSourceFrame(int64_t id, TokenBucket &pacer);
     /** Pacer factories shared by both shapes, so the rate formulas
      *  exist exactly once. */
@@ -272,22 +421,26 @@ class StreamingPipeline
     TokenBucket makeStagePacer(size_t b) const;
     TokenBucket makeLinkPacer() const;
     /** Per-frame body of block stage @p b (shared by the threaded and
-     *  inline shapes): accounting, executor, pacing, gating. Returns
-     *  false when the frame was gated away (and counted dropped). */
+     *  inline shapes): epoch plan lookup, accounting, executor,
+     *  pacing, gating. Returns false when the frame was gated away
+     *  (and counted dropped). @p pacer_epoch tracks which epoch's
+     *  rate the stage pacer currently runs at. */
     bool processBlockFrame(size_t b, Frame &frame, TokenBucket &pacer,
-                           double &pass_credit);
+                           int &pacer_epoch, double &pass_credit);
     /** Per-frame uplink body: pace (arbiter or @p pacer), charge the
      *  radio, record the delivery. */
     void deliverFrame(Frame &frame, TokenBucket &pacer,
                       int64_t &last_id);
+    /** Resolve a validated config into per-block plans. */
+    Epoch makeEpoch(const PipelineConfig &config) const;
+
+    /** Stable per-block stage state (executors survive epochs). */
     struct StageSpec
     {
-        std::string name;
-        int block_index = -1; ///< -1 for source/uplink
-        Time service;         ///< modeled per-frame time (0 = unpaced)
-        Energy energy;        ///< modeled per-frame energy
-        DataSize out_bytes;   ///< representation leaving this stage
-        double pass_fraction = 1.0;
+        std::string name; ///< block name (report label base)
+        /** Ordinal among the pipeline's filter blocks (declared pass
+         *  fraction < 1), or -1: index into a ContentTrace's series. */
+        int filter_ordinal = -1;
         std::unique_ptr<BlockExecutor> executor;
     };
 
@@ -295,10 +448,25 @@ class StreamingPipeline
     PipelineConfig cfg;
     NetworkLink net;
     RuntimeOptions opts;
-    std::vector<StageSpec> specs; ///< in-camera block stages, in order
+    std::vector<StageSpec> specs; ///< one per pipeline block, in order
     std::function<void(Frame &)> fill_fn;
+    std::function<void(int64_t)> tick_fn;
+    const ContentTrace *content = nullptr; ///< non-owning
     UplinkArbiter *arbiter = nullptr; ///< non-owning; see attach docs
     int arbiter_endpoint = -1;
+
+    /**
+     * The epoch table. Readers (stage threads) index it with a
+     * frame's stamped epoch; the writer (reconfigure) appends under
+     * epoch_mu and publishes through epoch_count with release order.
+     * Reserved to epoch_capacity up front so concurrent reads never
+     * race a reallocation.
+     */
+    std::vector<Epoch> epochs;
+    std::atomic<int> epoch_count{0};
+    std::mutex epoch_mu;
+
+    Telemetry probe;
     std::unique_ptr<RunState> rs;
     bool consumed = false;
 };

@@ -1,0 +1,215 @@
+#include "trace/dynamic_link.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.hh"
+#include "fleet/shared_link.hh"
+
+namespace incam {
+
+DynamicLink::DynamicLink(const NetworkTrace &trace, Options options)
+    : schedule(trace), opts(options)
+{
+    incam_assert(opts.time_scale > 0.0, "time_scale must be positive");
+    incam_assert(schedule.segmentCount() > 0, "empty trace");
+}
+
+DynamicLink::DynamicLink(const NetworkTrace &trace, SharedLink &link,
+                         Options options)
+    : DynamicLink(trace, options)
+{
+    shared = &link;
+}
+
+void
+DynamicLink::startLocked(Clock::time_point now)
+{
+    if (!started) {
+        started = true;
+        epoch0 = now;
+    }
+}
+
+void
+DynamicLink::start()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    startLocked(Clock::now());
+}
+
+double
+DynamicLink::wallTraceTimeLocked(Clock::time_point now) const
+{
+    return std::chrono::duration<double>(now - epoch0).count() /
+           opts.time_scale;
+}
+
+Time
+DynamicLink::traceTime() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    if (!started) {
+        return Time{};
+    }
+    return Time::seconds(opts.pace
+                             ? wallTraceTimeLocked(Clock::now())
+                             : free_t);
+}
+
+double
+DynamicLink::drainLocked(double t, double bytes, Energy &energy) const
+{
+    double remaining = bytes;
+    double cur = std::max(0.0, t);
+    const double span = schedule.duration().sec();
+    while (remaining > 0.0) {
+        const size_t i = schedule.segmentIndex(Time::seconds(cur));
+        const NetworkLink &l = schedule.segment(i).link;
+        const double rate = l.goodput().bytesPerSecond();
+        incam_assert(rate > 0.0, "trace segment '", l.name,
+                     "' has zero goodput: nothing can ever drain");
+        // Trace time left inside this segment on the unwrapped
+        // timeline. A non-periodic trace's last segment holds forever.
+        double seg_left = std::numeric_limits<double>::infinity();
+        const double seg_end =
+            i + 1 < schedule.segmentCount()
+                ? schedule.segment(i + 1).start.sec()
+                : span;
+        if (schedule.periodic()) {
+            double local = std::fmod(cur, span);
+            if (local < 0.0) {
+                local += span;
+            }
+            seg_left = seg_end - local;
+        } else if (i + 1 < schedule.segmentCount()) {
+            seg_left = seg_end - cur;
+        }
+        const double can = rate * seg_left;
+        const double drained = std::min(remaining, can);
+        if (drained <= 0.0) {
+            // Floating-point edge: sitting exactly on a boundary.
+            cur += std::max(seg_left, 1e-12);
+            continue;
+        }
+        energy += l.energy_per_bit * (drained * 8.0);
+        remaining -= drained;
+        cur += drained / rate;
+    }
+    return cur;
+}
+
+void
+DynamicLink::syncSharedLocked(double t)
+{
+    const size_t i = schedule.segmentIndex(Time::seconds(t));
+    if (i != last_segment) {
+        ++switches;
+        last_segment = i;
+        if (shared != nullptr) {
+            shared->setLink(schedule.segment(i).link);
+        }
+    }
+}
+
+Energy
+DynamicLink::acquire(int endpoint, double bytes, double trace_time_hint)
+{
+    incam_assert(bytes >= 0.0, "negative transmission size");
+
+    if (shared != nullptr) {
+        // Fleet mode: push the current segment's capacity and price
+        // into the shared arbiter, then let it pace and integrate
+        // the energy across any setLink that lands mid-drain.
+        double t;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            const Clock::time_point now = Clock::now();
+            startLocked(now);
+            if (opts.pace) {
+                t = wallTraceTimeLocked(now);
+            } else {
+                t = trace_time_hint >= 0.0 ? trace_time_hint : free_t;
+                free_t = std::max(free_t, t) +
+                         schedule.at(Time::seconds(t))
+                             .transferTime(DataSize::bytes(bytes))
+                             .sec();
+            }
+            syncSharedLocked(t);
+        }
+        const Energy paced_e =
+            shared->acquire(endpoint, bytes, trace_time_hint);
+        if (opts.pace) {
+            return paced_e;
+        }
+        // Counting mode prices from the schedule at the frame's own
+        // trace time: the shared arbiter's link state is whatever
+        // segment *some* camera synced last, which under concurrent
+        // unpaced cameras is an interleaving-dependent instant — the
+        // trace lookup keeps per-frame energy deterministic.
+        return schedule.at(Time::seconds(t))
+            .transferEnergy(DataSize::bytes(bytes));
+    }
+
+    double finish_t;
+    Energy e;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        const Clock::time_point now = Clock::now();
+        startLocked(now);
+        if (!opts.pace) {
+            // Counting mode: price the transmission at the frame's
+            // trace-clock position (deterministic with a frame clock;
+            // the occupancy timeline otherwise), never sleep.
+            const double t =
+                trace_time_hint >= 0.0 ? trace_time_hint : free_t;
+            const NetworkLink &l = schedule.at(Time::seconds(t));
+            if (trace_time_hint < 0.0) {
+                free_t =
+                    t + l.transferTime(DataSize::bytes(bytes)).sec();
+            }
+            syncSharedLocked(t);
+            return l.transferEnergy(DataSize::bytes(bytes));
+        }
+        // Paced: the transmission occupies the fluid timeline from
+        // max(arrival, link free) and drains across every trace
+        // segment it spans. A bounded lateness bank (the radio's
+        // frame buffer) lets a caller that overslept start "in the
+        // past", keeping the medium back-to-back under host sleep
+        // jitter — only idleness beyond the bank idles the link.
+        const double now_t = wallTraceTimeLocked(now);
+        const double rate_now =
+            schedule.at(Time::seconds(now_t)).goodput().bytesPerSecond();
+        const double bank_bytes =
+            opts.burst_bytes > 0.0 ? opts.burst_bytes : 2.0 * bytes;
+        const double t0 =
+            std::max(free_t, now_t - bank_bytes / rate_now);
+        finish_t = drainLocked(t0, bytes, e);
+        free_t = finish_t;
+        syncSharedLocked(finish_t);
+    }
+    std::this_thread::sleep_until(
+        epoch0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(finish_t *
+                                                   opts.time_scale)));
+    (void)endpoint;
+    return e;
+}
+
+void
+DynamicLink::release(int endpoint)
+{
+    if (shared != nullptr) {
+        shared->release(endpoint);
+    }
+}
+
+int64_t
+DynamicLink::segmentSwitches() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return switches;
+}
+
+} // namespace incam

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * DynamicLink — an UplinkArbiter driven by a NetworkTrace clock.
+ *
+ * The streaming runtime paces its uplink against one fixed goodput;
+ * DynamicLink replaces that pacer with the trace's schedule, making
+ * the executing pipeline live under time-varying link conditions:
+ *
+ *  - *Paced* mode keeps a fluid occupancy timeline in trace time
+ *    (wall time / time_scale since start()): a transmission begins at
+ *    max(arrival, link-free instant), drains across however many
+ *    trace segments it spans at each segment's goodput, and the
+ *    caller sleeps until the drain completes. Because the timeline is
+ *    absolute rather than incremental, sleep jitter never accumulates
+ *    into rate error — the same exactness property TokenBucket's debt
+ *    accounting provides, obtained by construction.
+ *
+ *  - *Counting* mode (pace = false) never sleeps: each transmission
+ *    is priced at the frame's position on the trace clock — the
+ *    caller-supplied frame-clock hint when present (bit-deterministic,
+ *    the adaptive determinism tests rely on it), else the occupancy
+ *    timeline advanced by transfer time.
+ *
+ * In both modes acquire() returns the radio energy integrated against
+ * the per-bit price of every segment the bytes actually drained in.
+ *
+ * A DynamicLink can also *wrap* a fleet/SharedLink: it then drives the
+ * shared arbiter's capacity and per-bit price through setLink() and
+ * delegates the actual pacing, so a whole fleet's weighted-fair
+ * contention plays out over the fading schedule while each camera
+ * still pays trace-accurate energy. Segment changes are pushed
+ * lazily, on the first acquire that observes them — a transmission
+ * already in flight when a boundary passes finishes draining at the
+ * segment it started under, so the boundary resolution is the fleet's
+ * inter-acquire gap (fine whenever frame transfer times are short
+ * against segment dwell times, the regime every bench scenario and
+ * test runs in).
+ */
+
+#ifndef INCAM_TRACE_DYNAMIC_LINK_HH
+#define INCAM_TRACE_DYNAMIC_LINK_HH
+
+#include <chrono>
+#include <mutex>
+
+#include "runtime/runtime.hh"
+#include "trace/trace.hh"
+
+namespace incam {
+
+class SharedLink; // fleet/shared_link.hh
+
+/** Trace-driven uplink arbiter (solo pipeline or SharedLink driver). */
+class DynamicLink : public UplinkArbiter
+{
+  public:
+    struct Options
+    {
+        /** Sleep transmissions out at the trace's goodput; off, every
+         *  acquire returns immediately but still prices the traffic. */
+        bool pace = true;
+
+        /** Stretch trace time like RuntimeOptions::time_scale: one
+         *  trace second takes time_scale wall seconds. */
+        double time_scale = 1.0;
+
+        /**
+         * Overshoot bank in bytes (the radio's frame buffer): a
+         * caller that returns late by up to this many bytes' worth of
+         * drain time still finds the link "busy until now" — the
+         * occupancy timeline backfills, so host sleep overshoot never
+         * idles the modeled medium (the same exactness property
+         * TokenBucket's debt provides). <= 0 sizes it to two of the
+         * current transmission. Genuine idleness longer than the
+         * bank still shows up as idle link time.
+         */
+        double burst_bytes = 0.0;
+    };
+
+    /** Solo mode: this link alone paces (or prices) the uplink. */
+    explicit DynamicLink(const NetworkTrace &trace)
+        : DynamicLink(trace, Options())
+    {
+    }
+    DynamicLink(const NetworkTrace &trace, Options options);
+
+    /**
+     * Fleet mode: drive @p shared's capacity from the trace and
+     * delegate pacing and endpoint arbitration to it. The SharedLink
+     * must outlive this adapter; its own time_scale should match.
+     */
+    DynamicLink(const NetworkTrace &trace, SharedLink &shared)
+        : DynamicLink(trace, shared, Options())
+    {
+    }
+    DynamicLink(const NetworkTrace &trace, SharedLink &shared,
+                Options options);
+
+    /**
+     * Pin trace time zero to this wall-clock instant. Implicit on the
+     * first acquire; call it explicitly just before a run starts so
+     * camera start-up cost doesn't skew the schedule.
+     */
+    void start();
+
+    /** Current position on the trace clock, in trace seconds. */
+    Time traceTime() const;
+
+    Energy acquire(int endpoint, double bytes,
+                   double trace_time_hint = -1.0) override;
+    void release(int endpoint) override;
+
+    const NetworkTrace &trace() const { return schedule; }
+
+    /** Trace-segment boundaries crossed by transmissions so far. */
+    int64_t segmentSwitches() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * Integrate @p bytes over the trace starting at trace time @p t:
+     * returns the finish time and accumulates the per-segment radio
+     * energy. Caller holds mu.
+     */
+    double drainLocked(double t, double bytes, Energy &energy) const;
+
+    void startLocked(Clock::time_point now);
+    double wallTraceTimeLocked(Clock::time_point now) const;
+    /** Push the segment state at trace time @p t into the wrapped
+     *  SharedLink when it moved to a new segment. Caller holds mu. */
+    void syncSharedLocked(double t);
+
+    const NetworkTrace &schedule;
+    SharedLink *shared = nullptr; ///< non-owning; fleet mode only
+    Options opts;
+    mutable std::mutex mu;
+    bool started = false;
+    Clock::time_point epoch0;  ///< wall instant of trace time zero
+    double free_t = 0.0;       ///< occupancy timeline: link free at
+    size_t last_segment = 0;   ///< segment last synced / transmitted in
+    int64_t switches = 0;
+};
+
+} // namespace incam
+
+#endif // INCAM_TRACE_DYNAMIC_LINK_HH

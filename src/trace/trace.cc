@@ -1,0 +1,348 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workload/video.hh"
+
+namespace incam {
+
+namespace {
+
+/**
+ * Shared segment-lookup arithmetic: map a query time onto [0, span)
+ * (wrapping or clamping) and binary-search the governing segment.
+ * Both trace kinds store segments sorted by start with the first at 0.
+ */
+template <typename Seg>
+size_t
+findSegment(const std::vector<Seg> &segs, Time span, bool wrap, Time t)
+{
+    double x = t.sec();
+    const double len = span.sec();
+    if (wrap && len > 0.0) {
+        x = std::fmod(x, len);
+        if (x < 0.0) {
+            x += len;
+        }
+    }
+    x = std::max(0.0, x);
+    // First segment starting strictly after x, minus one.
+    size_t lo = 0, hi = segs.size();
+    while (lo + 1 < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (segs[mid].start.sec() <= x) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+template <typename Seg>
+void
+checkSchedule(const std::vector<Seg> &segs)
+{
+    incam_assert(!segs.empty(), "a trace needs at least one segment");
+    incam_assert(segs.front().start.sec() == 0.0,
+                 "the first trace segment must start at time zero");
+    for (size_t i = 1; i < segs.size(); ++i) {
+        incam_assert(segs[i].start > segs[i - 1].start,
+                     "trace segment starts must strictly increase");
+    }
+}
+
+/**
+ * End of an explicit schedule that carries no end marker: the last
+ * segment is given the mean of the preceding spacings (or 1 s for a
+ * single segment) so duration() and the time-weighted averages stay
+ * meaningful.
+ */
+template <typename Seg>
+Time
+extrapolatedSpan(const std::vector<Seg> &segs)
+{
+    Time end = segs.back().start;
+    if (segs.size() > 1) {
+        end += (segs.back().start - segs.front().start) /
+               static_cast<double>(segs.size() - 1);
+    } else {
+        end += Time::seconds(1.0);
+    }
+    return end;
+}
+
+} // namespace
+
+// ------------------------------------------------------- NetworkTrace
+
+NetworkTrace
+NetworkTrace::stationary(NetworkLink link)
+{
+    NetworkTrace t;
+    t.label = "stationary(" + link.name + ")";
+    t.span = Time::seconds(1.0);
+    t.segs.push_back({Time{}, std::move(link)});
+    return t;
+}
+
+NetworkTrace
+NetworkTrace::piecewise(std::string name,
+                        std::vector<LinkSegment> segments)
+{
+    checkSchedule(segments);
+    NetworkTrace t;
+    t.label = std::move(name);
+    t.segs = std::move(segments);
+    t.span = extrapolatedSpan(t.segs);
+    return t;
+}
+
+NetworkTrace
+NetworkTrace::steps(const NetworkLink &base,
+                    const std::vector<double> &scales, Time step_duration)
+{
+    incam_assert(!scales.empty(), "a step trace needs at least one step");
+    incam_assert(step_duration.sec() > 0.0,
+                 "step duration must be positive");
+    NetworkTrace t;
+    t.label = base.name + " steps";
+    for (size_t i = 0; i < scales.size(); ++i) {
+        const double s = scales[i];
+        incam_assert(s > 0.0, "step scales must be positive");
+        NetworkLink l = base;
+        l.name = base.name + " x" + std::to_string(s);
+        l.bandwidth = base.bandwidth * s;
+        // A congested medium spends the same radio-on energy moving
+        // fewer useful bits, so the per-bit price rises as goodput
+        // falls.
+        l.energy_per_bit = base.energy_per_bit / s;
+        t.segs.push_back(
+            {step_duration * static_cast<double>(i), std::move(l)});
+    }
+    t.span = step_duration * static_cast<double>(scales.size());
+    return t;
+}
+
+NetworkTrace
+NetworkTrace::gilbertElliott(const NetworkLink &good,
+                             const NetworkLink &bad,
+                             const GilbertElliottParams &params)
+{
+    incam_assert(params.step.sec() > 0.0, "GE step must be positive");
+    incam_assert(params.duration >= params.step,
+                 "GE duration must cover at least one step");
+    incam_assert(params.p_good_to_bad >= 0.0 &&
+                     params.p_good_to_bad <= 1.0 &&
+                     params.p_bad_to_good >= 0.0 &&
+                     params.p_bad_to_good <= 1.0,
+                 "GE transition probabilities must lie in [0, 1]");
+    Rng rng(params.seed);
+    NetworkTrace t;
+    t.label = "gilbert-elliott(" + good.name + "/" + bad.name + ")";
+    const int n_steps =
+        static_cast<int>(params.duration.sec() / params.step.sec());
+    bool is_good = params.start_good;
+    // Runs of the same state merge into one segment; the chain is
+    // still stepped every params.step so the seed fully determines
+    // the schedule.
+    t.segs.push_back({Time{}, is_good ? good : bad});
+    for (int i = 1; i < n_steps; ++i) {
+        const bool flip = rng.chance(is_good ? params.p_good_to_bad
+                                             : params.p_bad_to_good);
+        if (flip) {
+            is_good = !is_good;
+            t.segs.push_back({params.step * static_cast<double>(i),
+                              is_good ? good : bad});
+        }
+    }
+    t.span = params.step * static_cast<double>(n_steps);
+    return t;
+}
+
+NetworkTrace
+NetworkTrace::harvestDutyCycle(const NetworkLink &on_link,
+                               const HarvestDutyParams &params)
+{
+    incam_assert(params.off_bandwidth_scale > 0.0,
+                 "the off state needs positive residual bandwidth");
+    const Power harvested =
+        harvestedPower(params.harvester, params.distance_m);
+    StorageCapacitor cap(params.capacitor_farads, params.v_full,
+                         params.v_cutoff);
+    const Power deficit =
+        Power::watts(params.tx_power.w() - harvested.w());
+    incam_assert(deficit.w() > 0.0,
+                 "tx power within the harvest budget needs no duty "
+                 "cycling — use a stationary trace");
+    // Transmit until the capacitor empties into the deficit, then
+    // recharge the full usable window on harvested power alone.
+    const Time on_time =
+        Time::seconds(cap.usableCapacity().j() / deficit.w());
+    const Time off_time = cap.rechargeTime(harvested);
+
+    NetworkLink off = on_link;
+    off.name = on_link.name + " (recharging)";
+    off.bandwidth = on_link.bandwidth * params.off_bandwidth_scale;
+    off.energy_per_bit =
+        on_link.energy_per_bit / params.off_bandwidth_scale;
+
+    NetworkTrace t;
+    t.label = "harvest-duty(" + on_link.name + ")";
+    Time at;
+    bool on = true;
+    while (at < params.duration) {
+        t.segs.push_back({at, on ? on_link : off});
+        at += on ? on_time : off_time;
+        on = !on;
+    }
+    t.span = at;
+    t.wrap = true; // duty cycles repeat by nature
+    return t;
+}
+
+NetworkTrace &
+NetworkTrace::setPeriodic(bool on)
+{
+    wrap = on;
+    return *this;
+}
+
+const NetworkLink &
+NetworkTrace::at(Time t) const
+{
+    return segs[findSegment(segs, span, wrap, t)].link;
+}
+
+size_t
+NetworkTrace::segmentIndex(Time t) const
+{
+    return findSegment(segs, span, wrap, t);
+}
+
+Time
+NetworkTrace::segmentDuration(size_t i) const
+{
+    incam_assert(i < segs.size(), "segment index out of range");
+    const Time end = i + 1 < segs.size() ? segs[i + 1].start : span;
+    return end - segs[i].start;
+}
+
+NetworkLink
+NetworkTrace::averageLink() const
+{
+    double bw = 0.0, ebit = 0.0, eff = 0.0;
+    for (size_t i = 0; i < segs.size(); ++i) {
+        const double w = segmentDuration(i).sec() / span.sec();
+        bw += w * segs[i].link.bandwidth.bytesPerSecond();
+        ebit += w * segs[i].link.energy_per_bit.j();
+        eff += w * segs[i].link.protocol_efficiency;
+    }
+    NetworkLink avg;
+    avg.name = label + " (mean)";
+    avg.bandwidth = Bandwidth::bytesPerSec(bw);
+    avg.energy_per_bit = Energy::joules(ebit);
+    avg.protocol_efficiency = eff;
+    return avg;
+}
+
+// ------------------------------------------------------- ContentTrace
+
+ContentTrace
+ContentTrace::stationary(double motion_pass, double face_pass)
+{
+    ContentTrace t;
+    t.label = "stationary-content";
+    t.span = Time::seconds(1.0);
+    t.segs.push_back({Time{}, motion_pass, face_pass});
+    return t;
+}
+
+ContentTrace
+ContentTrace::piecewise(std::string name,
+                        std::vector<ContentSegment> segments)
+{
+    checkSchedule(segments);
+    for (const ContentSegment &s : segments) {
+        incam_assert(s.motion_pass >= 0.0 && s.motion_pass <= 1.0 &&
+                         s.face_pass >= 0.0 && s.face_pass <= 1.0,
+                     "pass fractions must lie in [0, 1]");
+    }
+    ContentTrace t;
+    t.label = std::move(name);
+    t.segs = std::move(segments);
+    t.span = extrapolatedSpan(t.segs);
+    return t;
+}
+
+ContentTrace
+ContentTrace::fromSecurityVideo(const SecurityVideo &video, FrameRate fps,
+                                int window_frames)
+{
+    incam_assert(window_frames > 0, "window must be positive");
+    incam_assert(fps.perSecond() > 0.0, "fps must be positive");
+    ContentTrace t;
+    t.label = "security-video-content";
+    const int n = video.frameCount();
+    for (int w0 = 0; w0 < n; w0 += window_frames) {
+        const int w1 = std::min(n, w0 + window_frames);
+        int moving = 0, faces = 0;
+        for (int i = w0; i < w1; ++i) {
+            const FrameTruth truth = video.truth(i);
+            const bool motion = truth.has_face || truth.ambient_motion;
+            moving += motion ? 1 : 0;
+            faces += truth.has_face ? 1 : 0;
+        }
+        ContentSegment seg;
+        seg.start = Time::seconds(w0 / fps.perSecond());
+        seg.motion_pass =
+            static_cast<double>(moving) / static_cast<double>(w1 - w0);
+        seg.face_pass = moving > 0 ? static_cast<double>(faces) /
+                                         static_cast<double>(moving)
+                                   : 0.0;
+        t.segs.push_back(seg);
+    }
+    t.span = Time::seconds(n / fps.perSecond());
+    return t;
+}
+
+ContentTrace &
+ContentTrace::setPeriodic(bool on)
+{
+    wrap = on;
+    return *this;
+}
+
+const ContentSegment &
+ContentTrace::at(Time t) const
+{
+    return segs[findSegment(segs, span, wrap, t)];
+}
+
+double
+ContentTrace::averageMotionPass() const
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < segs.size(); ++i) {
+        const Time end = i + 1 < segs.size() ? segs[i + 1].start : span;
+        acc += (end - segs[i].start).sec() * segs[i].motion_pass;
+    }
+    return acc / span.sec();
+}
+
+double
+ContentTrace::averageFacePass() const
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < segs.size(); ++i) {
+        const Time end = i + 1 < segs.size() ? segs[i + 1].start : span;
+        acc += (end - segs[i].start).sec() * segs[i].face_pass;
+    }
+    return acc / span.sec();
+}
+
+} // namespace incam

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Time-varying condition traces — the world the adaptive layer tracks.
+ *
+ * Everything below the trace layer (optimizer, runtime, fleet) prices
+ * one *stationary* operating point: a fixed NetworkLink, fixed block
+ * pass fractions. The deployments the paper targets are not
+ * stationary: a backscatter camera's uplink pulses with the harvested
+ * energy budget, Wi-Fi fades in and out of a bad state, an office
+ * building's traffic follows the clock, and the fraction of frames
+ * with motion or faces depends on who is walking by. A trace is a
+ * deterministic, seedable schedule of those conditions over *model
+ * time* — piecewise-constant segments, because both the analytical
+ * model and the controller re-plan at segment granularity anyway.
+ *
+ * Two trace kinds:
+ *
+ *  - NetworkTrace: a schedule of complete NetworkLink states
+ *    (bandwidth, per-bit energy, protocol efficiency). Generators
+ *    cover the paper's regimes: Gilbert-Elliott good/bad fading for
+ *    Wi-Fi, harvest duty cycles derived from hw/rf_harvest for
+ *    WISPCam-class backscatter, and stepped congestion profiles for
+ *    wired links.
+ *
+ *  - ContentTrace: a schedule of filter pass fractions (motion-gate
+ *    pass, face arrival density), either authored directly or bridged
+ *    from workload/video ground truth, so the duty-cycle half of the
+ *    energy model can vary with scene content.
+ *
+ * Determinism contract: generators draw only from common/rng with the
+ * caller's seed, so identical parameters yield bit-identical segment
+ * schedules on every platform — the property tests/test_trace.cc
+ * locks down and the adaptive determinism tests build on.
+ */
+
+#ifndef INCAM_TRACE_TRACE_HH
+#define INCAM_TRACE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "core/network.hh"
+#include "hw/rf_harvest.hh"
+
+namespace incam {
+
+/** One constant-conditions interval of a NetworkTrace. */
+struct LinkSegment
+{
+    Time start;       ///< trace time this state takes effect
+    NetworkLink link; ///< complete link state during the segment
+};
+
+/** Gilbert-Elliott two-state fading channel parameters. */
+struct GilbertElliottParams
+{
+    /** Per-step transition probability good -> bad. */
+    double p_good_to_bad = 0.05;
+    /** Per-step transition probability bad -> good. */
+    double p_bad_to_good = 0.20;
+    /** Markov-chain step; adjacent same-state steps are merged. */
+    Time step = Time::seconds(1.0);
+    Time duration = Time::seconds(120.0);
+    uint64_t seed = 1;
+    bool start_good = true;
+};
+
+/** Harvest-powered duty-cycle parameters (WISPCam-class uplink). */
+struct HarvestDutyParams
+{
+    RfHarvesterConfig harvester;
+    /** Camera distance from the RFID reader (sets the power budget). */
+    double distance_m = 3.0;
+    /** Storage capacitor backing transmission bursts. */
+    double capacitor_farads = 100e-6;
+    double v_full = 4.5;
+    double v_cutoff = 2.0;
+    /** Radio draw while transmitting; the capacitor covers the gap
+     *  between this and the harvested power. */
+    Power tx_power = Power::milliwatts(2.0);
+    /**
+     * Link state while the capacitor recharges: the uplink degrades to
+     * this fraction of its on-state bandwidth (a passive tag still
+     * answers reader polls, just rarely). Must be positive — a truly
+     * dead link would make every offload cut infeasible.
+     */
+    double off_bandwidth_scale = 0.02;
+    Time duration = Time::seconds(120.0);
+};
+
+/**
+ * A deterministic piecewise-constant schedule of link conditions over
+ * model time. Query with at(); time before the first segment clamps to
+ * it, time past the end either clamps to the last segment or (with
+ * setPeriodic) wraps modulo the trace duration.
+ */
+class NetworkTrace
+{
+  public:
+    /** A degenerate single-segment trace (the stationary baseline). */
+    static NetworkTrace stationary(NetworkLink link);
+
+    /** An explicit schedule; segments must start at strictly
+     *  increasing times, the first at zero. */
+    static NetworkTrace piecewise(std::string name,
+                                  std::vector<LinkSegment> segments);
+
+    /**
+     * Step schedule: @p base scaled by each entry of @p scales in
+     * turn, @p step_duration apiece (bandwidth multiplied, per-bit
+     * energy divided — a congested medium moves fewer bits for the
+     * same radio-on time). The diurnal-congestion generator.
+     */
+    static NetworkTrace steps(const NetworkLink &base,
+                              const std::vector<double> &scales,
+                              Time step_duration);
+
+    /**
+     * Two-state Markov fading channel (Gilbert-Elliott): the link is
+     * @p good or @p bad per step, with the transition probabilities of
+     * @p params. Seeded and bit-deterministic.
+     */
+    static NetworkTrace gilbertElliott(const NetworkLink &good,
+                                       const NetworkLink &bad,
+                                       const GilbertElliottParams &params);
+
+    /**
+     * Harvest duty cycle: the uplink alternates between @p on_link
+     * (while the storage capacitor discharges into the radio) and a
+     * degraded off state (while it recharges on harvested power). On
+     * and off durations come from the hw/rf_harvest energy chain:
+     * Friis harvested power at the configured distance, capacitor
+     * usable capacity, and the transmit-power deficit.
+     */
+    static NetworkTrace harvestDutyCycle(const NetworkLink &on_link,
+                                         const HarvestDutyParams &params);
+
+    const std::string &name() const { return label; }
+    size_t segmentCount() const { return segs.size(); }
+    const LinkSegment &segment(size_t i) const { return segs.at(i); }
+    const std::vector<LinkSegment> &segments() const { return segs; }
+
+    /** End of the last segment (== total schedule length). */
+    Time duration() const { return span; }
+
+    /** Wrap query times modulo duration() instead of clamping. */
+    NetworkTrace &setPeriodic(bool on = true);
+    bool periodic() const { return wrap; }
+
+    /** Link state at trace time @p t (clamped or wrapped). */
+    const NetworkLink &at(Time t) const;
+
+    /** Index of the segment governing trace time @p t. */
+    size_t segmentIndex(Time t) const;
+
+    /** Duration segment @p i governs (last segment: to duration()). */
+    Time segmentDuration(size_t i) const;
+
+    /**
+     * The time-weighted mean link — bandwidth and per-bit energy
+     * averaged over the schedule. What a static planner that knows the
+     * long-run average (but not the schedule) would design against.
+     */
+    NetworkLink averageLink() const;
+
+  private:
+    std::string label;
+    std::vector<LinkSegment> segs;
+    Time span;
+    bool wrap = false;
+};
+
+/** One constant-conditions interval of a ContentTrace. */
+struct ContentSegment
+{
+    Time start;
+    /** Fraction of frames the motion gate passes downstream. */
+    double motion_pass = 1.0;
+    /** Fraction of motion frames that carry a detectable face. */
+    double face_pass = 1.0;
+};
+
+/**
+ * A schedule of scene-content conditions: how often the progressive
+ * filters pass work downstream, over model time. The runtime's Model
+ * gating reads it per frame (first filter block <- motion_pass, second
+ * <- face_pass), so duty-cycled energy varies with the scene exactly
+ * as the analytical duty semantics predict segment by segment.
+ */
+class ContentTrace
+{
+  public:
+    static ContentTrace stationary(double motion_pass, double face_pass);
+
+    /** Explicit schedule; same ordering rules as NetworkTrace. */
+    static ContentTrace piecewise(std::string name,
+                                  std::vector<ContentSegment> segments);
+
+    /**
+     * Windowed ground truth of a generated security video: each
+     * window of @p window_frames frames (at @p fps) becomes a segment
+     * whose motion_pass is the fraction of window frames with any
+     * motion and whose face_pass is the fraction of those carrying a
+     * face. Deterministic: derived entirely from the video's seeded
+     * schedule, without rendering a single frame.
+     */
+    static ContentTrace fromSecurityVideo(const class SecurityVideo &video,
+                                          FrameRate fps,
+                                          int window_frames);
+
+    const std::string &name() const { return label; }
+    size_t segmentCount() const { return segs.size(); }
+    const ContentSegment &segment(size_t i) const { return segs.at(i); }
+    Time duration() const { return span; }
+
+    /** Wrap query times modulo duration() instead of clamping. */
+    ContentTrace &setPeriodic(bool on = true);
+    bool periodic() const { return wrap; }
+
+    const ContentSegment &at(Time t) const;
+    double motionPassAt(Time t) const { return at(t).motion_pass; }
+    double facePassAt(Time t) const { return at(t).face_pass; }
+
+    /** Time-weighted mean pass fractions (the static planner's view). */
+    double averageMotionPass() const;
+    double averageFacePass() const;
+
+  private:
+    std::string label;
+    std::vector<ContentSegment> segs;
+    Time span;
+    bool wrap = false;
+};
+
+} // namespace incam
+
+#endif // INCAM_TRACE_TRACE_HH

@@ -142,6 +142,91 @@ TEST(TokenBucket, DegenerateRatesDegradeToUnpaced)
     EXPECT_EQ(sane.rate(), 1000.0);
 }
 
+TEST(TokenBucket, SetRateRepacesWithoutFreeBurst)
+{
+    // Phase 1 at 500/s, then a live change to 2000/s. Each phase's
+    // elapsed time must reflect its own rate — the rate change honors
+    // work already owed and grants no fresh burst.
+    TokenBucket bucket(500.0, 2.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 50; ++i) {
+        bucket.acquire(1.0);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    bucket.setRate(2000.0);
+    EXPECT_EQ(bucket.rate(), 2000.0);
+    for (int i = 0; i < 200; ++i) {
+        bucket.acquire(1.0);
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    const double p1 = std::chrono::duration<double>(t1 - t0).count();
+    const double p2 = std::chrono::duration<double>(t2 - t1).count();
+    EXPECT_GE(p1, (50.0 - 2.0) / 500.0);
+    EXPECT_GE(p2, (200.0 - 2.0) / 2000.0);
+    EXPECT_LT(p2, 2.0 * 200.0 / 2000.0);
+}
+
+TEST(TokenBucket, SetRateIncreaseCannotMintABurst)
+{
+    // Bank 2 tokens (the burst cap) at a slow rate, then jump the
+    // rate 100x: an uncapped bank would let ~50 tokens through
+    // instantly. Only the banked burst may be free.
+    TokenBucket bucket(50.0, 2.0);
+    bucket.acquire(1.0); // starts the clock (bucket begins empty)
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    bucket.setRate(5000.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    bucket.acquire(52.0);
+    const double dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    // 52 tokens minus at most the 2-token bank, at 5000/s: >= 10 ms.
+    EXPECT_GE(dt, (52.0 - 2.0) / 5000.0);
+}
+
+TEST(TokenBucket, SetRateDebtCarriesOver)
+{
+    // Work owed before a rate change is settled at the old rate; the
+    // change must not leave free credit behind. After an oversized
+    // acquire at 1000/s the bucket sits at ~zero credit, so the next
+    // 100 tokens at the new rate owe their full price.
+    TokenBucket bucket(1000.0, 1.0);
+    bucket.acquire(100.0);
+    bucket.setRate(10000.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    bucket.acquire(100.0);
+    const double dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    EXPECT_GE(dt, (100.0 - 1.0) / 10000.0);
+}
+
+TEST(TokenBucket, SetRateDegenerateClampsStillHold)
+{
+    // The constructor's NaN/inf/denormal/negative clamps must apply
+    // identically to live rate changes.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    const double denormal = std::numeric_limits<double>::denorm_min();
+    for (double rate : {nan, inf, denormal, 0.0, -5.0}) {
+        TokenBucket bucket(1000.0, 2.0);
+        bucket.acquire(1.0);
+        bucket.setRate(rate);
+        EXPECT_EQ(bucket.rate(), 0.0) << "rate " << rate;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < 1000; ++i) {
+            bucket.acquire(1.0);
+        }
+        const double dt = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        EXPECT_LT(dt, 0.5) << "rate " << rate << " paced anyway";
+        // And back: an unpaced bucket can start pacing again.
+        bucket.setRate(10000.0);
+        EXPECT_EQ(bucket.rate(), 10000.0);
+    }
+}
+
 TEST(TokenBucket, LongRunRateIsExact)
 {
     // 2000 tokens/s, 100 acquires -> 50 ms minimum; measure the rate.
@@ -498,6 +583,31 @@ TEST(Runtime, ExecutorFailureShutsDownCleanly)
     sp.setExecutor(1, std::make_unique<Bomb>());
     // The error propagates to the caller instead of hanging the join.
     EXPECT_THROW(sp.run(), std::runtime_error);
+}
+
+TEST(Runtime, LatencyPercentilesTrackTheServiceTime)
+{
+    // One 10 ms block, saturated source: every frame waits at least
+    // the block's service time end to end, so p50 has a hard floor —
+    // and the percentiles must be ordered and model-time normalized.
+    Pipeline p("latency", DataSize::bytes(1000));
+    Block slow("Slow", /*optional=*/false, DataSize::bytes(100));
+    slow.addImpl(Impl::Asic,
+                 {Time::milliseconds(10), Energy::nanojoules(1)});
+    p.add(slow);
+
+    RuntimeOptions opts;
+    opts.frames = 40;
+    opts.gating = GatingMode::None;
+    opts.pace_link = false;
+    StreamingPipeline sp(p, PipelineConfig::full(p),
+                         twentyFiveGbE(), opts);
+    const RuntimeReport rep = sp.run();
+    EXPECT_EQ(rep.delivered_frames, 40);
+    EXPECT_GT(rep.latency_p50, 0.005);
+    EXPECT_LE(rep.latency_p50, rep.latency_p95);
+    EXPECT_LE(rep.latency_p95, rep.latency_p99);
+    EXPECT_LT(rep.latency_p99, 5.0);
 }
 
 TEST(Runtime, InstancesAreSingleUse)
