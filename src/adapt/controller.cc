@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 
 namespace incam {
 
@@ -62,6 +63,11 @@ AdaptiveController::AdaptiveController(const Pipeline &pipeline,
     incam_assert(opts.min_dwell >= 0, "dwell must be >= 0");
     incam_assert(opts.trace_fps > 0.0,
                  "the controller needs a frame clock (trace_fps)");
+    incam_assert(opts.degrade_loss_threshold > 1.0 ||
+                     opts.restore_loss_threshold <
+                         opts.degrade_loss_threshold,
+                 "restore threshold must sit strictly below the "
+                 "degrade threshold");
     next_decision = opts.decision_period;
     decisions_since_switch = opts.min_dwell; // first switch unblocked
 }
@@ -86,6 +92,12 @@ AdaptiveController::useTelemetry(const Telemetry *probe,
                   ? nullptr
                   : std::make_unique<TelemetrySampler>(*probe,
                                                        time_scale);
+}
+
+void
+AdaptiveController::useFaultPlan(const FaultPlan *plan)
+{
+    fault_plan = plan;
 }
 
 void
@@ -128,6 +140,9 @@ AdaptiveController::sampleAt(double t)
     if (net_trace != nullptr) {
         s = networkSample(*net_trace, t);
     }
+    if (fault_plan != nullptr) {
+        s.loss_rate = fault_plan->lossAt(t);
+    }
     if (content_trace != nullptr) {
         const ContentSegment &cs = content_trace->at(Time::seconds(t));
         s.motion_pass = cs.motion_pass;
@@ -155,6 +170,9 @@ AdaptiveController::sampleAt(double t)
         }
         if (m.latency_s >= 0.0) {
             s.latency_s = m.latency_s;
+        }
+        if (m.loss_rate >= 0.0) {
+            s.loss_rate = m.loss_rate;
         }
     }
     est.observe(t, s);
@@ -194,8 +212,77 @@ AdaptiveController::planningPipeline() const
 }
 
 void
+AdaptiveController::enterDegrade(double t)
+{
+    // The best *zero-offload* cut: every block in camera, nothing
+    // depending on the dead link. Ranked under the construction link
+    // (not the collapsed estimate) so the choice is deterministic and
+    // purely compute-driven; enumerate() is sorted best-first, so the
+    // first full-cut entry is the best one.
+    const Pipeline planning = planningPipeline();
+    PipelineOptimizer optimizer(planning, base);
+    const std::vector<ConfigResult> all =
+        optimizer.enumerate(opts.goal);
+    const ConfigResult *local_best = nullptr;
+    for (const ConfigResult &r : all) {
+        if (r.config.cut == planning.blockCount()) {
+            local_best = &r;
+            break;
+        }
+    }
+    incam_assert(local_best != nullptr,
+                 "no zero-offload configuration exists");
+
+    AdaptiveDecision d;
+    d.t = t;
+    d.chosen = local_best->config.toString(planning) + " [local]";
+    d.config = local_best->config;
+    d.objective = local_best->objective;
+    d.live_objective = local_best->objective;
+    d.switched = true;
+    live = local_best->config;
+    if (sp != nullptr) {
+        sp->reconfigure(live, /*deliver_local=*/true);
+    }
+    degraded_mode = true;
+    ++n_switches;
+    decisions_since_switch = 0;
+    log.push_back(std::move(d));
+}
+
+void
 AdaptiveController::decideAt(double t)
 {
+    bool restore = false;
+    if (opts.degrade_loss_threshold <= 1.0) {
+        const double believed_loss = est.lossRate(0.0);
+        if (!degraded_mode) {
+            if (believed_loss >= opts.degrade_loss_threshold) {
+                // Sustained link failure: an emergency transition,
+                // exempt from hysteresis and dwell like any other
+                // infeasible operating point.
+                enterDegrade(t);
+                return;
+            }
+        } else if (believed_loss > opts.restore_loss_threshold) {
+            // Still degraded; hold local delivery and keep probing.
+            AdaptiveDecision d;
+            d.t = t;
+            d.chosen = live.toString(pipe) + " [local]";
+            d.config = live;
+            ++decisions_since_switch;
+            log.push_back(std::move(d));
+            return;
+        } else {
+            // Healed. The network beliefs accumulated while the link
+            // was dead describe a link that no longer exists; discard
+            // them so the first post-heal sample cold-starts the
+            // filters, then re-plan immediately.
+            est.resetNetwork();
+            restore = true;
+        }
+    }
+
     const Pipeline planning = planningPipeline();
     const NetworkLink link =
         est.hasNetwork() ? est.estimatedLink(base) : base;
@@ -232,16 +319,30 @@ AdaptiveController::decideAt(double t)
     const bool emergency = live_found && !live_feasible;
     const double gain =
         live_found ? relativeGain(live_obj, best.objective) : 1.0;
-    if (different && best.feasible &&
-        (emergency || (gain > opts.hysteresis &&
-                       decisions_since_switch >= opts.min_dwell))) {
+    if ((different || restore) && best.feasible &&
+        (restore || emergency ||
+         (gain > opts.hysteresis &&
+          decisions_since_switch >= opts.min_dwell))) {
         live = best.config;
         if (sp != nullptr) {
-            sp->reconfigure(live);
+            sp->reconfigure(live, /*deliver_local=*/false);
         }
         d.switched = true;
         ++n_switches;
         decisions_since_switch = 0;
+    } else if (restore) {
+        // The optimizer had no feasible candidate, but delivery must
+        // still flip back to remote: re-issue the live config as a
+        // remote epoch.
+        if (sp != nullptr) {
+            sp->reconfigure(live, /*deliver_local=*/false);
+        }
+        d.switched = true;
+        ++n_switches;
+        decisions_since_switch = 0;
+    }
+    if (restore) {
+        degraded_mode = false;
     }
     log.push_back(std::move(d));
 }
@@ -259,6 +360,11 @@ FleetAdaptiveController::FleetAdaptiveController(
     incam_assert(!cams.empty(), "a fleet controller needs cameras");
     incam_assert(opts.trace_fps > 0.0,
                  "the controller needs a frame clock (trace_fps)");
+    incam_assert(opts.degrade_loss_threshold > 1.0 ||
+                     opts.restore_loss_threshold <
+                         opts.degrade_loss_threshold,
+                 "restore threshold must sit strictly below the "
+                 "degrade threshold");
     // Own the planning pipelines: the caller's may be temporaries.
     pipes.reserve(cams.size());
     for (FleetCameraModel &cam : cams) {
@@ -276,6 +382,12 @@ void
 FleetAdaptiveController::useNetworkTrace(const NetworkTrace *trace)
 {
     net_trace = trace;
+}
+
+void
+FleetAdaptiveController::useFaultPlan(const FaultPlan *plan)
+{
+    fault_plan = plan;
 }
 
 void
@@ -299,16 +411,91 @@ FleetAdaptiveController::onFrame(int64_t id)
         t, next_sample, opts.sample_period, next_decision,
         opts.decision_period,
         [this](double at) {
-            if (net_trace != nullptr) {
-                est.observe(at, networkSample(*net_trace, at));
+            if (net_trace == nullptr && fault_plan == nullptr) {
+                return;
             }
+            ConditionSample s;
+            if (net_trace != nullptr) {
+                s = networkSample(*net_trace, at);
+            }
+            if (fault_plan != nullptr) {
+                s.loss_rate = fault_plan->lossAt(at);
+            }
+            est.observe(at, s);
         },
         [this](double at) { decideAt(at); });
 }
 
 void
+FleetAdaptiveController::enterDegrade(double t)
+{
+    // Every camera falls back to its own best zero-offload cut — the
+    // shared uplink is dead, so there is no shared budget to arbitrate
+    // and each camera's choice is independent. Ranked per camera under
+    // the construction link, solo-goal equivalent of the fleet goal.
+    OptimizerGoal solo;
+    solo.kind = goal.kind == FleetOptimizerGoal::Kind::MaxAggregateFps
+                    ? OptimizerGoal::Kind::MaxThroughput
+                    : OptimizerGoal::Kind::MinEnergy;
+
+    AdaptiveDecision d;
+    d.t = t;
+    d.switched = true;
+    for (size_t i = 0; i < cams.size(); ++i) {
+        PipelineOptimizer optimizer(*cams[i].pipeline, base);
+        const std::vector<ConfigResult> all = optimizer.enumerate(solo);
+        const ConfigResult *local_best = nullptr;
+        for (const ConfigResult &r : all) {
+            if (r.config.cut == cams[i].pipeline->blockCount()) {
+                local_best = &r;
+                break;
+            }
+        }
+        incam_assert(local_best != nullptr, "camera '", cams[i].name,
+                     "' has no zero-offload configuration");
+        cams[i].config = local_best->config;
+        if (attached[i] != nullptr) {
+            attached[i]->reconfigure(cams[i].config,
+                                     /*deliver_local=*/true);
+        }
+        d.chosen += (i > 0 ? "; " : "") +
+                    cams[i].config.toString(*cams[i].pipeline);
+    }
+    d.chosen += " [local]";
+    degraded_mode = true;
+    ++n_switches;
+    decisions_since_switch = 0;
+    log.push_back(std::move(d));
+}
+
+void
 FleetAdaptiveController::decideAt(double t)
 {
+    bool restore = false;
+    if (opts.degrade_loss_threshold <= 1.0) {
+        const double believed_loss = est.lossRate(0.0);
+        if (!degraded_mode) {
+            if (believed_loss >= opts.degrade_loss_threshold) {
+                enterDegrade(t);
+                return;
+            }
+        } else if (believed_loss > opts.restore_loss_threshold) {
+            AdaptiveDecision d;
+            d.t = t;
+            for (size_t i = 0; i < cams.size(); ++i) {
+                d.chosen += (i > 0 ? "; " : "") +
+                            cams[i].config.toString(*cams[i].pipeline);
+            }
+            d.chosen += " [local]";
+            ++decisions_since_switch;
+            log.push_back(std::move(d));
+            return;
+        } else {
+            est.resetNetwork();
+            restore = true;
+        }
+    }
+
     const NetworkLink link =
         est.hasNetwork() ? est.estimatedLink(base) : base;
     const FleetOptimizer optimizer(cams, link, policy);
@@ -349,21 +536,40 @@ FleetAdaptiveController::decideAt(double t)
     }
 
     const double gain = relativeGain(live_obj, choice.objective);
-    if (different && choice.feasible &&
-        (!live_feasible || (gain > opts.hysteresis &&
-                            decisions_since_switch >= opts.min_dwell))) {
+    if ((different || restore) && choice.feasible &&
+        (restore || !live_feasible ||
+         (gain > opts.hysteresis &&
+          decisions_since_switch >= opts.min_dwell))) {
         for (size_t i = 0; i < cams.size(); ++i) {
             const bool changed =
                 choice.configs[i].toString(*cams[i].pipeline) !=
                 cams[i].config.toString(*cams[i].pipeline);
             cams[i].config = choice.configs[i];
-            if (changed && attached[i] != nullptr) {
-                attached[i]->reconfigure(cams[i].config);
+            // On restore every camera reconfigures, changed or not:
+            // delivery must flip back to remote.
+            if ((changed || restore) && attached[i] != nullptr) {
+                attached[i]->reconfigure(cams[i].config,
+                                         /*deliver_local=*/false);
             }
         }
         d.switched = true;
         ++n_switches;
         decisions_since_switch = 0;
+    } else if (restore) {
+        // No feasible fleet assignment, but delivery still flips back
+        // to remote under the held configs.
+        for (size_t i = 0; i < cams.size(); ++i) {
+            if (attached[i] != nullptr) {
+                attached[i]->reconfigure(cams[i].config,
+                                         /*deliver_local=*/false);
+            }
+        }
+        d.switched = true;
+        ++n_switches;
+        decisions_since_switch = 0;
+    }
+    if (restore) {
+        degraded_mode = false;
     }
     log.push_back(std::move(d));
 }

@@ -44,6 +44,8 @@
 
 namespace incam {
 
+struct FaultPlan; // fault/fault.hh
+
 /**
  * @p pipe with its filter blocks' pass fractions replaced, in filter
  * order: the first filter takes @p motion_pass, the second
@@ -86,6 +88,26 @@ struct ControllerOptions
      * Must match RuntimeOptions::trace_fps of the attached pipeline.
      */
     double trace_fps = 1.0;
+
+    /**
+     * Degrade-to-local: believed uplink loss at or above this enters
+     * local-delivery mode — the controller switches to the best
+     * zero-offload cut and reconfigures with deliver_local, so frames
+     * complete in-camera instead of dying on a dead link. Values > 1
+     * (the default) disable the state machine, since a loss fraction
+     * never exceeds 1. An emergency transition: hysteresis and dwell
+     * do not apply.
+     */
+    double degrade_loss_threshold = 2.0;
+
+    /**
+     * Believed loss at or below this, while degraded, restores remote
+     * delivery: the network estimate is cold-started (the dead link's
+     * beliefs are discarded — see ConditionEstimator::resetNetwork)
+     * and the optimizer re-plans immediately. Must be strictly below
+     * degrade_loss_threshold when the machine is enabled.
+     */
+    double restore_loss_threshold = 0.2;
 };
 
 /** One entry of the controller's decision log. */
@@ -126,6 +148,14 @@ class AdaptiveController
     void useTelemetry(const Telemetry *probe, double time_scale);
 
     /**
+     * Sample ground-truth loss from a fault plan (deterministic —
+     * what the reproducible fault benchmarks use). Measured loss from
+     * a telemetry probe overrides it in windows with tx attempts.
+     * The plan must outlive the controller's run.
+     */
+    void useFaultPlan(const FaultPlan *plan);
+
+    /**
      * Install this controller as @p sp's source tick and adopt its
      * initial configuration as the live one. The pipeline must have a
      * frame clock matching ControllerOptions::trace_fps. One
@@ -161,9 +191,13 @@ class AdaptiveController
     /** The configuration the controller believes is live. */
     const PipelineConfig &liveConfig() const { return live; }
 
+    /** True while delivering locally (degrade-to-local engaged). */
+    bool degraded() const { return degraded_mode; }
+
   private:
     void sampleAt(double t);
     void decideAt(double t);
+    void enterDegrade(double t);
     /** The planning pipeline with estimated pass fractions folded in. */
     Pipeline planningPipeline() const;
 
@@ -174,10 +208,12 @@ class AdaptiveController
     StreamingPipeline *sp = nullptr;
     const NetworkTrace *net_trace = nullptr;
     const ContentTrace *content_trace = nullptr;
+    const FaultPlan *fault_plan = nullptr;
     std::function<double()> clock_fn; ///< external trace clock
     std::unique_ptr<TelemetrySampler> sampler;
     PipelineConfig live;
     bool attached = false;
+    bool degraded_mode = false;
     double next_sample = 0.0;
     double next_decision; ///< first decision one period in
     int decisions_since_switch = 0;
@@ -207,6 +243,9 @@ class FleetAdaptiveController
 
     void useNetworkTrace(const NetworkTrace *trace);
 
+    /** Ground-truth loss sampling; see the solo controller's. */
+    void useFaultPlan(const FaultPlan *plan);
+
     /** Register camera @p index's pipeline; index 0 is the ticker. */
     void attachCamera(StreamingPipeline &sp, size_t index);
 
@@ -218,8 +257,12 @@ class FleetAdaptiveController
     }
     int64_t switches() const { return n_switches; }
 
+    /** True while the fleet is delivering locally. */
+    bool degraded() const { return degraded_mode; }
+
   private:
     void decideAt(double t);
+    void enterDegrade(double t);
 
     std::vector<FleetCameraModel> cams;
     /** Owned pipeline copies cams' pointers reference. */
@@ -230,7 +273,9 @@ class FleetAdaptiveController
     ControllerOptions opts;
     ConditionEstimator est;
     const NetworkTrace *net_trace = nullptr;
+    const FaultPlan *fault_plan = nullptr;
     std::vector<StreamingPipeline *> attached;
+    bool degraded_mode = false;
     double next_sample = 0.0;
     double next_decision;
     int decisions_since_switch = 0;

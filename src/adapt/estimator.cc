@@ -51,6 +51,9 @@ ConditionEstimator::observe(double t, const ConditionSample &s)
     if (s.latency_s >= 0.0) {
         lat.fold(t, s.latency_s, tau);
     }
+    if (s.loss_rate >= 0.0) {
+        loss.fold(t, s.loss_rate, tau);
+    }
 }
 
 NetworkLink
@@ -86,6 +89,12 @@ ConditionEstimator::latency(double fallback) const
     return lat.seen ? lat.value : fallback;
 }
 
+double
+ConditionEstimator::lossRate(double fallback) const
+{
+    return loss.seen ? loss.value : fallback;
+}
+
 void
 ConditionEstimator::reset()
 {
@@ -94,6 +103,15 @@ ConditionEstimator::reset()
     motion = Ewma{};
     face = Ewma{};
     lat = Ewma{};
+    loss = Ewma{};
+}
+
+void
+ConditionEstimator::resetNetwork()
+{
+    goodput = Ewma{};
+    ebit = Ewma{};
+    loss = Ewma{};
 }
 
 TelemetrySampler::TelemetrySampler(const Telemetry &probe,
@@ -117,6 +135,10 @@ TelemetrySampler::sample(double t)
     const int64_t g_in = src->gate_in.load(std::memory_order_relaxed);
     const int64_t g_pass =
         src->gate_pass.load(std::memory_order_relaxed);
+    const int64_t tx_a =
+        src->tx_attempts.load(std::memory_order_relaxed);
+    const int64_t tx_l =
+        src->tx_losses.load(std::memory_order_relaxed);
 
     ConditionSample s;
     s.queue_depth = static_cast<double>(
@@ -141,6 +163,10 @@ TelemetrySampler::sample(double t)
             s.latency_s = (lat_sum - latency0) /
                           static_cast<double>(lat_n - lat_n0) / scale;
         }
+        if (tx_a > tx_attempts0) {
+            s.loss_rate = static_cast<double>(tx_l - tx_losses0) /
+                          static_cast<double>(tx_a - tx_attempts0);
+        }
     }
     primed = true;
     last_t = t;
@@ -150,6 +176,8 @@ TelemetrySampler::sample(double t)
     lat_n0 = lat_n;
     gate_in0 = g_in;
     gate_pass0 = g_pass;
+    tx_attempts0 = tx_a;
+    tx_losses0 = tx_l;
     return s;
 }
 

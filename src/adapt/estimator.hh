@@ -47,6 +47,14 @@ struct ConditionSample
      * goodput without it.
      */
     double queue_depth = -1.0;
+    /**
+     * Fraction of transmission attempts lost this window (measured:
+     * tx_losses / tx_attempts deltas; ground truth: the fault plan's
+     * loss at the sample instant). What the degrade-to-local state
+     * machine watches. Unobservable in windows with no attempts —
+     * which is why degraded epochs keep probing the link.
+     */
+    double loss_rate = -1.0;
 };
 
 /** Per-field EWMA over ConditionSamples on a model-time clock. */
@@ -80,7 +88,20 @@ class ConditionEstimator
     double facePass(double fallback) const;
     double latency(double fallback) const;
 
+    /** Believed uplink loss fraction; fallback until observed. */
+    double lossRate(double fallback) const;
+
     void reset();
+
+    /**
+     * Forget the network fields (goodput, per-bit energy, loss) while
+     * keeping the content beliefs. Used when the controller knows the
+     * link's regime just changed discontinuously — e.g. a blackout
+     * healed — so the first post-change sample *initializes* the
+     * filters (Ewma cold-start) instead of being averaged against a
+     * dead link's state.
+     */
+    void resetNetwork();
 
   private:
     struct Ewma
@@ -93,7 +114,7 @@ class ConditionEstimator
     };
 
     double tau; ///< horizon in model seconds
-    Ewma goodput, ebit, motion, face, lat;
+    Ewma goodput, ebit, motion, face, lat, loss;
 };
 
 /**
@@ -120,6 +141,7 @@ class TelemetrySampler
     bool primed = false;
     double bytes0 = 0.0, energy0 = 0.0, latency0 = 0.0;
     int64_t gate_in0 = 0, gate_pass0 = 0, lat_n0 = 0;
+    int64_t tx_attempts0 = 0, tx_losses0 = 0;
 };
 
 } // namespace incam

@@ -1,0 +1,236 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace incam {
+
+namespace {
+
+/** splitmix64 finalizer: the avalanche step that makes counter-based
+ *  draws independent across adjacent keys. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Distinct hash streams so a tx-loss draw never collides with a
+ *  stage-fault or jitter draw for the same (camera, frame, attempt). */
+constexpr uint64_t kTxStream = 0x7c0ffee1;
+constexpr uint64_t kJitterStream = 0x7c0ffee2;
+constexpr uint64_t kStageStream = 0x7c0ffee3;
+
+} // namespace
+
+std::vector<LossSegment>
+FaultPlan::gilbertElliottLoss(double good_loss, double bad_loss,
+                              const GilbertElliottParams &params)
+{
+    incam_assert(good_loss >= 0.0 && good_loss <= 1.0 &&
+                     bad_loss >= 0.0 && bad_loss <= 1.0,
+                 "loss probabilities must lie in [0, 1]");
+    incam_assert(params.step.sec() > 0.0, "GE step must be positive");
+    incam_assert(params.duration >= params.step,
+                 "GE duration must cover at least one step");
+    Rng rng(params.seed);
+    const int n_steps =
+        static_cast<int>(params.duration.sec() / params.step.sec());
+    bool is_good = params.start_good;
+    std::vector<LossSegment> segs;
+    // Runs of the same state merge into one segment; the chain is
+    // still stepped every params.step so the seed fully determines
+    // the schedule (mirrors NetworkTrace::gilbertElliott).
+    segs.push_back({Time{}, is_good ? good_loss : bad_loss});
+    for (int i = 1; i < n_steps; ++i) {
+        const bool flip = rng.chance(is_good ? params.p_good_to_bad
+                                             : params.p_bad_to_good);
+        if (flip) {
+            is_good = !is_good;
+            segs.push_back({params.step * static_cast<double>(i),
+                            is_good ? good_loss : bad_loss});
+        }
+    }
+    return segs;
+}
+
+double
+FaultPlan::lossAt(double t) const
+{
+    if (t < 0.0) {
+        // No frame clock: time-scheduled faults are undefined; only
+        // the stationary loss applies.
+        return tx_loss;
+    }
+    if (inBlackout(t)) {
+        return 1.0;
+    }
+    if (loss_schedule.empty()) {
+        return tx_loss;
+    }
+    // Last segment whose start <= t (before the first: clamp to it).
+    double loss = loss_schedule.front().loss;
+    for (const LossSegment &s : loss_schedule) {
+        if (s.start.sec() <= t) {
+            loss = s.loss;
+        } else {
+            break;
+        }
+    }
+    return loss;
+}
+
+bool
+FaultPlan::inBlackout(double t) const
+{
+    if (t < 0.0) {
+        return false;
+    }
+    for (const BlackoutWindow &b : blackouts) {
+        if (t >= b.start.sec() &&
+            t < b.start.sec() + b.duration.sec()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+FaultPlan::blackoutSecondsWithin(double t0, double t1) const
+{
+    double total = 0.0;
+    for (const BlackoutWindow &b : blackouts) {
+        const double lo = std::max(t0, b.start.sec());
+        const double hi =
+            std::min(t1, b.start.sec() + b.duration.sec());
+        total += std::max(0.0, hi - lo);
+    }
+    return total;
+}
+
+const StageFaultSpec *
+FaultPlan::stageSpec(int block) const
+{
+    for (const StageFaultSpec &s : stage_faults) {
+        if (s.block == block) {
+            return &s;
+        }
+    }
+    return nullptr;
+}
+
+bool
+FaultPlan::empty() const
+{
+    return tx_loss <= 0.0 && loss_schedule.empty() &&
+           blackouts.empty() && stage_faults.empty() && crashes.empty();
+}
+
+FaultInjector::FaultInjector(FaultPlan fault_plan)
+    : p(std::move(fault_plan))
+{
+    incam_assert(p.tx_loss >= 0.0 && p.tx_loss <= 1.0,
+                 "tx_loss must lie in [0, 1]");
+    for (const LossSegment &s : p.loss_schedule) {
+        incam_assert(s.loss >= 0.0 && s.loss <= 1.0,
+                     "loss schedule probabilities must lie in [0, 1]");
+    }
+    for (const StageFaultSpec &s : p.stage_faults) {
+        incam_assert(s.fault_probability >= 0.0 &&
+                         s.fault_probability <= 1.0,
+                     "stage fault probability must lie in [0, 1]");
+        incam_assert(s.slowdown >= 1.0,
+                     "a stall can only slow a stage down");
+    }
+}
+
+double
+FaultInjector::draw(uint64_t stream, uint64_t a, uint64_t b,
+                    uint64_t c) const
+{
+    uint64_t h = mix64(p.seed ^ stream);
+    h = mix64(h ^ a);
+    h = mix64(h ^ b);
+    h = mix64(h ^ c);
+    return (h >> 11) * 0x1.0p-53;
+}
+
+bool
+FaultInjector::txLost(int camera, int64_t frame, int attempt,
+                      double trace_time) const
+{
+    const double loss = p.lossAt(trace_time);
+    if (loss <= 0.0) {
+        return false;
+    }
+    if (loss >= 1.0) {
+        return true;
+    }
+    return draw(kTxStream, static_cast<uint64_t>(camera),
+                static_cast<uint64_t>(frame),
+                static_cast<uint64_t>(attempt)) < loss;
+}
+
+double
+FaultInjector::backoffJitter(int camera, int64_t frame,
+                             int attempt) const
+{
+    return draw(kJitterStream, static_cast<uint64_t>(camera),
+                static_cast<uint64_t>(frame),
+                static_cast<uint64_t>(attempt));
+}
+
+bool
+FaultInjector::stageFaulted(int camera, int block, int64_t frame,
+                            int attempt) const
+{
+    const StageFaultSpec *s = p.stageSpec(block);
+    if (s == nullptr || s->fault_probability <= 0.0) {
+        return false;
+    }
+    if (s->fault_probability >= 1.0) {
+        return true;
+    }
+    // Fold block and camera into one key word: the (a, b, c) triple
+    // stays (site, frame, attempt) shaped like the tx stream's.
+    const uint64_t site = static_cast<uint64_t>(camera) * 0x10001ull +
+                          static_cast<uint64_t>(block);
+    return draw(kStageStream, site, static_cast<uint64_t>(frame),
+                static_cast<uint64_t>(attempt)) <
+           s->fault_probability;
+}
+
+double
+FaultInjector::stageSlowdown(int block, double trace_time) const
+{
+    const StageFaultSpec *s = p.stageSpec(block);
+    if (s == nullptr || s->slowdown <= 1.0 || trace_time < 0.0) {
+        return 1.0;
+    }
+    const double lo = s->slow_start.sec();
+    const double hi = lo + s->slow_duration.sec();
+    return trace_time >= lo && trace_time < hi ? s->slowdown : 1.0;
+}
+
+bool
+FaultInjector::cameraDown(int camera, double trace_time) const
+{
+    if (trace_time < 0.0) {
+        return false;
+    }
+    for (const CrashWindow &c : p.crashes) {
+        if (c.camera == camera && trace_time >= c.start.sec() &&
+            trace_time < c.start.sec() + c.duration.sec()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace incam

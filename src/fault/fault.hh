@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Deterministic fault injection — the failure model of the runtime.
+ *
+ * The paper's headline deployments (backscatter FA swarms, RF-harvest
+ * power budgets) are exactly the ones where transmissions fail, links
+ * black out, stages stall and cameras brown out mid-stream. A
+ * FaultPlan is a declarative, seedable schedule of those failures on
+ * the *model/trace clock*, and a FaultInjector is a stateless oracle
+ * over it: every query is a pure function of (plan, identifiers), so
+ * the same plan produces bit-identical fault sequences regardless of
+ * host timing, thread count or execution shape — the property the
+ * fault determinism tests pin and the recovery machinery (uplink
+ * retries, stage drop-vs-retry, degrade-to-local) builds on.
+ *
+ * Four fault families:
+ *
+ *  - *Transmission loss*: each uplink attempt is lost with a
+ *    probability read from the plan at the frame's trace time —
+ *    stationary (tx_loss), scheduled (loss_schedule segments, e.g. a
+ *    Gilbert-Elliott burst-loss schedule from gilbertElliottLoss()),
+ *    or total (inside a blackout window). The decision for attempt k
+ *    of frame f on camera c is a counter-based hash draw keyed by
+ *    (seed, c, f, k): interleaving-independent by construction, and
+ *    independent across attempts so retries genuinely re-roll.
+ *
+ *  - *Link blackouts*: hard [start, start+duration) windows in which
+ *    every attempt is lost no matter the loss schedule — the sustained
+ *    failure the adaptive controller's degrade-to-local mode detects.
+ *
+ *  - *Stage compute faults*: per-block transient execution faults
+ *    (same hash-draw determinism, re-rolled per retry) and stall
+ *    windows that stretch the block's modeled service time by a
+ *    slowdown factor; the runtime's per-stage watchdog treats a
+ *    stalled service exceeding its factor as a fault.
+ *
+ *  - *Camera crashes*: per-camera [start, start+duration) windows in
+ *    which the source emits nothing (frames are offered and counted
+ *    dropped-at-source); the frame clock keeps advancing, so a
+ *    restarted camera rejoins the schedule exactly on time.
+ *
+ * Frames without a frame clock (trace_time < 0) see only the
+ * stationary faults: time-scheduled windows need a clock.
+ */
+
+#ifndef INCAM_FAULT_FAULT_HH
+#define INCAM_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "trace/trace.hh"
+
+namespace incam {
+
+/** One constant-loss interval of a FaultPlan's loss schedule. */
+struct LossSegment
+{
+    Time start;        ///< trace time this loss rate takes effect
+    double loss = 0.0; ///< per-attempt loss probability in [0, 1]
+};
+
+/** A hard link outage: every transmission attempt inside is lost. */
+struct BlackoutWindow
+{
+    Time start;
+    Time duration;
+};
+
+/** Compute faults of one pipeline block. */
+struct StageFaultSpec
+{
+    int block = 0;
+    /** Per-attempt probability the block's execution faults
+     *  transiently (hash-drawn; a retry re-rolls). */
+    double fault_probability = 0.0;
+    /** Service-time multiplier inside the stall window (1 = none). */
+    double slowdown = 1.0;
+    Time slow_start;
+    Time slow_duration;
+};
+
+/** A whole-camera outage: the source emits nothing inside it. */
+struct CrashWindow
+{
+    int camera = 0;
+    Time start;
+    Time duration;
+};
+
+/**
+ * A deterministic, seedable schedule of faults over model time.
+ * Aggregate-initializable; every field has a benign default (no
+ * faults), so a plan describes only the failures it injects.
+ */
+struct FaultPlan
+{
+    /** Root of every hash draw; two plans differing only in seed
+     *  produce independent fault sequences. */
+    uint64_t seed = 1;
+
+    /** Stationary per-attempt transmission loss probability, used
+     *  wherever the loss schedule is empty (or no clock exists). */
+    double tx_loss = 0.0;
+
+    /** Time-varying per-attempt loss; overrides tx_loss when
+     *  non-empty. Same ordering rules as NetworkTrace segments. */
+    std::vector<LossSegment> loss_schedule;
+
+    std::vector<BlackoutWindow> blackouts;
+    std::vector<StageFaultSpec> stage_faults;
+    std::vector<CrashWindow> crashes;
+
+    /**
+     * A Gilbert-Elliott burst-loss schedule: the channel is good
+     * (@p good_loss) or bad (@p bad_loss) per step with the transition
+     * probabilities of @p params — the loss-process analogue of
+     * NetworkTrace::gilbertElliott, drawn from the same seeded chain
+     * machinery so identical params yield bit-identical schedules.
+     */
+    static std::vector<LossSegment>
+    gilbertElliottLoss(double good_loss, double bad_loss,
+                       const GilbertElliottParams &params);
+
+    /** Per-attempt loss probability at trace time @p t: 1 inside a
+     *  blackout, else the schedule (or tx_loss). Negative times see
+     *  only tx_loss. */
+    double lossAt(double t) const;
+
+    bool inBlackout(double t) const;
+
+    /** Total blackout time inside [@p t0, @p t1) — what a run's loss
+     *  ledger reports as blackout_seconds. */
+    double blackoutSecondsWithin(double t0, double t1) const;
+
+    /** The fault spec of block @p block, or null when it has none. */
+    const StageFaultSpec *stageSpec(int block) const;
+
+    /** True when the plan injects nothing (the default state). */
+    bool empty() const;
+};
+
+/**
+ * Thread-safe deterministic oracle over a FaultPlan. All queries are
+ * const and stateless — safe to share across every camera of a fleet.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan fault_plan);
+
+    const FaultPlan &plan() const { return p; }
+
+    /**
+     * Was attempt @p attempt (0-based) of frame @p frame on camera
+     * @p camera lost, given the frame sits at @p trace_time on the
+     * trace clock? Deterministic in its arguments alone.
+     */
+    bool txLost(int camera, int64_t frame, int attempt,
+                double trace_time) const;
+
+    /** Uniform [0, 1) draw for retry-backoff jitter, keyed like
+     *  txLost so the wait sequence is equally deterministic. */
+    double backoffJitter(int camera, int64_t frame, int attempt) const;
+
+    /** Did execution attempt @p attempt of block @p block fault on
+     *  this frame? (Transient: a retry re-rolls.) */
+    bool stageFaulted(int camera, int block, int64_t frame,
+                      int attempt) const;
+
+    /** Service-time multiplier of block @p block at @p trace_time
+     *  (1 outside any stall window). */
+    double stageSlowdown(int block, double trace_time) const;
+
+    /** Is @p camera inside one of its crash windows at @p trace_time? */
+    bool cameraDown(int camera, double trace_time) const;
+
+  private:
+    /** Counter-based uniform [0, 1) hash draw over the plan seed and
+     *  a (stream, a, b, c) key — splitmix64-finalized per word, so
+     *  adjacent keys decorrelate fully. */
+    double draw(uint64_t stream, uint64_t a, uint64_t b,
+                uint64_t c) const;
+
+    FaultPlan p;
+};
+
+} // namespace incam
+
+#endif // INCAM_FAULT_FAULT_HH

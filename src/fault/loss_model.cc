@@ -1,0 +1,64 @@
+#include "fault/loss_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace incam {
+
+DeliveryModel
+expectedDelivery(double loss, const DeliveryModelPolicy &policy)
+{
+    incam_assert(loss >= 0.0 && loss <= 1.0,
+                 "loss probability must lie in [0, 1]");
+    incam_assert(policy.max_retries >= 0,
+                 "retry budget must be >= 0");
+    const int attempts_allowed = 1 + policy.max_retries;
+    DeliveryModel m;
+    if (loss <= 0.0) {
+        return m; // one attempt, certain delivery, no waiting
+    }
+    const double p_all_lost =
+        std::pow(loss, static_cast<double>(attempts_allowed));
+    m.p_delivered = 1.0 - p_all_lost;
+    m.expected_attempts =
+        loss >= 1.0 ? static_cast<double>(attempts_allowed)
+                    : (1.0 - p_all_lost) / (1.0 - loss);
+    // Retry k (k = 1 .. A-1) happens with probability p^k and is
+    // preceded by the loss timeout plus the k-th backoff step.
+    double p_k = 1.0;
+    for (int k = 1; k < attempts_allowed; ++k) {
+        p_k *= loss;
+        m.expected_wait_s +=
+            p_k * (policy.ack_timeout +
+                   policy.backoff_base * std::ldexp(1.0, k - 1));
+    }
+    return m;
+}
+
+DeliveryModel
+expectedDeliveryOverPlan(const FaultPlan &plan, double fps,
+                         int64_t frames,
+                         const DeliveryModelPolicy &policy)
+{
+    incam_assert(fps > 0.0, "the plan walk needs a frame clock");
+    incam_assert(frames > 0, "the plan walk needs frames");
+    DeliveryModel total;
+    total.p_delivered = 0.0;
+    total.expected_attempts = 0.0;
+    for (int64_t i = 0; i < frames; ++i) {
+        const double t = static_cast<double>(i) / fps;
+        const DeliveryModel m =
+            expectedDelivery(plan.lossAt(t), policy);
+        total.p_delivered += m.p_delivered;
+        total.expected_attempts += m.expected_attempts;
+        total.expected_wait_s += m.expected_wait_s;
+    }
+    const double n = static_cast<double>(frames);
+    total.p_delivered /= n;
+    total.expected_attempts /= n;
+    total.expected_wait_s /= n;
+    return total;
+}
+
+} // namespace incam

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Expected-value delivery model under transmission loss — the
+ * analytical mirror of the runtime's retry machinery.
+ *
+ * The paper's cost model prices one lossless transmission per
+ * delivered frame. Under a per-attempt loss probability p and a retry
+ * budget of R (so A = 1 + R attempts per frame), delivery becomes a
+ * truncated geometric process with closed forms:
+ *
+ *   P(delivered)   = 1 - p^A
+ *   E[attempts]    = (1 - p^A) / (1 - p)          (= A when p -> 1)
+ *   E[wait]        = sum_{k=1}^{A-1} p^k (t_ack + t_bo 2^{k-1})
+ *
+ * E[attempts] scales the per-frame radio bytes and Joules (every
+ * attempt pays full price — the honest re-pricing the fault layer
+ * enforces), P(delivered) scales goodput, and E[wait] adds the
+ * timeout/backoff dead time to the per-frame airtime. Backoff jitter
+ * is symmetric around 1, so it drops out of the expectations.
+ *
+ * expectedDelivery() prices one stationary loss rate;
+ * expectedDeliveryOverPlan() walks a FaultPlan frame by frame on the
+ * frame clock (each frame sees the plan's loss at its own trace time,
+ * blackouts included), which is what bench_faults holds the measured
+ * ledger against.
+ */
+
+#ifndef INCAM_FAULT_LOSS_MODEL_HH
+#define INCAM_FAULT_LOSS_MODEL_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "fault/fault.hh"
+
+namespace incam {
+
+/** Uplink recovery parameters the model prices (a mirror of the
+ *  runtime's DeliveryPolicy, kept dependency-free). */
+struct DeliveryModelPolicy
+{
+    int max_retries = 0;
+    double ack_timeout = 0.0;  ///< model seconds per detected loss
+    double backoff_base = 0.0; ///< model seconds; doubles per retry
+};
+
+/** Expected per-offered-frame delivery behaviour. */
+struct DeliveryModel
+{
+    double p_delivered = 1.0;     ///< P(some attempt succeeds)
+    double expected_attempts = 1.0;
+    double expected_wait_s = 0.0; ///< timeout + backoff dead time
+};
+
+/** Closed-form delivery process for one stationary loss rate. */
+DeliveryModel expectedDelivery(double loss,
+                               const DeliveryModelPolicy &policy);
+
+/** Expected per-frame delivery over a FaultPlan's schedule: frame i
+ *  of @p frames sits at i / @p fps on the trace clock and sees the
+ *  plan's loss (blackouts included) at that instant. Averages the
+ *  per-frame closed forms — exact for hash-draw injection in
+ *  expectation. */
+DeliveryModel expectedDeliveryOverPlan(const FaultPlan &plan,
+                                       double fps, int64_t frames,
+                                       const DeliveryModelPolicy &policy);
+
+} // namespace incam
+
+#endif // INCAM_FAULT_LOSS_MODEL_HH

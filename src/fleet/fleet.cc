@@ -107,10 +107,18 @@ CameraFleet::run()
         ro.link_burst_frames = opts.link_burst_frames;
         ro.source_fps = cam.source_fps;
         ro.trace_fps = opts.trace_fps;
+        ro.delivery = opts.delivery;
+        ro.stage_policy = opts.stage_policy;
         auto sp = std::make_unique<StreamingPipeline>(
             cam.pipeline, cam.config, net, ro);
         const int endpoint = shared.addEndpoint(cam.name, cam.weight);
         sp->attachUplinkArbiter(arbiter, endpoint);
+        if (opts.faults != nullptr) {
+            // The camera identifies to the shared fault oracle as its
+            // fleet index, so crash windows and hash streams are per
+            // camera while the plan itself is shared.
+            sp->setFaultInjector(opts.faults, endpoint);
+        }
         if (cam.customize) {
             cam.customize(*sp);
         }
@@ -198,6 +206,7 @@ CameraFleet::run()
         rep.aggregate_model_fps += cr.runtime.model_fps;
         rep.total_energy += cr.runtime.total_energy();
         rep.uplink_bytes += cr.runtime.link.bytes_sent;
+        rep.ledger.add(cr.runtime.ledger);
         rep.cameras.push_back(std::move(cr));
     }
     // Under a trace the medium's capacity is the schedule's

@@ -45,7 +45,8 @@
 
 namespace incam {
 
-class NetworkTrace; // trace/trace.hh
+class NetworkTrace;  // trace/trace.hh
+class FaultInjector; // fault/fault.hh
 
 /** One camera of a fleet: a pipeline configuration plus traffic. */
 struct FleetCamera
@@ -96,6 +97,17 @@ struct FleetOptions
     const NetworkTrace *network_trace = nullptr;
     /** Frame clock forwarded to every camera's RuntimeOptions. */
     double trace_fps = 0.0;
+    /**
+     * Shared fault oracle: every camera is subjected to this plan,
+     * identifying as its fleet index (== arbiter endpoint), so
+     * per-camera crash windows key on that index. The injector must
+     * outlive the run. Null = fault-free.
+     */
+    const FaultInjector *faults = nullptr;
+    /** Uplink retry semantics forwarded to every camera. */
+    DeliveryPolicy delivery;
+    /** Default compute-fault policy forwarded to every camera. */
+    StagePolicy stage_policy;
 };
 
 /** One camera's measured run plus its share of the arbitrated link. */
@@ -119,6 +131,9 @@ struct FleetRunReport
     DataSize uplink_bytes;
     /** Bytes sent / (goodput x wall): 1.0 when the link saturates. */
     double link_utilization = 0.0;
+    /** Fleet-wide loss accounting: the per-camera ledgers summed.
+     *  consistent() holds whenever every camera's does. */
+    LossLedger ledger;
 };
 
 /** Runs heterogeneous pipelines against one arbitrated uplink. */

@@ -5,10 +5,12 @@
 #include <cmath>
 #include <exception>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "common/logging.hh"
 #include "exec/thread_pool.hh"
+#include "fault/fault.hh"
 #include "runtime/frame_queue.hh"
 #include "runtime/pacer.hh"
 #include "trace/trace.hh"
@@ -41,6 +43,32 @@ percentile(const std::vector<double> &sorted, double q)
 
 } // namespace
 
+void
+LossLedger::add(const LossLedger &o)
+{
+    offered += o.offered;
+    delivered += o.delivered;
+    delivered_remote += o.delivered_remote;
+    delivered_local += o.delivered_local;
+    dropped += o.dropped;
+    dropped_gated += o.dropped_gated;
+    dropped_source += o.dropped_source;
+    dropped_link += o.dropped_link;
+    dropped_fault += o.dropped_fault;
+    dropped_shutdown += o.dropped_shutdown;
+    retried_frames += o.retried_frames;
+    tx_attempts += o.tx_attempts;
+    tx_losses += o.tx_losses;
+    stage_retries += o.stage_retries;
+    probe_attempts += o.probe_attempts;
+    probe_successes += o.probe_successes;
+    retry_bytes += o.retry_bytes;
+    retry_energy += o.retry_energy;
+    backoff_seconds += o.backoff_seconds;
+    blackout_seconds += o.blackout_seconds;
+    goodput_after_loss_bps += o.goodput_after_loss_bps;
+}
+
 /** Queues plus measurement state of one run (threaded or inline). */
 struct StreamingPipeline::RunState
 {
@@ -50,6 +78,9 @@ struct StreamingPipeline::RunState
         int64_t in = 0;
         int64_t out = 0;
         int64_t dropped = 0;
+        int64_t fault_dropped = 0;    ///< of dropped: fault policy
+        int64_t shutdown_dropped = 0; ///< downstream closed mid-push
+        int64_t retries = 0;          ///< compute re-executions
         double busy_seconds = 0.0;
         Energy energy;
         DataSize bytes_sent;
@@ -58,8 +89,26 @@ struct StreamingPipeline::RunState
         bool delivered_any = false;
     };
 
+    /** Delivery accounting, owned by the uplink stage's thread. */
+    struct LinkCounters
+    {
+        int64_t attempts = 0;
+        int64_t losses = 0;
+        int64_t retried_frames = 0;
+        int64_t delivered_remote = 0;
+        int64_t delivered_local = 0;
+        int64_t probes = 0;
+        int64_t probe_ok = 0;
+        int64_t local_seq = 0; ///< degraded frames seen (probe cadence)
+        double backoff_s = 0.0;
+        DataSize retry_bytes;
+        DataSize delivered_payload; ///< remote payload (no retries)
+        Energy retry_energy;
+    };
+
     std::vector<std::unique_ptr<FrameQueue>> queues; ///< empty inline
     std::vector<StageState> state;
+    LinkCounters lc;
     std::vector<double> latencies; ///< wall e2e per delivery (uplink)
     std::mutex error_mu;
     std::exception_ptr first_error;
@@ -86,6 +135,7 @@ StreamingPipeline::StreamingPipeline(const Pipeline &pipeline,
         spec.name = b.name();
         spec.filter_ordinal =
             b.passFraction() < 1.0 ? filter_ordinal++ : -1;
+        spec.policy = opts.stage_policy;
         specs.push_back(std::move(spec));
     }
     // The epoch table must never reallocate: stage threads index it
@@ -131,8 +181,16 @@ StreamingPipeline::makeEpoch(const PipelineConfig &config) const
 void
 StreamingPipeline::reconfigure(const PipelineConfig &next)
 {
+    reconfigure(next, false);
+}
+
+void
+StreamingPipeline::reconfigure(const PipelineConfig &next,
+                               bool deliver_local)
+{
     PipelineEvaluator(pipe, net).check(next);
     Epoch ep = makeEpoch(next);
+    ep.local = deliver_local;
     std::lock_guard<std::mutex> lk(epoch_mu);
     incam_assert(epochs.size() < epochs.capacity(),
                  "epoch table full (", epochs.capacity(),
@@ -164,6 +222,27 @@ void
 StreamingPipeline::setSourceTick(std::function<void(int64_t)> tick)
 {
     tick_fn = std::move(tick);
+}
+
+void
+StreamingPipeline::setFaultInjector(const FaultInjector *fault_injector,
+                                    int camera)
+{
+    incam_assert(camera >= 0, "fault camera identity must be >= 0");
+    injector = fault_injector;
+    fault_camera = camera;
+}
+
+void
+StreamingPipeline::setStagePolicy(int block_index, StagePolicy policy)
+{
+    incam_assert(block_index >= 0 &&
+                     static_cast<size_t>(block_index) < specs.size(),
+                 "block ", block_index,
+                 " is not a stage of this pipeline");
+    incam_assert(policy.max_retries >= 0,
+                 "stage retry budget must be >= 0");
+    specs[static_cast<size_t>(block_index)].policy = policy;
 }
 
 void
@@ -223,21 +302,59 @@ StreamingPipeline::processBlockFrame(size_t b, Frame &f,
         return true;
     }
     const Clock::time_point t0 = Clock::now();
-    st.energy += plan.energy;
-    // The modeled representation change; a real executor may refine
-    // it (e.g. a codec's actual encoded size).
-    f.bytes = plan.out_bytes;
+    const double slowdown =
+        injector != nullptr
+            ? injector->stageSlowdown(static_cast<int>(b), f.trace_time)
+            : 1.0;
     bool executor_pass = true;
-    if (spec.executor) {
-        executor_pass = spec.executor->process(f);
+    bool completed = false;
+    int attempt = 0;
+    for (;;) {
+        // Every execution attempt — first or retry — pays the block's
+        // modeled time and energy in full.
+        st.energy += plan.energy;
+        // The modeled representation change; a real executor may
+        // refine it (e.g. a codec's actual encoded size).
+        f.bytes = plan.out_bytes;
+        if (spec.executor) {
+            executor_pass = spec.executor->process(f);
+        }
+        if (f.epoch != pacer_epoch) {
+            // The epoch moved this block to a different implementation
+            // (or back from the cloud): re-rate the pacer, debt intact.
+            pacer.setRate(plan.pacer_rate);
+            pacer_epoch = f.epoch;
+        }
+        // A stalled stage pays slowdown x the modeled service time.
+        pacer.acquire(slowdown);
+        bool faulted =
+            injector != nullptr &&
+            injector->stageFaulted(fault_camera, static_cast<int>(b),
+                                   f.id, attempt);
+        if (!faulted && spec.policy.watchdog_slowdown > 0.0 &&
+            slowdown >= spec.policy.watchdog_slowdown) {
+            // Watchdog: the attempt ran too far past its modeled
+            // service time; treat the stall as a fault.
+            faulted = true;
+        }
+        if (!faulted) {
+            completed = true;
+            break;
+        }
+        if (spec.policy.on_fault == StageFaultAction::Retry &&
+            attempt < spec.policy.max_retries) {
+            ++attempt;
+            ++st.retries;
+            continue;
+        }
+        break;
     }
-    if (f.epoch != pacer_epoch) {
-        // The epoch moved this block to a different implementation
-        // (or back from the cloud): re-rate the pacer, debt intact.
-        pacer.setRate(plan.pacer_rate);
-        pacer_epoch = f.epoch;
+    if (!completed) {
+        ++st.dropped;
+        ++st.fault_dropped;
+        st.busy_seconds += secondsBetween(t0, Clock::now());
+        return false;
     }
-    pacer.acquire(1.0);
     double pass_fraction = plan.pass_fraction;
     if (content != nullptr && spec.filter_ordinal >= 0) {
         // Scene-content schedule: this filter's pass fraction at the
@@ -287,24 +404,129 @@ StreamingPipeline::deliverFrame(Frame &f, TokenBucket &pacer,
                                 int64_t &last_id)
 {
     RunState::StageState &st = rs->state.back();
+    RunState::LinkCounters &lc = rs->lc;
     const Clock::time_point t0 = Clock::now();
     ++st.in;
     incam_assert(f.id > last_id, "uplink saw frame ", f.id, " after ",
                  last_id, ": SPSC ordering violated");
     last_id = f.id;
-    Energy e;
-    if (arbiter) {
-        e = arbiter->acquire(arbiter_endpoint, f.bytes.b(),
-                             f.trace_time);
-    } else {
-        pacer.acquire(f.bytes.b());
-        e = net.transferEnergy(f.bytes);
+
+    // A degraded (local-delivery) epoch keeps frames in-camera: no
+    // transmission, no radio energy — except the periodic probe that
+    // tests whether the link healed.
+    const bool local_epoch =
+        epochs[static_cast<size_t>(f.epoch)].local;
+    bool is_probe = false;
+    bool attempt_remote = !local_epoch;
+    if (local_epoch && opts.delivery.probe_every > 0) {
+        is_probe = lc.local_seq++ % opts.delivery.probe_every == 0;
+        attempt_remote = is_probe;
     }
+
+    Energy e;
+    bool remote_ok = false;
+    int attempts = 0;
+    if (attempt_remote) {
+        // Bounded retry with timeout + exponential backoff. Every
+        // attempt pays full bytes, airtime and Joules; the fault
+        // plan's hash draw decides each attempt independently, keyed
+        // by (camera, frame, attempt) so the outcome sequence is the
+        // same under every execution shape. Probes get one attempt:
+        // their job is measurement, not delivery.
+        const int budget =
+            is_probe ? 1 : 1 + std::max(0, opts.delivery.max_retries);
+        for (;;) {
+            ++attempts;
+            Energy attempt_e;
+            if (arbiter) {
+                attempt_e = arbiter->acquire(arbiter_endpoint,
+                                             f.bytes.b(), f.trace_time);
+            } else {
+                pacer.acquire(f.bytes.b());
+                attempt_e = net.transferEnergy(f.bytes);
+            }
+            e += attempt_e;
+            if (attempts > 1) {
+                lc.retry_bytes += f.bytes;
+                lc.retry_energy += attempt_e;
+            }
+            const bool lost =
+                injector != nullptr &&
+                injector->txLost(fault_camera, f.id, attempts - 1,
+                                 f.trace_time);
+            if (!lost) {
+                remote_ok = true;
+                break;
+            }
+            ++lc.losses;
+            if (attempts >= budget) {
+                break;
+            }
+            double wait =
+                opts.delivery.ack_timeout +
+                opts.delivery.backoff_base *
+                    std::ldexp(1.0, attempts - 1);
+            if (opts.delivery.backoff_jitter > 0.0 &&
+                injector != nullptr && wait > 0.0) {
+                const double u = injector->backoffJitter(
+                    fault_camera, f.id, attempts - 1);
+                wait *= 1.0 + opts.delivery.backoff_jitter *
+                                  (2.0 * u - 1.0);
+            }
+            lc.backoff_s += wait;
+            if (opts.pace_link && wait > 0.0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(wait *
+                                                  opts.time_scale));
+            }
+        }
+        lc.attempts += attempts;
+        if (attempts > 1) {
+            ++lc.retried_frames;
+        }
+        if (is_probe) {
+            ++lc.probes;
+            if (remote_ok) {
+                ++lc.probe_ok;
+            }
+        }
+        probe.tx_attempts.fetch_add(attempts,
+                                    std::memory_order_relaxed);
+        probe.tx_losses.fetch_add(attempts - (remote_ok ? 1 : 0),
+                                  std::memory_order_relaxed);
+    }
+
+    // Air bytes: every attempt crossed the radio, so byte and energy
+    // totals (and their telemetry) carry the retries — the honest
+    // re-pricing the ledger then itemizes.
+    const double air_bytes =
+        f.bytes.b() * static_cast<double>(attempts);
     st.energy += e;
-    st.bytes_sent += f.bytes;
-    ++st.out;
+    st.bytes_sent += DataSize::bytes(air_bytes);
     const Clock::time_point t1 = Clock::now();
     st.busy_seconds += secondsBetween(t0, t1);
+    probe.bytes_sent.fetch_add(air_bytes, std::memory_order_relaxed);
+    probe.comm_energy_j.fetch_add(e.j(), std::memory_order_relaxed);
+    if (!rs->queues.empty()) {
+        probe.uplink_queue_depth.store(rs->queues.back()->depth(),
+                                       std::memory_order_relaxed);
+    }
+
+    const bool delivered = remote_ok || local_epoch;
+    if (!delivered) {
+        // Retry budget spent: the frame is shed at the link.
+        ++st.dropped;
+        probe.link_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    ++st.out;
+    if (remote_ok) {
+        ++lc.delivered_remote;
+        lc.delivered_payload += f.bytes;
+    } else {
+        ++lc.delivered_local;
+        probe.delivered_local.fetch_add(1, std::memory_order_relaxed);
+    }
     if (!st.delivered_any) {
         st.delivered_any = true;
         st.first_delivery = t1;
@@ -314,14 +536,8 @@ StreamingPipeline::deliverFrame(Frame &f, TokenBucket &pacer,
     const double latency = secondsBetween(f.emit, t1);
     rs->latencies.push_back(latency);
     probe.delivered_frames.fetch_add(1, std::memory_order_relaxed);
-    probe.bytes_sent.fetch_add(f.bytes.b(), std::memory_order_relaxed);
-    probe.comm_energy_j.fetch_add(e.j(), std::memory_order_relaxed);
     probe.latency_sum_s.fetch_add(latency, std::memory_order_relaxed);
     probe.latency_count.fetch_add(1, std::memory_order_relaxed);
-    if (!rs->queues.empty()) {
-        probe.uplink_queue_depth.store(rs->queues.back()->depth(),
-                                       std::memory_order_relaxed);
-    }
 }
 
 TokenBucket
@@ -360,8 +576,19 @@ StreamingPipeline::sourceLoop()
     TokenBucket pacer = makeSourcePacer();
     for (int64_t id = 0; id < opts.frames && !pastDeadline(); ++id) {
         Frame f = makeSourceFrame(id, pacer);
+        if (injector != nullptr &&
+            injector->cameraDown(fault_camera, f.trace_time)) {
+            // Crash window: the camera is down, the frame never
+            // leaves it. The frame clock keeps advancing, so the
+            // restarted camera rejoins the schedule on time.
+            ++st.dropped;
+            continue;
+        }
         if (!out.push(std::move(f))) {
-            break; // downstream shut down early
+            // Downstream shut down early: a clean reject, counted so
+            // the loss ledger still balances.
+            ++st.shutdown_dropped;
+            break;
         }
         ++st.out;
     }
@@ -419,6 +646,7 @@ StreamingPipeline::blockLoop(size_t b)
             continue;
         }
         if (!out.push(std::move(f))) {
+            ++st.shutdown_dropped;
             break;
         }
         ++st.out;
@@ -533,6 +761,11 @@ StreamingPipeline::runInline()
     try {
     for (int64_t id = 0; id < opts.frames && !pastDeadline(); ++id) {
         Frame f = makeSourceFrame(id, source_pacer);
+        if (injector != nullptr &&
+            injector->cameraDown(fault_camera, f.trace_time)) {
+            ++rs->state[0].dropped; // crash window: see sourceLoop
+            continue;
+        }
         ++rs->state[0].out;
 
         bool gated = false;
@@ -575,7 +808,11 @@ StreamingPipeline::finishRun()
 
     RuntimeReport rep;
     rep.config = cfg.toString(pipe);
-    rep.source_frames = rs->state[0].out;
+    const RunState::StageState &src = rs->state[0];
+    // Offered = every frame the source clocked out, whether it was
+    // forwarded, lost to a crash window, or rejected by a closing
+    // queue — the ledger's anchor count.
+    rep.source_frames = src.out + src.dropped + src.shutdown_dropped;
     const RunState::StageState &sink = rs->state.back();
     rep.delivered_frames = sink.out;
     const Clock::time_point end =
@@ -615,6 +852,10 @@ StreamingPipeline::finishRun()
         sr.frames_in = st.in;
         sr.frames_out = st.out;
         sr.frames_dropped = st.dropped;
+        rep.ledger.dropped_fault += st.fault_dropped;
+        rep.ledger.dropped_gated += st.dropped - st.fault_dropped;
+        rep.ledger.dropped_shutdown += st.shutdown_dropped;
+        rep.ledger.stage_retries += st.retries;
         sr.busy_seconds = st.busy_seconds;
         sr.occupancy = rep.wall_seconds > 0.0
                            ? st.busy_seconds / rep.wall_seconds
@@ -626,7 +867,7 @@ StreamingPipeline::finishRun()
         rep.stages.push_back(std::move(sr));
     }
 
-    rep.link.frames_sent = sink.out;
+    rep.link.frames_sent = rs->lc.delivered_remote;
     rep.link.bytes_sent = sink.bytes_sent;
     rep.link.energy = sink.energy;
     rep.link.peak_queue_depth =
@@ -651,6 +892,51 @@ StreamingPipeline::finishRun()
         percentile(rs->latencies, 0.99) / opts.time_scale;
     rep.reconfigurations =
         epoch_count.load(std::memory_order_acquire) - 1;
+
+    // The loss ledger: every offered frame accounted to one fate.
+    const RunState::LinkCounters &lc = rs->lc;
+    LossLedger &lg = rep.ledger;
+    lg.offered = rep.source_frames;
+    lg.delivered_remote = lc.delivered_remote;
+    lg.delivered_local = lc.delivered_local;
+    lg.delivered = lc.delivered_remote + lc.delivered_local;
+    lg.dropped_source = src.dropped;
+    lg.dropped_link = sink.dropped;
+    lg.dropped_shutdown += src.shutdown_dropped;
+    lg.dropped = lg.dropped_gated + lg.dropped_source +
+                 lg.dropped_link + lg.dropped_fault +
+                 lg.dropped_shutdown;
+    lg.retried_frames = lc.retried_frames;
+    lg.tx_attempts = lc.attempts;
+    lg.tx_losses = lc.losses;
+    lg.probe_attempts = lc.probes;
+    lg.probe_successes = lc.probe_ok;
+    lg.retry_bytes = lc.retry_bytes;
+    lg.retry_energy = lc.retry_energy;
+    lg.backoff_seconds = lc.backoff_s;
+    // Goodput after loss over the run's model-time span: the frame
+    // clock's when one exists (deterministic), wall time otherwise.
+    const double model_seconds =
+        opts.trace_fps > 0.0
+            ? static_cast<double>(lg.offered) / opts.trace_fps
+            : rep.wall_seconds / opts.time_scale;
+    if (model_seconds > 0.0) {
+        lg.goodput_after_loss_bps =
+            lc.delivered_payload.totalBits() / model_seconds;
+    }
+    if (injector != nullptr && opts.trace_fps > 0.0) {
+        lg.blackout_seconds =
+            injector->plan().blackoutSecondsWithin(
+                0.0, static_cast<double>(lg.offered) / opts.trace_fps);
+    }
+    incam_assert(lg.consistent(),
+                 "loss ledger out of balance: offered ", lg.offered,
+                 " != delivered ", lg.delivered, " (", lg.delivered_remote,
+                 " remote + ", lg.delivered_local, " local) + dropped ",
+                 lg.dropped, " (", lg.dropped_gated, " gated + ",
+                 lg.dropped_source, " source + ", lg.dropped_link,
+                 " link + ", lg.dropped_fault, " fault + ",
+                 lg.dropped_shutdown, " shutdown)");
 
     rs.reset();
     return rep;

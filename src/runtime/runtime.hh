@@ -59,8 +59,9 @@
 
 namespace incam {
 
-class TokenBucket;  // runtime/pacer.hh
-class ContentTrace; // trace/trace.hh
+class TokenBucket;   // runtime/pacer.hh
+class ContentTrace;  // trace/trace.hh
+class FaultInjector; // fault/fault.hh
 
 /**
  * Arbitrated access to an uplink shared between pipelines, or driven
@@ -109,6 +110,64 @@ enum class GatingMode
     Model,
     /** The stage's executor decides from the pixels (real traffic). */
     Executor,
+};
+
+/** What a stage does with a frame whose compute attempt faulted. */
+enum class StageFaultAction
+{
+    Retry, ///< re-execute (paying service time and energy again)
+    Drop,  ///< shed the frame, counted dropped-by-fault
+};
+
+/**
+ * Per-block recovery policy for injected compute faults. A faulted
+ * attempt either retries (up to max_retries re-executions, each
+ * paying the block's modeled time and energy again) or sheds the
+ * frame. The watchdog treats a stalled service — the fault plan's
+ * slowdown at or past watchdog_slowdown — as a fault too, so a stage
+ * stuck in a stall window degrades by this same policy instead of
+ * silently running arbitrarily late.
+ */
+struct StagePolicy
+{
+    StageFaultAction on_fault = StageFaultAction::Retry;
+    int max_retries = 1;
+    /** Slowdown factor at which the watchdog declares the attempt
+     *  faulted; 0 disables the watchdog. */
+    double watchdog_slowdown = 0.0;
+};
+
+/**
+ * Uplink delivery semantics under transmission loss: how many times a
+ * frame is retransmitted, and what each detected loss costs in model
+ * time, before the frame is shed. Every attempt — first or retry —
+ * pays full bytes, airtime and radio energy; the loss ledger tracks
+ * the retry share separately.
+ */
+struct DeliveryPolicy
+{
+    /** Retransmissions after the first attempt; 0 = send once. */
+    int max_retries = 0;
+
+    /** Model seconds to detect a lost attempt (ACK timeout). */
+    double ack_timeout = 0.0;
+
+    /** Model seconds of backoff before retry k, doubling per retry:
+     *  backoff_base * 2^(k-1). 0 retries immediately after timeout. */
+    double backoff_base = 0.0;
+
+    /** +-fraction of jitter on each backoff step, hash-drawn from the
+     *  fault plan so the wait sequence stays deterministic. */
+    double backoff_jitter = 0.0;
+
+    /**
+     * Degraded (local-delivery) epochs still probe the link: every
+     * probe_every-th frame attempts one real transmission. A probe
+     * that succeeds is delivered remotely and feeds the telemetry
+     * that lets the adaptive controller see the link heal; a probe
+     * that fails falls back to local delivery. 0 never probes.
+     */
+    int64_t probe_every = 8;
 };
 
 /** Knobs of a streaming run. */
@@ -182,6 +241,70 @@ struct RuntimeOptions
      * reallocates under concurrent stage readers.
      */
     int epoch_capacity = 256;
+
+    /** Uplink retry/timeout semantics (active with a fault injector
+     *  attached; without one every first attempt succeeds). */
+    DeliveryPolicy delivery;
+
+    /** Default compute-fault policy for every block; override a
+     *  single block with StreamingPipeline::setStagePolicy. */
+    StagePolicy stage_policy;
+};
+
+/**
+ * Exact frame accounting of one run under failure. Every frame the
+ * source offered is accounted to exactly one fate — the invariant
+ *
+ *     offered == delivered + dropped
+ *
+ * (with delivered and dropped each split by cause) holds under every
+ * fault plan and is asserted when a run finishes. Retry traffic is
+ * priced into the run's byte and energy totals; the ledger reports
+ * the retry share so the cost of recovery is visible on its own.
+ */
+struct LossLedger
+{
+    int64_t offered = 0;   ///< frames the source emitted (or crashed)
+    int64_t delivered = 0; ///< delivered_remote + delivered_local
+    int64_t delivered_remote = 0; ///< crossed the uplink
+    int64_t delivered_local = 0;  ///< degraded epochs: kept in-camera
+    int64_t dropped = 0;          ///< sum of the dropped_* causes
+    int64_t dropped_gated = 0;    ///< filter blocks gated away
+    int64_t dropped_source = 0;   ///< camera crash windows
+    int64_t dropped_link = 0;     ///< transmission retry budget spent
+    int64_t dropped_fault = 0;    ///< stage fault policy exhausted
+    int64_t dropped_shutdown = 0; ///< downstream closed mid-flight
+
+    int64_t retried_frames = 0; ///< frames needing > 1 attempt
+    int64_t tx_attempts = 0;    ///< transmission attempts, total
+    int64_t tx_losses = 0;      ///< attempts the fault plan lost
+    int64_t stage_retries = 0;  ///< compute re-executions
+    int64_t probe_attempts = 0; ///< degraded-mode link probes
+    int64_t probe_successes = 0;
+
+    DataSize retry_bytes; ///< air bytes beyond each frame's first try
+    Energy retry_energy;  ///< radio energy of those extra attempts
+    double backoff_seconds = 0.0;  ///< model-time timeout/backoff waits
+    double blackout_seconds = 0.0; ///< plan blackout time in the run
+
+    /** Delivered *remote* payload bits per model second — what the
+     *  link actually yielded after loss, retries and blackouts. */
+    double goodput_after_loss_bps = 0.0;
+
+    /** The frame-accounting invariant. */
+    bool
+    consistent() const
+    {
+        return offered == delivered + dropped &&
+               delivered == delivered_remote + delivered_local &&
+               dropped == dropped_gated + dropped_source +
+                              dropped_link + dropped_fault +
+                              dropped_shutdown;
+    }
+
+    /** Fleet aggregation: fold @p o's counts into this ledger
+     *  (rates are left to the caller). */
+    void add(const LossLedger &o);
 };
 
 /** Measured behaviour of one stage over a run. */
@@ -247,6 +370,10 @@ struct RuntimeReport
     /** Mid-run reconfigure() calls that took effect (epochs - 1). */
     int64_t reconfigurations = 0;
 
+    /** Exact frame accounting under failure; consistent() always
+     *  holds when the run finished without error. */
+    LossLedger ledger;
+
     std::vector<StageReport> stages; ///< one per pipeline block, in order
     LinkReport link;
 
@@ -272,11 +399,15 @@ struct Telemetry
      *  block (pass fraction < 1) while it was active. */
     std::atomic<int64_t> gate_in{0};
     std::atomic<int64_t> gate_pass{0};
-    std::atomic<double> bytes_sent{0.0};     ///< bytes across the cut
+    std::atomic<double> bytes_sent{0.0};     ///< air bytes (all attempts)
     std::atomic<double> comm_energy_j{0.0};  ///< radio joules so far
     std::atomic<double> latency_sum_s{0.0};  ///< wall end-to-end sum
     std::atomic<int64_t> latency_count{0};
     std::atomic<int> uplink_queue_depth{0};  ///< depth at last delivery
+    std::atomic<int64_t> tx_attempts{0};     ///< transmission attempts
+    std::atomic<int64_t> tx_losses{0};       ///< attempts lost
+    std::atomic<int64_t> link_dropped{0};    ///< retry budget spent
+    std::atomic<int64_t> delivered_local{0}; ///< degraded deliveries
 
     Telemetry() = default;
     Telemetry(const Telemetry &) = delete;
@@ -342,6 +473,19 @@ class StreamingPipeline
     void attachUplinkArbiter(UplinkArbiter *arbiter, int endpoint);
 
     /**
+     * Subject this run to @p injector's fault plan, identifying as
+     * @p camera for per-camera faults (crash windows, hash-draw
+     * streams — a fleet passes each camera's endpoint index). The
+     * injector is stateless and may be shared; it must outlive the
+     * run. Null detaches.
+     */
+    void setFaultInjector(const FaultInjector *injector, int camera = 0);
+
+    /** Override the compute-fault policy of one block (defaults to
+     *  RuntimeOptions::stage_policy). */
+    void setStagePolicy(int block_index, StagePolicy policy);
+
+    /**
      * Switch the live configuration: frames emitted from now on run
      * under @p next (new cut, inclusion set and implementations);
      * frames in flight finish under their stamped epoch. Thread-safe
@@ -350,6 +494,16 @@ class StreamingPipeline
      * and link exactly like construction does.
      */
     void reconfigure(const PipelineConfig &next);
+
+    /**
+     * As above, but @p deliver_local additionally marks the epoch
+     * *degraded*: frames reaching the uplink stage are delivered
+     * in-camera (no transmission, no radio energy) except for the
+     * periodic link probes of DeliveryPolicy::probe_every. The
+     * adaptive controller's degrade-to-local mode; the epoch
+     * mechanism makes the switch lossless in both directions.
+     */
+    void reconfigure(const PipelineConfig &next, bool deliver_local);
 
     /** The configuration the pipeline was constructed with. */
     const PipelineConfig &initialConfig() const { return cfg; }
@@ -404,6 +558,9 @@ class StreamingPipeline
     {
         PipelineConfig config;
         std::vector<BlockPlan> plans; ///< one per pipeline block
+        /** Degraded epoch: the sink delivers in-camera (probes
+         *  excepted) instead of transmitting. */
+        bool local = false;
     };
 
     void initRun();
@@ -442,6 +599,7 @@ class StreamingPipeline
          *  fraction < 1), or -1: index into a ContentTrace's series. */
         int filter_ordinal = -1;
         std::unique_ptr<BlockExecutor> executor;
+        StagePolicy policy; ///< compute-fault recovery for this block
     };
 
     Pipeline pipe; ///< copied: the instance outlives factory temporaries
@@ -454,6 +612,8 @@ class StreamingPipeline
     const ContentTrace *content = nullptr; ///< non-owning
     UplinkArbiter *arbiter = nullptr; ///< non-owning; see attach docs
     int arbiter_endpoint = -1;
+    const FaultInjector *injector = nullptr; ///< non-owning
+    int fault_camera = 0; ///< this run's identity to the injector
 
     /**
      * The epoch table. Readers (stage threads) index it with a

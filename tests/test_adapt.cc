@@ -269,6 +269,75 @@ TEST(Estimator, TelemetrySamplerComputesWindowDeltas)
     EXPECT_LT(quiet.motion_pass, 0.0);
 }
 
+TEST(Estimator, FirstSampleInitializesExactly)
+{
+    // Cold-start pin: the first observation of a field *initializes*
+    // its filter — it must not be decayed against the default-zero
+    // state (which would make a mid-run first sample look like a
+    // near-dead link for several horizons).
+    ConditionEstimator est(Time::seconds(1.0));
+    ConditionSample s;
+    s.goodput_bps = 5000.0;
+    s.loss_rate = 0.4;
+    est.observe(100.0, s); // late first sample: no decay-from-zero
+    const NetworkLink base = radioLink("base", 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(
+        est.estimatedLink(base).bandwidth.bytesPerSecond(), 5000.0);
+    EXPECT_DOUBLE_EQ(est.lossRate(0.0), 0.4);
+}
+
+TEST(Estimator, ResetNetworkForgetsLinkKeepsContent)
+{
+    ConditionEstimator est(Time::seconds(1.0));
+    ConditionSample s;
+    s.goodput_bps = 5000.0;
+    s.energy_per_bit_j = 9e-9;
+    s.loss_rate = 1.0;
+    s.motion_pass = 0.25;
+    est.observe(0.0, s);
+    EXPECT_TRUE(est.hasNetwork());
+
+    est.resetNetwork();
+    // Network beliefs gone, content beliefs intact.
+    EXPECT_FALSE(est.hasNetwork());
+    EXPECT_DOUBLE_EQ(est.lossRate(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(est.motionPass(0.9), 0.25);
+    const NetworkLink base = radioLink("base", 777.0, 3.0);
+    EXPECT_DOUBLE_EQ(
+        est.estimatedLink(base).bandwidth.bytesPerSecond(), 777.0);
+
+    // The first post-reset sample cold-starts the filters: exact
+    // adoption, no averaging against the dead link's state.
+    ConditionSample after;
+    after.goodput_bps = 123.0;
+    after.loss_rate = 0.0;
+    est.observe(50.0, after);
+    EXPECT_DOUBLE_EQ(
+        est.estimatedLink(base).bandwidth.bytesPerSecond(), 123.0);
+    EXPECT_DOUBLE_EQ(est.lossRate(1.0), 0.0);
+}
+
+TEST(Estimator, TelemetrySamplerMeasuresLossRate)
+{
+    Telemetry probe;
+    TelemetrySampler sampler(probe, /*time_scale=*/1.0);
+    sampler.sample(0.0); // priming snapshot
+
+    probe.tx_attempts.store(40);
+    probe.tx_losses.store(10);
+    const ConditionSample s = sampler.sample(1.0);
+    EXPECT_DOUBLE_EQ(s.loss_rate, 0.25);
+
+    // No attempts this window: loss is unobservable, not zero.
+    const ConditionSample quiet = sampler.sample(2.0);
+    EXPECT_LT(quiet.loss_rate, 0.0);
+
+    probe.tx_attempts.store(50);
+    probe.tx_losses.store(20);
+    const ConditionSample burst = sampler.sample(3.0);
+    EXPECT_DOUBLE_EQ(burst.loss_rate, 1.0); // 10 of 10 lost
+}
+
 // ---------------------------------------------------------------------
 // AdaptiveController
 // ---------------------------------------------------------------------

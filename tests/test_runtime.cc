@@ -11,6 +11,8 @@
  * jobs that run this binary at INCAM_THREADS = 1, 2 and 8.
  */
 
+#include <atomic>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <thread>
@@ -83,6 +85,34 @@ TEST(FrameQueue, OrderedDrainAcrossClose)
     // Pushing after close reports the shutdown.
     EXPECT_FALSE(q.push(Frame{}));
     EXPECT_EQ(q.peakDepth(), 3);
+}
+
+TEST(FrameQueue, CloseWhileFullWakesAndRejectsProducer)
+{
+    // Regression: close() must notify the not-full waiters too — a
+    // producer blocked on a full queue used to sleep through shutdown.
+    FrameQueue q(1);
+    ASSERT_TRUE(q.push(Frame{}));
+    std::atomic<int> result{-1};
+    std::thread producer([&] {
+        Frame f;
+        f.id = 42;
+        // Blocks: the queue is at capacity.
+        result.store(q.push(std::move(f)) ? 1 : 0);
+    });
+    // Give the producer time to reach the not-full wait, then close.
+    // (If close wins the race the push still cleanly rejects — the
+    // sleep just makes the blocked-then-woken interleaving the common
+    // one.)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    producer.join();
+    // The blocked push woke and cleanly rejected its frame...
+    EXPECT_EQ(result.load(), 0);
+    // ...and the frame buffered before the close still drains.
+    Frame out;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_FALSE(q.pop(out));
 }
 
 TEST(FrameQueue, BackpressureBoundsDepth)
