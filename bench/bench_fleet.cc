@@ -23,15 +23,25 @@
  * stationary (everyone finishes together), and time_scale compresses
  * each point to under ~2 s of wall time.
  *
+ * A second sweep takes the discrete-event engine far beyond thread
+ * scale: 1k / 10k (and 100k in full mode) WISPCam-style cameras on one
+ * backscatter uplink, replayed on a single core in model time. Each
+ * point runs paced (fluid-fair SimLink; aggregate FPS held against
+ * the fleet model within 1.8%) and counting (frame and byte totals
+ * exact), and the engine must sustain at least 100k events/s of host
+ * throughput — the "100k cameras on one core" claim, gated.
+ *
  *   bench_fleet [--quick]
  *
  * Exits non-zero if any point's aggregate FPS strays more than 15%
  * from the model or any camera's energy strays more than 3% — the
- * fleet-model fidelity bar. Ends with one BENCH_JSON line for
- * trajectory tracking.
+ * fleet-model fidelity bar — or if a discrete-event point misses its
+ * agreement, exactness or events/s gates. Ends with one BENCH_JSON
+ * line for trajectory tracking.
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -51,6 +61,12 @@ namespace {
 
 constexpr double kAggFpsTolerance = 0.15;
 constexpr double kEnergyTolerance = 0.03;
+
+/** Discrete-event gates: model agreement on the paced run, exact frame
+ *  and byte totals on the counting run, and a floor on how fast the
+ *  engine replays model time on the host. */
+constexpr double kDesFpsTolerance = 0.018;
+constexpr double kDesMinEventsPerSec = 1.0e5;
 
 /** One camera blueprint: pipeline + config + weight. */
 struct CameraSpec
@@ -184,6 +200,155 @@ measurePoint(const std::string &link_name, const NetworkLink &link,
     return res;
 }
 
+/** One discrete-event scale point and its gate outcomes. */
+struct DesPointResult
+{
+    int cameras = 0;
+    double predicted_agg_fps = 0.0;
+    double measured_agg_fps = 0.0;
+    double model_seconds = 0.0; ///< paced run's simulated span
+    int64_t events = 0;         ///< engine events, both runs
+    double host_seconds = 0.0;  ///< host wall across both runs
+    bool exact = false;         ///< counting totals frame/byte exact
+
+    double
+    aggError() const
+    {
+        return std::abs(measured_agg_fps - predicted_agg_fps) /
+               predicted_agg_fps;
+    }
+
+    double
+    eventsPerSec() const
+    {
+        return host_seconds > 0.0
+                   ? static_cast<double>(events) / host_seconds
+                   : 0.0;
+    }
+
+    bool
+    within() const
+    {
+        return aggError() <= kDesFpsTolerance && exact &&
+               eventsPerSec() >= kDesMinEventsPerSec;
+    }
+};
+
+/**
+ * One discrete-event point: an n-camera WISPCam swarm (two crop
+ * geometries, fair share) on one backscatter uplink, replayed in model
+ * time on a single core. The paced run is held against the fleet
+ * model's byte-fair waterfill; the counting run must account every
+ * frame and every uplink byte exactly; both runs together must clear
+ * the events/s floor.
+ */
+DesPointResult
+measureDesPoint(int n, const Pipeline &fa_large,
+                const Pipeline &fa_small, bool quick)
+{
+    DesPointResult res;
+    res.cameras = n;
+
+    std::vector<CameraSpec> specs;
+    specs.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        CameraSpec s;
+        s.name = "wisp" + std::to_string(i);
+        s.pipeline = i % 2 == 0 ? &fa_large : &fa_small;
+        s.config = PipelineConfig::full(*s.pipeline, Impl::Asic, 2);
+        specs.push_back(std::move(s));
+    }
+
+    // ---- model ----
+    const NetworkLink link = backscatterUplink();
+    std::vector<FleetCameraModel> model_cams;
+    model_cams.reserve(specs.size());
+    for (const CameraSpec &s : specs) {
+        FleetCameraModel m;
+        m.name = s.name;
+        m.pipeline = s.pipeline;
+        m.config = s.config;
+        model_cams.push_back(std::move(m));
+    }
+    const FleetModelReport model =
+        fleetReport(model_cams, link, SharePolicy::Fair);
+    res.predicted_agg_fps = model.aggregate_fps;
+
+    RunOptions des;
+    des.mode = ExecutionMode::DiscreteEvent;
+
+    // ---- paced model-agreement run ----
+    // Frame budgets proportional to each camera's fair share keep the
+    // swarm stationary to the last frame, so the steady-state rate
+    // estimator sees uniform departure spacing end to end.
+    double min_fps = model.cameras[0].fps;
+    for (const FleetShare &share : model.cameras) {
+        min_fps = std::min(min_fps, share.fps);
+    }
+    const double base_frames = quick ? 5.0 : 8.0;
+    const double t_model = base_frames / min_fps;
+
+    FleetOptions paced;
+    paced.policy = SharePolicy::Fair;
+    paced.gating = GatingMode::None;
+    paced.queue_capacity = 4;
+    paced.epoch_capacity = 4; // never reconfigures; keep 100k light
+    CameraFleet fleet(link, paced);
+    for (size_t i = 0; i < specs.size(); ++i) {
+        FleetCamera cam(specs[i].name, *specs[i].pipeline,
+                        specs[i].config);
+        cam.frames = std::max<int64_t>(
+            4, static_cast<int64_t>(
+                   std::lround(t_model * model.cameras[i].fps)));
+        fleet.addCamera(std::move(cam));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const FleetRunReport run = fleet.run(des);
+    res.host_seconds += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    res.measured_agg_fps = run.aggregate_model_fps;
+    res.model_seconds = run.wall_seconds;
+    res.events = run.des_events;
+
+    // ---- counting exactness run ----
+    // Pacing off, frame clock on: the engine replays pure accounting.
+    // Every offered frame must be delivered and every uplink byte must
+    // equal the configs' cut bytes — integers below 2^53, so the sums
+    // are exact and the gate is equality, not tolerance.
+    const int64_t count_frames = 10;
+    FleetOptions counting;
+    counting.policy = SharePolicy::Fair;
+    counting.gating = GatingMode::None;
+    counting.pace_stages = false;
+    counting.pace_link = false;
+    counting.trace_fps = 30.0;
+    counting.queue_capacity = 4;
+    counting.epoch_capacity = 4;
+    CameraFleet counting_fleet(link, counting);
+    double expected_bytes = 0.0;
+    for (const CameraSpec &s : specs) {
+        FleetCamera cam(s.name, *s.pipeline, s.config);
+        cam.frames = count_frames;
+        counting_fleet.addCamera(std::move(cam));
+        expected_bytes +=
+            static_cast<double>(count_frames) *
+            PipelineEvaluator(*s.pipeline, link).cutBytes(s.config).b();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const FleetRunReport counted = counting_fleet.run(des);
+    res.host_seconds += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t1)
+                            .count();
+    res.events += counted.des_events;
+    const int64_t expected_frames = count_frames * n;
+    res.exact = counted.ledger.offered == expected_frames &&
+                counted.ledger.delivered == expected_frames &&
+                counted.ledger.dropped == 0 &&
+                counted.uplink_bytes.b() == expected_bytes;
+    return res;
+}
+
 } // namespace
 
 int
@@ -279,6 +444,35 @@ main(int argc, char **argv)
                     r.within() ? "" : "  <-- OUT OF TOLERANCE");
     }
 
+    // ---- discrete-event scale sweep ----
+    // Past the thread pool's reach: the same swarm at gateway scale,
+    // one event loop, one core. Quick mode stops at 10k cameras; full
+    // mode adds the 100k point behind the paper's headline claim.
+    std::vector<int> des_counts = {1000, 10000};
+    if (!quick) {
+        des_counts.push_back(100000);
+    }
+    std::printf("\ndiscrete-event scale sweep (backscatter swarm, "
+                "fair share, one core)\n");
+    std::printf("%8s %12s %12s %7s %12s %10s %10s %6s\n", "cams",
+                "pred aggFPS", "meas aggFPS", "err", "model span",
+                "events", "events/s", "exact");
+    std::vector<DesPointResult> des_results;
+    for (int n : des_counts) {
+        const DesPointResult r =
+            measureDesPoint(n, fa_large, fa_small, quick);
+        within = within && r.within();
+        std::printf("%8d %12.3f %12.3f %6.2f%% %11.0fs %10lld %10.0f "
+                    "%6s%s\n",
+                    r.cameras, r.predicted_agg_fps,
+                    r.measured_agg_fps, 100.0 * r.aggError(),
+                    r.model_seconds,
+                    static_cast<long long>(r.events), r.eventsPerSec(),
+                    r.exact ? "yes" : "NO",
+                    r.within() ? "" : "  <-- OUT OF TOLERANCE");
+        des_results.push_back(r);
+    }
+
     std::printf("\nBENCH_JSON {\"bench\":\"fleet\",\"quick\":%s,"
                 "\"points\":[",
                 quick ? "true" : "false");
@@ -295,14 +489,30 @@ main(int argc, char **argv)
                     r.max_cam_fps_err, r.max_energy_err, r.time_scale,
                     r.wall_seconds);
     }
+    std::printf("],\"des_points\":[");
+    for (size_t i = 0; i < des_results.size(); ++i) {
+        const DesPointResult &r = des_results[i];
+        std::printf("%s{\"cameras\":%d,\"predicted_agg_fps\":%.4f,"
+                    "\"measured_agg_fps\":%.4f,\"agg_err\":%.5f,"
+                    "\"model_s\":%.1f,\"events\":%lld,"
+                    "\"events_per_s\":%.0f,\"exact\":%s,"
+                    "\"host_s\":%.3f}",
+                    i ? "," : "", r.cameras, r.predicted_agg_fps,
+                    r.measured_agg_fps, r.aggError(), r.model_seconds,
+                    static_cast<long long>(r.events), r.eventsPerSec(),
+                    r.exact ? "true" : "false", r.host_seconds);
+    }
     std::printf("]}\n");
 
     if (!within) {
         std::fprintf(stderr,
                      "FAIL: at least one point strayed beyond %.0f%% "
-                     "aggregate FPS / %.0f%% energy tolerance\n",
+                     "aggregate FPS / %.0f%% energy tolerance, or a "
+                     "discrete-event point missed its agreement / "
+                     "exactness / %.0fk events-per-second gate\n",
                      100.0 * kAggFpsTolerance,
-                     100.0 * kEnergyTolerance);
+                     100.0 * kEnergyTolerance,
+                     kDesMinEventsPerSec / 1000.0);
         return 1;
     }
     return 0;

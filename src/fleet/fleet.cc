@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "exec/thread_pool.hh"
+#include "sim/engine.hh"
 #include "trace/dynamic_link.hh"
 #include "trace/trace.hh"
 
@@ -50,12 +51,103 @@ CameraFleet::modelCameras() const
     return out;
 }
 
+namespace {
+
+/** Per-camera RuntimeOptions from the fleet-wide knobs. */
+RuntimeOptions
+cameraRuntimeOptions(const FleetOptions &opts, const FleetCamera &cam)
+{
+    RuntimeOptions ro;
+    ro.frames = cam.frames;
+    ro.queue_capacity = opts.queue_capacity;
+    ro.gating = opts.gating;
+    ro.time_scale = opts.time_scale;
+    ro.pace_stages = opts.pace_stages;
+    ro.pace_link = opts.pace_link;
+    ro.stage_burst_frames = opts.stage_burst_frames;
+    ro.link_burst_frames = opts.link_burst_frames;
+    ro.source_fps = cam.source_fps;
+    ro.trace_fps = opts.trace_fps;
+    ro.delivery = opts.delivery;
+    ro.stage_policy = opts.stage_policy;
+    ro.epoch_capacity = opts.epoch_capacity;
+    return ro;
+}
+
+/** Fold per-camera reports and link shares into the fleet report. */
+FleetRunReport
+assembleReport(const FleetOptions &opts, const NetworkLink &net,
+               const std::deque<FleetCamera> &cams,
+               std::vector<RuntimeReport> reports,
+               const std::vector<LinkEndpointReport> &shares,
+               double wall)
+{
+    FleetRunReport rep;
+    rep.wall_seconds = wall;
+    for (size_t i = 0; i < cams.size(); ++i) {
+        FleetCameraReport cr;
+        cr.name = cams[i].name;
+        cr.weight = cams[i].weight;
+        cr.runtime = std::move(reports[i]);
+        cr.link = shares[i];
+        rep.aggregate_model_fps += cr.runtime.model_fps;
+        rep.total_energy += cr.runtime.total_energy();
+        rep.uplink_bytes += cr.runtime.link.bytes_sent;
+        rep.ledger.add(cr.runtime.ledger);
+        rep.cameras.push_back(std::move(cr));
+    }
+    // Under a trace the medium's capacity is the schedule's
+    // time-weighted mean, not the stationary construction link.
+    const Bandwidth goodput = opts.network_trace != nullptr
+                                  ? opts.network_trace->averageLink()
+                                        .goodput()
+                                  : net.goodput();
+    const double capacity =
+        goodput.bytesPerSecond() / opts.time_scale * wall;
+    rep.link_utilization =
+        capacity > 0.0 ? rep.uplink_bytes.b() / capacity : 0.0;
+    return rep;
+}
+
+} // namespace
+
 FleetRunReport
 CameraFleet::run()
+{
+    RunOptions options;
+    options.mode = opts.threaded_stages
+                       ? ExecutionMode::ThreadedStages
+                       : ExecutionMode::ThreadPerCamera;
+    return run(options);
+}
+
+FleetRunReport
+CameraFleet::run(const RunOptions &options)
 {
     incam_assert(!consumed, "a CameraFleet instance is single-use");
     consumed = true;
     incam_assert(!cams.empty(), "a fleet needs at least one camera");
+    incam_assert(options.clock == nullptr,
+                 "fleet shapes own their clocks: RunOptions::clock is "
+                 "a solo-pipeline knob");
+    switch (options.mode) {
+      case ExecutionMode::ThreadedStages:
+        return runThreaded(true);
+      case ExecutionMode::ThreadPerCamera:
+        return runThreaded(false);
+      case ExecutionMode::DiscreteEvent:
+        return runDiscreteEvent();
+      case ExecutionMode::Inline:
+        incam_panic("a fleet's serial shape is ThreadPerCamera (one "
+                    "inline loop per camera); ExecutionMode::Inline "
+                    "is solo-pipeline only");
+    }
+    incam_panic("unknown ExecutionMode");
+}
+
+FleetRunReport
+CameraFleet::runThreaded(bool threaded_stages)
+{
     incam_assert(!ThreadPool::inWorker(),
                  "a fleet cannot run nested inside a thread-pool "
                  "worker: camera loops need real concurrency");
@@ -96,21 +188,9 @@ CameraFleet::run()
     std::vector<std::unique_ptr<StreamingPipeline>> pipes;
     pipes.reserve(n);
     for (const FleetCamera &cam : cams) {
-        RuntimeOptions ro;
-        ro.frames = cam.frames;
-        ro.queue_capacity = opts.queue_capacity;
-        ro.gating = opts.gating;
-        ro.time_scale = opts.time_scale;
-        ro.pace_stages = opts.pace_stages;
-        ro.pace_link = opts.pace_link;
-        ro.stage_burst_frames = opts.stage_burst_frames;
-        ro.link_burst_frames = opts.link_burst_frames;
-        ro.source_fps = cam.source_fps;
-        ro.trace_fps = opts.trace_fps;
-        ro.delivery = opts.delivery;
-        ro.stage_policy = opts.stage_policy;
         auto sp = std::make_unique<StreamingPipeline>(
-            cam.pipeline, cam.config, net, ro);
+            cam.pipeline, cam.config, net,
+            cameraRuntimeOptions(opts, cam));
         const int endpoint = shared.addEndpoint(cam.name, cam.weight);
         sp->attachUplinkArbiter(arbiter, endpoint);
         if (opts.faults != nullptr) {
@@ -139,7 +219,7 @@ CameraFleet::run()
     };
 
     const auto t0 = std::chrono::steady_clock::now();
-    if (!opts.threaded_stages) {
+    if (!threaded_stages) {
         // One serial camera loop per pool chunk; all run concurrently.
         incam_assert(
             n <= static_cast<size_t>(ThreadPool::kMaxWorkers) + 1,
@@ -194,31 +274,70 @@ CameraFleet::run()
         std::rethrow_exception(first_error);
     }
 
-    FleetRunReport rep;
-    rep.wall_seconds = wall;
-    const std::vector<LinkEndpointReport> shares = shared.report();
-    for (size_t i = 0; i < n; ++i) {
-        FleetCameraReport cr;
-        cr.name = cams[i].name;
-        cr.weight = cams[i].weight;
-        cr.runtime = std::move(reports[i]);
-        cr.link = shares[i];
-        rep.aggregate_model_fps += cr.runtime.model_fps;
-        rep.total_energy += cr.runtime.total_energy();
-        rep.uplink_bytes += cr.runtime.link.bytes_sent;
-        rep.ledger.add(cr.runtime.ledger);
-        rep.cameras.push_back(std::move(cr));
+    return assembleReport(opts, net, cams, std::move(reports),
+                          shared.report(), wall);
+}
+
+FleetRunReport
+CameraFleet::runDiscreteEvent()
+{
+    // Model time needs no stretching: the run is as fast as the host
+    // can replay events, and time_scale would only distort the model.
+    incam_assert(opts.time_scale == 1.0,
+                 "discrete-event fleets run on model time; "
+                 "time_scale must be 1");
+    const size_t n = cams.size();
+
+    sim::SimEngine::Options eo;
+    eo.policy = opts.policy;
+    eo.pace_link = opts.pace_link;
+    eo.trace = opts.network_trace;
+    eo.trace_fps = opts.trace_fps;
+    sim::SimEngine engine(net, eo);
+
+    std::vector<std::unique_ptr<StreamingPipeline>> pipes;
+    pipes.reserve(n);
+    for (const FleetCamera &cam : cams) {
+        auto sp = std::make_unique<StreamingPipeline>(
+            cam.pipeline, cam.config, net,
+            cameraRuntimeOptions(opts, cam));
+        // No arbiter: the engine owns delivery (sim/SimLink models the
+        // medium; planDelivery/finishDelivery book it per camera).
+        const int endpoint =
+            engine.addCamera(sp.get(), cam.name, cam.weight);
+        sp->setClock(engine.cameraClock(endpoint));
+        if (opts.faults != nullptr) {
+            sp->setFaultInjector(opts.faults, endpoint);
+        }
+        if (cam.customize) {
+            cam.customize(*sp);
+        }
+        pipes.push_back(std::move(sp));
     }
-    // Under a trace the medium's capacity is the schedule's
-    // time-weighted mean, not the stationary construction link.
-    const Bandwidth goodput = opts.network_trace != nullptr
-                                  ? opts.network_trace->averageLink()
-                                        .goodput()
-                                  : net.goodput();
-    const double capacity =
-        goodput.bytesPerSecond() / opts.time_scale * wall;
-    rep.link_utilization =
-        capacity > 0.0 ? rep.uplink_bytes.b() / capacity : 0.0;
+
+    engine.run(); // rethrows the first camera error, fleet contract
+
+    std::vector<RuntimeReport> reports(n);
+    std::exception_ptr first_error;
+    for (size_t i = 0; i < n; ++i) {
+        try {
+            reports[i] = pipes[i]->finishRun();
+        } catch (...) {
+            if (!first_error) {
+                first_error = std::current_exception();
+            }
+        }
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+
+    // "Wall" for a discrete-event run is the model-time span: that is
+    // the denominator that makes fps and utilization physical.
+    FleetRunReport rep =
+        assembleReport(opts, net, cams, std::move(reports),
+                       engine.linkReport(), engine.modelSeconds());
+    rep.des_events = engine.events();
     return rep;
 }
 

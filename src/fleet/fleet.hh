@@ -108,32 +108,14 @@ struct FleetOptions
     DeliveryPolicy delivery;
     /** Default compute-fault policy forwarded to every camera. */
     StagePolicy stage_policy;
-};
-
-/** One camera's measured run plus its share of the arbitrated link. */
-struct FleetCameraReport
-{
-    std::string name;
-    double weight = 1.0;
-    RuntimeReport runtime;
-    LinkEndpointReport link;
-};
-
-/** The fleet-level analogue of RuntimeReport. */
-struct FleetRunReport
-{
-    std::vector<FleetCameraReport> cameras;
-    double wall_seconds = 0.0;
-    /** Sum of per-camera measured FPS, normalized to model time —
-     *  the number to hold against FleetModelReport::aggregate_fps. */
-    double aggregate_model_fps = 0.0;
-    Energy total_energy;
-    DataSize uplink_bytes;
-    /** Bytes sent / (goodput x wall): 1.0 when the link saturates. */
-    double link_utilization = 0.0;
-    /** Fleet-wide loss accounting: the per-camera ledgers summed.
-     *  consistent() holds whenever every camera's does. */
-    LossLedger ledger;
+    /**
+     * Epoch-table capacity forwarded to every camera's RuntimeOptions.
+     * The per-camera epoch table is reserved up front (it must never
+     * reallocate under concurrent readers), so at 100k cameras this is
+     * the dominant per-camera allocation — discrete-event sweeps that
+     * never reconfigure set it low.
+     */
+    int epoch_capacity = 256;
 };
 
 /** Runs heterogeneous pipelines against one arbitrated uplink. */
@@ -157,14 +139,39 @@ class CameraFleet
     std::vector<FleetCameraModel> modelCameras() const;
 
     /**
-     * Execute every camera's stream to completion and report. Single
-     * use; must not be called from inside a thread-pool worker.
-     * Rethrows the first camera error after every stream has wound
-     * down (surviving cameras complete normally).
+     * THE run entry point: execute every camera's stream to completion
+     * under @p options' execution shape and report. Single use.
+     * Shapes:
+     *
+     *  - ThreadPerCamera: one pool thread per camera runs the chain
+     *    inline (the historical default; <= ThreadPool::kMaxWorkers
+     *    cameras).
+     *  - ThreadedStages: every stage of every camera is its own
+     *    concurrent loop (small rigs; cameras x stages threads).
+     *  - DiscreteEvent: every camera is an event source on model time
+     *    (sim/SimEngine); one core runs 100k cameras. Requires
+     *    time_scale == 1.0 (model time needs no stretching) and no
+     *    RunOptions::clock (the engine owns one VirtualClock per
+     *    camera).
+     *  - Inline panics: a fleet's serial shape IS ThreadPerCamera.
+     *
+     * Wall-clock shapes must not be called from inside a thread-pool
+     * worker. Rethrows the first camera error after every stream has
+     * wound down (surviving cameras complete normally).
+     */
+    FleetRunReport run(const RunOptions &options);
+
+    /**
+     * Deprecated shape-specific entry point; forwards to run(RunOptions)
+     * with ThreadedStages or ThreadPerCamera per
+     * FleetOptions::threaded_stages. Prefer run(RunOptions).
      */
     FleetRunReport run();
 
   private:
+    FleetRunReport runThreaded(bool threaded_stages);
+    FleetRunReport runDiscreteEvent();
+
     NetworkLink net;
     FleetOptions opts;
     std::deque<FleetCamera> cams; ///< deque: stable Pipeline addresses

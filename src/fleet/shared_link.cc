@@ -1,13 +1,17 @@
 #include "fleet/shared_link.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hh"
+#include "sim/clock.hh"
 
 namespace incam {
 
 SharedLink::SharedLink(NetworkLink link, Options options)
-    : net(std::move(link)), opts(options)
+    : net(std::move(link)), opts(options),
+      clk(options.clock != nullptr ? options.clock
+                                   : &sim::WallClock::shared())
 {
     incam_assert(opts.time_scale > 0.0, "time_scale must be positive");
     rate_bps = net.goodput().bytesPerSecond() / opts.time_scale;
@@ -72,7 +76,7 @@ SharedLink::drainRateLocked(const Endpoint &ep) const
 }
 
 void
-SharedLink::advanceLocked(Clock::time_point now)
+SharedLink::advanceLocked(double now)
 {
     if (!clock_started) {
         clock_started = true;
@@ -85,8 +89,7 @@ SharedLink::advanceLocked(Clock::time_point now)
     if (now <= last_advance) {
         return;
     }
-    const double dt =
-        std::chrono::duration<double>(now - last_advance).count();
+    const double dt = now - last_advance;
     last_advance = now;
     // Fluid GPS step: rates are constant between events, and every
     // mutation of the active set calls advanceLocked first, so one
@@ -154,7 +157,7 @@ SharedLink::acquire(int endpoint, double bytes, double trace_time_hint)
     incam_assert(bytes >= 0.0, "negative transmission size");
     (void)trace_time_hint; // a static link prices every instant alike
 
-    const Clock::time_point t0 = Clock::now();
+    const double t0 = clk->now();
     std::unique_lock<std::mutex> lk(mu);
     incam_assert(endpoint >= 0 &&
                      static_cast<size_t>(endpoint) < endpoints.size(),
@@ -170,7 +173,7 @@ SharedLink::acquire(int endpoint, double bytes, double trace_time_hint)
 
     incam_assert(!ep.active, "endpoint ", endpoint,
                  " has concurrent acquires (uplinks are serial)");
-    advanceLocked(Clock::now()); // post-lock: t0 may be stale by now
+    advanceLocked(clk->now()); // post-lock: t0 may be stale by now
 
     const double burst = opts.burst_bytes > 0.0
                              ? opts.burst_bytes
@@ -186,27 +189,47 @@ SharedLink::acquire(int endpoint, double bytes, double trace_time_hint)
     if (need > 0.0) {
         ep.remaining = need;
         ep.active = true;
-        // No notify on arrival: a waiter whose rate just dropped
-        // wakes at its stale (too-early) finish, sees bytes left, and
-        // re-sleeps — self-correcting, and it halves the wakeups.
-        for (;;) {
-            advanceLocked(Clock::now());
-            if (ep.remaining <= 0.0) {
-                break;
+        if (clk->virtualTime()) {
+            // Model time is single-threaded by the VirtualClock
+            // contract: nobody else can advance it, so the waiter
+            // advances the clock to its own finish instant itself.
+            for (;;) {
+                advanceLocked(clk->now());
+                if (ep.remaining <= 0.0) {
+                    break;
+                }
+                const double my_rate = drainRateLocked(ep);
+                incam_assert(my_rate > 0.0,
+                             "virtual-time SharedLink stalled: no "
+                             "other thread can free the medium "
+                             "(StrictPriority needs the event engine)");
+                clk->sleepUntil(last_advance +
+                                ep.remaining / my_rate);
             }
-            const double my_rate = drainRateLocked(ep);
-            if (my_rate <= 0.0) {
-                // A higher StrictPriority tier owns the medium; wait
-                // for the active set to change.
-                cv.wait(lk);
-                continue;
+        } else {
+            // No notify on arrival: a waiter whose rate just dropped
+            // wakes at its stale (too-early) finish, sees bytes left,
+            // and re-sleeps — self-correcting, and it halves the
+            // wakeups.
+            for (;;) {
+                advanceLocked(clk->now());
+                if (ep.remaining <= 0.0) {
+                    break;
+                }
+                const double my_rate = drainRateLocked(ep);
+                if (my_rate <= 0.0) {
+                    // A higher StrictPriority tier owns the medium;
+                    // wait for the active set to change.
+                    cv.wait(lk);
+                    continue;
+                }
+                const double wait_s =
+                    last_advance + ep.remaining / my_rate - clk->now();
+                if (wait_s > 0.0) {
+                    cv.wait_for(lk, std::chrono::duration<double>(
+                                        wait_s));
+                }
             }
-            const auto finish =
-                last_advance +
-                std::chrono::duration_cast<Clock::duration>(
-                    std::chrono::duration<double>(ep.remaining /
-                                                  my_rate));
-            cv.wait_until(lk, finish);
         }
         ep.active = false;
         // Overshoot keeps draining while the camera oversleeps; bank
@@ -218,8 +241,7 @@ SharedLink::acquire(int endpoint, double bytes, double trace_time_hint)
     }
     ++ep.grants;
     ep.bytes += bytes;
-    ep.wait_seconds +=
-        std::chrono::duration<double>(Clock::now() - t0).count();
+    ep.wait_seconds += clk->now() - t0;
     return Energy::joules(ep.tx_energy_j);
 }
 
@@ -230,7 +252,7 @@ SharedLink::setLink(const NetworkLink &link)
         std::lock_guard<std::mutex> lk(mu);
         // Settle the fluid state first: bytes drained before this
         // instant drained (and were priced) under the old link.
-        advanceLocked(Clock::now());
+        advanceLocked(clk->now());
         net = link;
         rate_bps = net.goodput().bytesPerSecond() / opts.time_scale;
         incam_assert(!opts.pace || rate_bps > 0.0,
@@ -249,7 +271,7 @@ SharedLink::setCapacity(Bandwidth bandwidth)
         // One critical section: a read-modify-write through setLink
         // could lose a concurrent setLink's price change.
         std::lock_guard<std::mutex> lk(mu);
-        advanceLocked(Clock::now());
+        advanceLocked(clk->now());
         net.bandwidth = bandwidth;
         rate_bps = net.goodput().bytesPerSecond() / opts.time_scale;
         incam_assert(!opts.pace || rate_bps > 0.0,
@@ -269,7 +291,7 @@ SharedLink::setWeight(int endpoint, double weight)
                              endpoints.size(),
                      "unknown endpoint ", endpoint);
         // History drained under the old weights stays drained.
-        advanceLocked(Clock::now());
+        advanceLocked(clk->now());
         endpoints[static_cast<size_t>(endpoint)].weight = weight;
     }
     cv.notify_all();

@@ -37,12 +37,19 @@
  * release() marks it done for reporting — and sharing is
  * work-conserving: its share flows to the survivors immediately, and
  * nothing ever blocks on a camera that no longer competes.
+ *
+ * Time comes from an injected sim::Clock (Options::clock). On the
+ * default WallClock, waiters block on a condition variable exactly as
+ * before. On a VirtualClock the arbiter is single-threaded by the
+ * clock's contract, so acquire() advances model time synchronously
+ * instead of waiting — the fleet-scale discrete-event engine has its
+ * own virtual-time arbiter (sim/SimLink), but this path lets a solo
+ * pipeline carry its SharedLink into a DiscreteEvent run.
  */
 
 #ifndef INCAM_FLEET_SHARED_LINK_HH
 #define INCAM_FLEET_SHARED_LINK_HH
 
-#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -51,20 +58,14 @@
 
 #include "core/fleet_model.hh"
 #include "core/network.hh"
-#include "runtime/runtime.hh"
+#include "runtime/report.hh"
+#include "runtime/uplink.hh"
 
 namespace incam {
 
-/** Per-endpoint accounting of a SharedLink run. */
-struct LinkEndpointReport
-{
-    std::string name;
-    double weight = 1.0;
-    int64_t grants = 0;       ///< transmissions completed
-    DataSize bytes;           ///< bytes granted in total
-    double wait_seconds = 0.0;///< time spent blocked in acquire()
-    bool released = false;    ///< endpoint declared its stream done
-};
+namespace sim {
+class Clock; // sim/clock.hh
+}
 
 /** Fluid weighted-fair byte arbiter shared by a fleet's uplinks. */
 class SharedLink : public UplinkArbiter
@@ -91,6 +92,9 @@ class SharedLink : public UplinkArbiter
          * automatically to two of the endpoint's first frame.
          */
         double burst_bytes = 0.0;
+
+        /** Time source; null uses the process WallClock. */
+        sim::Clock *clock = nullptr;
     };
 
     explicit SharedLink(NetworkLink link) : SharedLink(link, Options()) {}
@@ -143,8 +147,6 @@ class SharedLink : public UplinkArbiter
     std::vector<LinkEndpointReport> report() const;
 
   private:
-    using Clock = std::chrono::steady_clock;
-
     struct Endpoint
     {
         std::string name;
@@ -161,9 +163,9 @@ class SharedLink : public UplinkArbiter
         bool released = false;
     };
 
-    /** Drain every eligible in-flight transmission for the wall time
+    /** Drain every eligible in-flight transmission for the clock time
      *  elapsed since the last call. Caller holds mu. */
-    void advanceLocked(Clock::time_point now);
+    void advanceLocked(double now);
 
     /** This endpoint's current drain rate in bytes/s (0 while a
      *  higher StrictPriority tier transmits). Caller holds mu. */
@@ -171,13 +173,14 @@ class SharedLink : public UplinkArbiter
 
     NetworkLink net;
     Options opts;
+    sim::Clock *clk;       ///< non-owning time source
     double rate_bps = 0.0; ///< goodput / time_scale, real bytes/s
     mutable std::mutex mu;
     std::condition_variable cv;
     /** Deque: Endpoint addresses stay stable across addEndpoint, so a
      *  waiter blocked in acquire() never holds a dangling reference. */
     std::deque<Endpoint> endpoints;
-    Clock::time_point last_advance;
+    double last_advance = 0.0; ///< clock seconds of the last drain
     bool clock_started = false;
 };
 

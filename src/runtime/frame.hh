@@ -15,7 +15,6 @@
 #ifndef INCAM_RUNTIME_FRAME_HH
 #define INCAM_RUNTIME_FRAME_HH
 
-#include <chrono>
 #include <cstdint>
 
 #include "common/units.hh"
@@ -56,8 +55,9 @@ struct Frame
      */
     double trace_time = -1.0;
 
-    /** Wall-clock emission instant (end-to-end latency measurement). */
-    std::chrono::steady_clock::time_point emit;
+    /** Emission instant in the run clock's seconds — wall or model
+     *  time, per the installed sim::Clock (end-to-end latency). */
+    double emit_s = 0.0;
 };
 
 } // namespace incam

@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "common/logging.hh"
+#include "sim/clock.hh"
 
 namespace incam {
 
-TokenBucket::TokenBucket(double rate_per_sec, double burst_tokens)
-    : tokens_per_sec(0.0), burst(burst_tokens)
+TokenBucket::TokenBucket(double rate_per_sec, double burst_tokens,
+                         sim::Clock *clock)
+    : clk(clock != nullptr ? clock : &sim::WallClock::shared()),
+      tokens_per_sec(0.0), burst(burst_tokens)
 {
     setRate(rate_per_sec);
 }
@@ -22,7 +24,7 @@ TokenBucket::setRate(double rate_per_sec)
     // that was actually in force (refill caps the bank at the burst,
     // so a rate increase cannot mint a fresh burst).
     if (tokens_per_sec > 0.0) {
-        refill(std::chrono::steady_clock::now());
+        refill(clk->now());
     } else {
         // An unpaced bucket banked nothing; pacing (re)starts now.
         credit = 0.0;
@@ -52,7 +54,7 @@ TokenBucket::setRate(double rate_per_sec)
 }
 
 void
-TokenBucket::refill(std::chrono::steady_clock::time_point now)
+TokenBucket::refill(double now)
 {
     if (!started) {
         // The bucket starts empty: no free burst before the first frame.
@@ -60,8 +62,7 @@ TokenBucket::refill(std::chrono::steady_clock::time_point now)
         last = now;
         return;
     }
-    const double dt =
-        std::chrono::duration<double>(now - last).count();
+    const double dt = now - last;
     credit = std::min(burst, credit + dt * tokens_per_sec);
     last = now;
 }
@@ -72,16 +73,16 @@ TokenBucket::acquire(double tokens)
     if (tokens_per_sec <= 0.0) {
         return;
     }
-    refill(std::chrono::steady_clock::now());
+    refill(clk->now());
     credit -= tokens;
     if (credit >= 0.0) {
         return;
     }
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(-credit / tokens_per_sec));
+    clk->sleepFor(-credit / tokens_per_sec);
     // Re-read the clock: an oversleep banks credit (capped at the
-    // burst), an undersleep leaves debt for the next acquire.
-    refill(std::chrono::steady_clock::now());
+    // burst), an undersleep leaves debt for the next acquire. (On a
+    // VirtualClock the sleep is exact, so credit settles to zero.)
+    refill(clk->now());
 }
 
 } // namespace incam

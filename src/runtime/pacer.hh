@@ -14,24 +14,36 @@
  * on. The same abstraction paces compute stages (rate = 1/service
  * time, whole-frame tokens) and the uplink (rate = link goodput,
  * byte tokens), where the burst models the radio's frame buffer.
+ *
+ * The bucket reads time from an injected sim::Clock. On the default
+ * WallClock it behaves exactly as the historical steady_clock bucket
+ * did; on a VirtualClock its "sleep" advances model time, so the debt
+ * mechanism turns into *exact* arithmetic: every acquire lands
+ * precisely on the modeled schedule with zero jitter, which is what
+ * lets a discrete-event run pace thousands of cameras at memory
+ * speed.
  */
 
 #ifndef INCAM_RUNTIME_PACER_HH
 #define INCAM_RUNTIME_PACER_HH
 
-#include <chrono>
-
 namespace incam {
 
-/** Sleep-based token bucket; rate in tokens/sec against steady_clock. */
+namespace sim {
+class Clock; // sim/clock.hh
+}
+
+/** Sleep-based token bucket; rate in tokens/sec of an injected Clock. */
 class TokenBucket
 {
   public:
     /**
      * @p rate_per_sec tokens accrue per second, banked up to
      * @p burst_tokens. A non-positive rate disables pacing entirely.
+     * @p clock is the time source; null uses the process WallClock.
      */
-    TokenBucket(double rate_per_sec, double burst_tokens);
+    TokenBucket(double rate_per_sec, double burst_tokens,
+                sim::Clock *clock = nullptr);
 
     /**
      * Consume @p tokens, sleeping until the bucket can cover them.
@@ -60,13 +72,14 @@ class TokenBucket
     double rate() const { return tokens_per_sec; }
 
   private:
-    void refill(std::chrono::steady_clock::time_point now);
+    void refill(double now);
 
+    sim::Clock *clk; ///< non-owning time source
     double tokens_per_sec;
     double burst;
     double credit = 0.0;
     bool started = false;
-    std::chrono::steady_clock::time_point last;
+    double last = 0.0; ///< clock seconds of the last refill
 };
 
 } // namespace incam

@@ -1,0 +1,80 @@
+#include "runtime/report.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace incam {
+
+void
+LossLedger::add(const LossLedger &o)
+{
+    offered += o.offered;
+    delivered += o.delivered;
+    delivered_remote += o.delivered_remote;
+    delivered_local += o.delivered_local;
+    dropped += o.dropped;
+    dropped_gated += o.dropped_gated;
+    dropped_source += o.dropped_source;
+    dropped_link += o.dropped_link;
+    dropped_fault += o.dropped_fault;
+    dropped_shutdown += o.dropped_shutdown;
+    retried_frames += o.retried_frames;
+    tx_attempts += o.tx_attempts;
+    tx_losses += o.tx_losses;
+    stage_retries += o.stage_retries;
+    probe_attempts += o.probe_attempts;
+    probe_successes += o.probe_successes;
+    retry_bytes += o.retry_bytes;
+    retry_energy += o.retry_energy;
+    backoff_seconds += o.backoff_seconds;
+    blackout_seconds += o.blackout_seconds;
+    goodput_after_loss_bps += o.goodput_after_loss_bps;
+}
+
+double
+nearestRankPercentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty()) {
+        return 0.0;
+    }
+    const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+    const size_t idx = static_cast<size_t>(
+        std::clamp(rank, 1.0, static_cast<double>(sorted.size())));
+    return sorted[idx - 1];
+}
+
+ReportSummary
+RuntimeReport::summary() const
+{
+    ReportSummary s;
+    s.fps = model_fps;
+    s.joules_per_frame = joules_per_frame;
+    s.latency_p50 = latency_p50;
+    s.latency_p95 = latency_p95;
+    s.latency_p99 = latency_p99;
+    s.ledger = ledger;
+    return s;
+}
+
+ReportSummary
+FleetRunReport::summary() const
+{
+    ReportSummary s;
+    s.fps = aggregate_model_fps;
+    if (ledger.offered > 0) {
+        s.joules_per_frame =
+            total_energy / static_cast<double>(ledger.offered);
+    }
+    // The fleet's service level is its slowest member's: take the
+    // worst camera at each percentile rather than pooling samples the
+    // per-camera reports no longer carry.
+    for (const FleetCameraReport &cam : cameras) {
+        s.latency_p50 = std::max(s.latency_p50, cam.runtime.latency_p50);
+        s.latency_p95 = std::max(s.latency_p95, cam.runtime.latency_p95);
+        s.latency_p99 = std::max(s.latency_p99, cam.runtime.latency_p99);
+    }
+    s.ledger = ledger;
+    return s;
+}
+
+} // namespace incam

@@ -1,11 +1,9 @@
 #include "runtime/runtime.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <exception>
 #include <mutex>
-#include <thread>
 #include <utility>
 
 #include "common/logging.hh"
@@ -13,61 +11,10 @@
 #include "fault/fault.hh"
 #include "runtime/frame_queue.hh"
 #include "runtime/pacer.hh"
+#include "sim/clock.hh"
 #include "trace/trace.hh"
 
 namespace incam {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double
-secondsBetween(Clock::time_point a, Clock::time_point b)
-{
-    return std::chrono::duration<double>(b - a).count();
-}
-
-/** Nearest-rank percentile of an ascending-sorted sample vector. */
-double
-percentile(const std::vector<double> &sorted, double q)
-{
-    if (sorted.empty()) {
-        return 0.0;
-    }
-    const size_t n = sorted.size();
-    size_t rank = static_cast<size_t>(
-        std::ceil(q * static_cast<double>(n)));
-    rank = std::min(std::max<size_t>(rank, 1), n);
-    return sorted[rank - 1];
-}
-
-} // namespace
-
-void
-LossLedger::add(const LossLedger &o)
-{
-    offered += o.offered;
-    delivered += o.delivered;
-    delivered_remote += o.delivered_remote;
-    delivered_local += o.delivered_local;
-    dropped += o.dropped;
-    dropped_gated += o.dropped_gated;
-    dropped_source += o.dropped_source;
-    dropped_link += o.dropped_link;
-    dropped_fault += o.dropped_fault;
-    dropped_shutdown += o.dropped_shutdown;
-    retried_frames += o.retried_frames;
-    tx_attempts += o.tx_attempts;
-    tx_losses += o.tx_losses;
-    stage_retries += o.stage_retries;
-    probe_attempts += o.probe_attempts;
-    probe_successes += o.probe_successes;
-    retry_bytes += o.retry_bytes;
-    retry_energy += o.retry_energy;
-    backoff_seconds += o.backoff_seconds;
-    blackout_seconds += o.blackout_seconds;
-    goodput_after_loss_bps += o.goodput_after_loss_bps;
-}
 
 /** Queues plus measurement state of one run (threaded or inline). */
 struct StreamingPipeline::RunState
@@ -84,8 +31,8 @@ struct StreamingPipeline::RunState
         double busy_seconds = 0.0;
         Energy energy;
         DataSize bytes_sent;
-        Clock::time_point first_delivery;
-        Clock::time_point last_delivery;
+        double first_delivery = 0.0; ///< clock seconds
+        double last_delivery = 0.0;  ///< clock seconds
         bool delivered_any = false;
     };
 
@@ -107,13 +54,26 @@ struct StreamingPipeline::RunState
     };
 
     std::vector<std::unique_ptr<FrameQueue>> queues; ///< empty inline
+
+    // Pacing state lives in the run, one entry per stage, so the
+    // threaded loops, the inline loop and the discrete-event engine's
+    // stepwise drive all share it. Each pacer is still touched by
+    // exactly one thread (its stage's), as before.
+    std::vector<TokenBucket> stage_pacers;
+    std::vector<int> pacer_epochs;
+    std::vector<double> pass_credits;
+    std::unique_ptr<TokenBucket> source_pacer;
+    std::unique_ptr<TokenBucket> link_pacer;
+
     std::vector<StageState> state;
     LinkCounters lc;
-    std::vector<double> latencies; ///< wall e2e per delivery (uplink)
+    std::vector<double> latencies; ///< e2e per delivery (clock seconds)
     std::mutex error_mu;
     std::exception_ptr first_error;
     DataSize typical_bytes;
-    Clock::time_point run_start;
+    double run_start = 0.0; ///< clock seconds
+    int64_t next_id = 0;    ///< next source frame (stepwise drive)
+    int64_t last_id = -1;   ///< last frame the uplink saw (ordering)
 };
 
 StreamingPipeline::StreamingPipeline(const Pipeline &pipeline,
@@ -121,7 +81,7 @@ StreamingPipeline::StreamingPipeline(const Pipeline &pipeline,
                                      NetworkLink link,
                                      RuntimeOptions options)
     : pipe(pipeline), cfg(config), net(std::move(link)),
-      opts(std::move(options))
+      opts(std::move(options)), clk(&sim::WallClock::shared())
 {
     PipelineEvaluator(pipe, net).check(cfg);
     incam_assert(opts.frames > 0, "a stream needs at least one frame");
@@ -264,6 +224,15 @@ StreamingPipeline::attachUplinkArbiter(UplinkArbiter *shared, int endpoint)
 }
 
 void
+StreamingPipeline::setClock(sim::Clock *clock)
+{
+    incam_assert(clock != nullptr, "a pipeline needs a time source");
+    incam_assert(rs == nullptr && !consumed,
+                 "the clock must be installed before the run starts");
+    clk = clock;
+}
+
+void
 StreamingPipeline::initRun()
 {
     incam_assert(!consumed, "a StreamingPipeline instance is single-use");
@@ -271,18 +240,36 @@ StreamingPipeline::initRun()
     rs = std::make_unique<RunState>();
     rs->state.resize(specs.size() + 2);
     rs->typical_bytes = PipelineEvaluator(pipe, net).cutBytes(cfg);
-    rs->run_start = Clock::now();
+    rs->source_pacer =
+        std::make_unique<TokenBucket>(makeSourcePacer());
+    for (size_t b = 0; b < specs.size(); ++b) {
+        rs->stage_pacers.push_back(makeStagePacer(b));
+    }
+    rs->pacer_epochs.assign(specs.size(), 0);
+    rs->pass_credits.assign(specs.size(), 0.0);
+    rs->link_pacer = std::make_unique<TokenBucket>(makeLinkPacer());
+    rs->run_start = clk->now();
 }
 
 void
 StreamingPipeline::beginRun()
 {
+    incam_assert(!clk->virtualTime(),
+                 "threaded stages need a wall clock: queue waits block "
+                 "host threads (use Inline or DiscreteEvent on a "
+                 "VirtualClock)");
     initRun();
     const size_t n_stages = specs.size() + 2;
     for (size_t i = 0; i + 1 < n_stages; ++i) {
         rs->queues.push_back(
             std::make_unique<FrameQueue>(opts.queue_capacity));
     }
+}
+
+void
+StreamingPipeline::beginEventRun()
+{
+    initRun(); // no queues: frames step through the chain one by one
 }
 
 bool
@@ -301,7 +288,7 @@ StreamingPipeline::processBlockFrame(size_t b, Frame &f,
         // is an inert pass-through (no time, energy or gating).
         return true;
     }
-    const Clock::time_point t0 = Clock::now();
+    const double t0 = clk->now();
     const double slowdown =
         injector != nullptr
             ? injector->stageSlowdown(static_cast<int>(b), f.trace_time)
@@ -352,7 +339,7 @@ StreamingPipeline::processBlockFrame(size_t b, Frame &f,
     if (!completed) {
         ++st.dropped;
         ++st.fault_dropped;
-        st.busy_seconds += secondsBetween(t0, Clock::now());
+        st.busy_seconds += clk->now() - t0;
         return false;
     }
     double pass_fraction = plan.pass_fraction;
@@ -392,107 +379,93 @@ StreamingPipeline::processBlockFrame(size_t b, Frame &f,
             probe.gate_pass.fetch_add(1, std::memory_order_relaxed);
         }
     }
-    st.busy_seconds += secondsBetween(t0, Clock::now());
+    st.busy_seconds += clk->now() - t0;
     if (!pass) {
         ++st.dropped;
     }
     return pass;
 }
 
-void
-StreamingPipeline::deliverFrame(Frame &f, TokenBucket &pacer,
-                                int64_t &last_id)
+StreamingPipeline::TxPlan
+StreamingPipeline::planDelivery(const Frame &f)
 {
     RunState::StageState &st = rs->state.back();
     RunState::LinkCounters &lc = rs->lc;
-    const Clock::time_point t0 = Clock::now();
     ++st.in;
-    incam_assert(f.id > last_id, "uplink saw frame ", f.id, " after ",
-                 last_id, ": SPSC ordering violated");
-    last_id = f.id;
+    incam_assert(f.id > rs->last_id, "uplink saw frame ", f.id,
+                 " after ", rs->last_id, ": SPSC ordering violated");
+    rs->last_id = f.id;
 
+    TxPlan p;
+    p.start_t = clk->now();
     // A degraded (local-delivery) epoch keeps frames in-camera: no
     // transmission, no radio energy — except the periodic probe that
     // tests whether the link healed.
-    const bool local_epoch =
-        epochs[static_cast<size_t>(f.epoch)].local;
-    bool is_probe = false;
-    bool attempt_remote = !local_epoch;
-    if (local_epoch && opts.delivery.probe_every > 0) {
-        is_probe = lc.local_seq++ % opts.delivery.probe_every == 0;
-        attempt_remote = is_probe;
+    p.local_epoch = epochs[static_cast<size_t>(f.epoch)].local;
+    p.attempt_remote = !p.local_epoch;
+    if (p.local_epoch && opts.delivery.probe_every > 0) {
+        p.is_probe = lc.local_seq++ % opts.delivery.probe_every == 0;
+        p.attempt_remote = p.is_probe;
     }
+    // Probes get one attempt: their job is measurement, not delivery.
+    p.budget =
+        p.is_probe ? 1 : 1 + std::max(0, opts.delivery.max_retries);
+    return p;
+}
 
-    Energy e;
-    bool remote_ok = false;
-    int attempts = 0;
-    if (attempt_remote) {
-        // Bounded retry with timeout + exponential backoff. Every
-        // attempt pays full bytes, airtime and Joules; the fault
-        // plan's hash draw decides each attempt independently, keyed
-        // by (camera, frame, attempt) so the outcome sequence is the
-        // same under every execution shape. Probes get one attempt:
-        // their job is measurement, not delivery.
-        const int budget =
-            is_probe ? 1 : 1 + std::max(0, opts.delivery.max_retries);
-        for (;;) {
-            ++attempts;
-            Energy attempt_e;
-            if (arbiter) {
-                attempt_e = arbiter->acquire(arbiter_endpoint,
-                                             f.bytes.b(), f.trace_time);
-            } else {
-                pacer.acquire(f.bytes.b());
-                attempt_e = net.transferEnergy(f.bytes);
-            }
-            e += attempt_e;
-            if (attempts > 1) {
-                lc.retry_bytes += f.bytes;
-                lc.retry_energy += attempt_e;
-            }
-            const bool lost =
-                injector != nullptr &&
-                injector->txLost(fault_camera, f.id, attempts - 1,
-                                 f.trace_time);
-            if (!lost) {
-                remote_ok = true;
-                break;
-            }
-            ++lc.losses;
-            if (attempts >= budget) {
-                break;
-            }
-            double wait =
-                opts.delivery.ack_timeout +
-                opts.delivery.backoff_base *
-                    std::ldexp(1.0, attempts - 1);
-            if (opts.delivery.backoff_jitter > 0.0 &&
-                injector != nullptr && wait > 0.0) {
-                const double u = injector->backoffJitter(
-                    fault_camera, f.id, attempts - 1);
-                wait *= 1.0 + opts.delivery.backoff_jitter *
-                                  (2.0 * u - 1.0);
-            }
-            lc.backoff_s += wait;
-            if (opts.pace_link && wait > 0.0) {
-                std::this_thread::sleep_for(
-                    std::chrono::duration<double>(wait *
-                                                  opts.time_scale));
-            }
-        }
-        lc.attempts += attempts;
-        if (attempts > 1) {
+bool
+StreamingPipeline::txAttemptLost(const Frame &f, int attempt) const
+{
+    // The fault plan's hash draw decides each attempt independently,
+    // keyed by (camera, frame, attempt) so the outcome sequence is the
+    // same under every execution shape.
+    return injector != nullptr &&
+           injector->txLost(fault_camera, f.id, attempt - 1,
+                            f.trace_time);
+}
+
+double
+StreamingPipeline::txBackoffWait(const Frame &f,
+                                 int failed_attempts) const
+{
+    double wait = opts.delivery.ack_timeout +
+                  opts.delivery.backoff_base *
+                      std::ldexp(1.0, failed_attempts - 1);
+    if (opts.delivery.backoff_jitter > 0.0 && injector != nullptr &&
+        wait > 0.0) {
+        const double u = injector->backoffJitter(
+            fault_camera, f.id, failed_attempts - 1);
+        wait *= 1.0 +
+                opts.delivery.backoff_jitter * (2.0 * u - 1.0);
+    }
+    return wait;
+}
+
+void
+StreamingPipeline::finishDelivery(const Frame &f, const TxPlan &plan,
+                                  const TxOutcome &out)
+{
+    RunState::StageState &st = rs->state.back();
+    RunState::LinkCounters &lc = rs->lc;
+    if (plan.attempt_remote) {
+        lc.attempts += out.attempts;
+        lc.losses += out.attempts - (out.remote_ok ? 1 : 0);
+        if (out.attempts > 1) {
             ++lc.retried_frames;
         }
-        if (is_probe) {
+        lc.retry_bytes += out.retry_bytes;
+        lc.retry_energy += out.retry_energy;
+        lc.backoff_s += out.backoff_seconds;
+        if (plan.is_probe) {
             ++lc.probes;
-            if (remote_ok) {
+            if (out.remote_ok) {
                 ++lc.probe_ok;
             }
         }
-        probe.tx_attempts.fetch_add(attempts,
+        probe.tx_attempts.fetch_add(out.attempts,
                                     std::memory_order_relaxed);
-        probe.tx_losses.fetch_add(attempts - (remote_ok ? 1 : 0),
+        probe.tx_losses.fetch_add(out.attempts -
+                                      (out.remote_ok ? 1 : 0),
                                   std::memory_order_relaxed);
     }
 
@@ -500,19 +473,20 @@ StreamingPipeline::deliverFrame(Frame &f, TokenBucket &pacer,
     // totals (and their telemetry) carry the retries — the honest
     // re-pricing the ledger then itemizes.
     const double air_bytes =
-        f.bytes.b() * static_cast<double>(attempts);
-    st.energy += e;
+        f.bytes.b() * static_cast<double>(out.attempts);
+    st.energy += out.energy;
     st.bytes_sent += DataSize::bytes(air_bytes);
-    const Clock::time_point t1 = Clock::now();
-    st.busy_seconds += secondsBetween(t0, t1);
+    const double t1 = clk->now();
+    st.busy_seconds += t1 - plan.start_t;
     probe.bytes_sent.fetch_add(air_bytes, std::memory_order_relaxed);
-    probe.comm_energy_j.fetch_add(e.j(), std::memory_order_relaxed);
+    probe.comm_energy_j.fetch_add(out.energy.j(),
+                                  std::memory_order_relaxed);
     if (!rs->queues.empty()) {
         probe.uplink_queue_depth.store(rs->queues.back()->depth(),
                                        std::memory_order_relaxed);
     }
 
-    const bool delivered = remote_ok || local_epoch;
+    const bool delivered = out.remote_ok || plan.local_epoch;
     if (!delivered) {
         // Retry budget spent: the frame is shed at the link.
         ++st.dropped;
@@ -520,7 +494,7 @@ StreamingPipeline::deliverFrame(Frame &f, TokenBucket &pacer,
         return;
     }
     ++st.out;
-    if (remote_ok) {
+    if (out.remote_ok) {
         ++lc.delivered_remote;
         lc.delivered_payload += f.bytes;
     } else {
@@ -533,11 +507,51 @@ StreamingPipeline::deliverFrame(Frame &f, TokenBucket &pacer,
     }
     st.last_delivery = t1;
 
-    const double latency = secondsBetween(f.emit, t1);
+    const double latency = t1 - f.emit_s;
     rs->latencies.push_back(latency);
     probe.delivered_frames.fetch_add(1, std::memory_order_relaxed);
     probe.latency_sum_s.fetch_add(latency, std::memory_order_relaxed);
     probe.latency_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+StreamingPipeline::deliverFrame(Frame &f)
+{
+    TxPlan plan = planDelivery(f);
+    TxOutcome out;
+    if (plan.attempt_remote) {
+        // Bounded retry with timeout + exponential backoff. Every
+        // attempt pays full bytes, airtime and Joules.
+        for (;;) {
+            ++out.attempts;
+            Energy attempt_e;
+            if (arbiter) {
+                attempt_e = arbiter->acquire(arbiter_endpoint,
+                                             f.bytes.b(), f.trace_time);
+            } else {
+                rs->link_pacer->acquire(f.bytes.b());
+                attempt_e = net.transferEnergy(f.bytes);
+            }
+            out.energy += attempt_e;
+            if (out.attempts > 1) {
+                out.retry_bytes += f.bytes;
+                out.retry_energy += attempt_e;
+            }
+            if (!txAttemptLost(f, out.attempts)) {
+                out.remote_ok = true;
+                break;
+            }
+            if (out.attempts >= plan.budget) {
+                break;
+            }
+            const double wait = txBackoffWait(f, out.attempts);
+            out.backoff_seconds += wait;
+            if (opts.pace_link && wait > 0.0) {
+                clk->sleepFor(wait * opts.time_scale);
+            }
+        }
+    }
+    finishDelivery(f, plan, out);
 }
 
 TokenBucket
@@ -546,14 +560,14 @@ StreamingPipeline::makeSourcePacer() const
     return TokenBucket(opts.source_fps > 0.0
                            ? opts.source_fps / opts.time_scale
                            : 0.0,
-                       opts.stage_burst_frames);
+                       opts.stage_burst_frames, clk);
 }
 
 TokenBucket
 StreamingPipeline::makeStagePacer(size_t b) const
 {
     return TokenBucket(epochs.front().plans[b].pacer_rate,
-                       opts.stage_burst_frames);
+                       opts.stage_burst_frames, clk);
 }
 
 TokenBucket
@@ -565,7 +579,8 @@ StreamingPipeline::makeLinkPacer() const
                            ? net.goodput().bytesPerSecond() /
                                  opts.time_scale
                            : 0.0,
-                       opts.link_burst_frames * rs->typical_bytes.b());
+                       opts.link_burst_frames * rs->typical_bytes.b(),
+                       clk);
 }
 
 void
@@ -573,9 +588,8 @@ StreamingPipeline::sourceLoop()
 {
     RunState::StageState &st = rs->state[0];
     FrameQueue &out = *rs->queues[0];
-    TokenBucket pacer = makeSourcePacer();
     for (int64_t id = 0; id < opts.frames && !pastDeadline(); ++id) {
-        Frame f = makeSourceFrame(id, pacer);
+        Frame f = makeSourceFrame(id, *rs->source_pacer);
         if (injector != nullptr &&
             injector->cameraDown(fault_camera, f.trace_time)) {
             // Crash window: the camera is down, the frame never
@@ -599,7 +613,7 @@ bool
 StreamingPipeline::pastDeadline() const
 {
     return opts.duration > 0.0 &&
-           secondsBetween(rs->run_start, Clock::now()) >=
+           clk->now() - rs->run_start >=
                opts.duration * opts.time_scale;
 }
 
@@ -607,7 +621,7 @@ Frame
 StreamingPipeline::makeSourceFrame(int64_t id, TokenBucket &pacer)
 {
     RunState::StageState &st = rs->state[0];
-    const Clock::time_point t0 = Clock::now();
+    const double t0 = clk->now();
     Frame f;
     f.id = id;
     f.bytes = pipe.sourceBytes();
@@ -624,9 +638,9 @@ StreamingPipeline::makeSourceFrame(int64_t id, TokenBucket &pacer)
                        ? static_cast<double>(id) / opts.trace_fps
                        : -1.0;
     pacer.acquire(1.0);
-    f.emit = Clock::now();
+    f.emit_s = clk->now();
     probe.source_frames.fetch_add(1, std::memory_order_relaxed);
-    st.busy_seconds += secondsBetween(t0, f.emit);
+    st.busy_seconds += f.emit_s - t0;
     return f;
 }
 
@@ -636,13 +650,11 @@ StreamingPipeline::blockLoop(size_t b)
     RunState::StageState &st = rs->state[b + 1];
     FrameQueue &in = *rs->queues[b];
     FrameQueue &out = *rs->queues[b + 1];
-    TokenBucket pacer = makeStagePacer(b);
-    int pacer_epoch = 0;
-    double pass_credit = 0.0;
     Frame f;
     while (in.pop(f)) {
-        if (!processBlockFrame(b, f, pacer, pacer_epoch,
-                               pass_credit)) {
+        if (!processBlockFrame(b, f, rs->stage_pacers[b],
+                               rs->pacer_epochs[b],
+                               rs->pass_credits[b])) {
             continue;
         }
         if (!out.push(std::move(f))) {
@@ -659,11 +671,9 @@ void
 StreamingPipeline::uplinkLoop()
 {
     FrameQueue &in = *rs->queues.back();
-    TokenBucket pacer = makeLinkPacer();
-    int64_t last_id = -1;
     Frame f;
     while (in.pop(f)) {
-        deliverFrame(f, pacer, last_id);
+        deliverFrame(f);
     }
     in.close();
     if (arbiter) {
@@ -712,12 +722,13 @@ StreamingPipeline::runStage(int stage)
 }
 
 RuntimeReport
-StreamingPipeline::run()
+StreamingPipeline::runThreaded()
 {
     incam_assert(!ThreadPool::inWorker(),
                  "the streaming runtime cannot run nested inside a "
                  "thread-pool worker: stage loops need real concurrency"
-                 " (use runInline() for single-thread execution)");
+                 " (use ExecutionMode::Inline for single-thread "
+                 "execution)");
     // Every stage loop must run concurrently or the chain deadlocks on
     // a full queue, so the pool's participant cap bounds the chain.
     const size_t n_stages = specs.size() + 2;
@@ -736,52 +747,113 @@ StreamingPipeline::run()
     return finishRun();
 }
 
+StreamingPipeline::SourceStep
+StreamingPipeline::nextFrame(Frame &f)
+{
+    incam_assert(rs != nullptr,
+                 "beginEventRun() must precede nextFrame()");
+    if (rs->next_id >= opts.frames || pastDeadline()) {
+        return SourceStep::Done;
+    }
+    const int64_t id = rs->next_id++;
+    f = makeSourceFrame(id, *rs->source_pacer);
+    if (injector != nullptr &&
+        injector->cameraDown(fault_camera, f.trace_time)) {
+        ++rs->state[0].dropped; // crash window: see sourceLoop
+        return SourceStep::Skipped;
+    }
+    ++rs->state[0].out;
+    for (size_t b = 0; b < specs.size(); ++b) {
+        if (!processBlockFrame(b, f, rs->stage_pacers[b],
+                               rs->pacer_epochs[b],
+                               rs->pass_credits[b])) {
+            return SourceStep::Skipped;
+        }
+        ++rs->state[b + 1].out;
+    }
+    return SourceStep::Emitted;
+}
+
+int64_t
+StreamingPipeline::nextSourceId() const
+{
+    incam_assert(rs != nullptr, "no run in progress");
+    return rs->next_id;
+}
+
+RuntimeReport
+StreamingPipeline::run(const RunOptions &options)
+{
+    switch (options.mode) {
+      case ExecutionMode::ThreadedStages:
+        if (options.clock != nullptr) {
+            setClock(options.clock);
+        }
+        return runThreaded();
+      case ExecutionMode::Inline:
+        if (options.clock != nullptr) {
+            setClock(options.clock);
+        }
+        return runInline();
+      case ExecutionMode::ThreadPerCamera:
+        incam_panic("ThreadPerCamera is a fleet shape: each camera "
+                    "pipeline runs Inline on a pool thread — use "
+                    "CameraFleet::run");
+      case ExecutionMode::DiscreteEvent: {
+        // Solo discrete-event execution *is* the inline loop on a
+        // self-owned model clock: the serial chain's own sleeps
+        // advance virtual time, so the run completes at memory speed
+        // with bit-identical accounting.
+        incam_assert(options.clock == nullptr,
+                     "DiscreteEvent owns its clock; inject one via "
+                     "ExecutionMode::Inline instead");
+        sim::VirtualClock vclock;
+        setClock(&vclock);
+        try {
+            RuntimeReport rep = runInline();
+            clk = &sim::WallClock::shared(); // vclock dies here
+            return rep;
+        } catch (...) {
+            clk = &sim::WallClock::shared();
+            throw;
+        }
+      }
+    }
+    incam_panic("unknown ExecutionMode");
+}
+
+RuntimeReport
+StreamingPipeline::run()
+{
+    return run(RunOptions{ExecutionMode::ThreadedStages, nullptr});
+}
+
 RuntimeReport
 StreamingPipeline::runInline()
 {
-    initRun(); // no queues: the chain runs as one serial loop
-
-    const size_t n_blocks = specs.size();
-    TokenBucket source_pacer = makeSourcePacer();
-    std::vector<TokenBucket> stage_pacers;
-    std::vector<int> pacer_epochs(n_blocks, 0);
-    std::vector<double> pass_credit(n_blocks, 0.0);
-    for (size_t b = 0; b < n_blocks; ++b) {
-        stage_pacers.push_back(makeStagePacer(b));
-    }
-    TokenBucket link_pacer = makeLinkPacer();
+    beginEventRun(); // no queues: the chain runs as one serial loop
 
     // One loop drives each frame through the whole chain, reusing the
     // per-frame stage bodies of the threaded shape. The buckets all
-    // refill against wall time while the loop sleeps in any one of
-    // them, so the steady-state rate is still the min over stage/link
-    // rates, exactly as with one thread per stage — only pipeline-fill
-    // latency (which measured_fps already excises) differs.
-    int64_t last_id = -1;
+    // refill against shared clock time while the loop sleeps in any
+    // one of them, so the steady-state rate is still the min over
+    // stage/link rates, exactly as with one thread per stage — only
+    // pipeline-fill latency (which measured_fps already excises)
+    // differs. The discrete-event engine replays these same steps
+    // from its event loop, which is why the two shapes are
+    // bit-identical by construction.
     try {
-    for (int64_t id = 0; id < opts.frames && !pastDeadline(); ++id) {
-        Frame f = makeSourceFrame(id, source_pacer);
-        if (injector != nullptr &&
-            injector->cameraDown(fault_camera, f.trace_time)) {
-            ++rs->state[0].dropped; // crash window: see sourceLoop
-            continue;
-        }
-        ++rs->state[0].out;
-
-        bool gated = false;
-        for (size_t b = 0; b < n_blocks && !gated; ++b) {
-            if (processBlockFrame(b, f, stage_pacers[b],
-                                  pacer_epochs[b], pass_credit[b])) {
-                ++rs->state[b + 1].out;
-            } else {
-                gated = true;
+        Frame f;
+        for (;;) {
+            const SourceStep step = nextFrame(f);
+            if (step == SourceStep::Done) {
+                break;
             }
+            if (step == SourceStep::Skipped) {
+                continue;
+            }
+            deliverFrame(f);
         }
-        if (gated) {
-            continue;
-        }
-        deliverFrame(f, link_pacer, last_id);
-    }
     } catch (...) {
         // A dead camera must not leave a ghost endpoint competing for
         // the shared link its siblings are still using.
@@ -815,13 +887,13 @@ StreamingPipeline::finishRun()
     rep.source_frames = src.out + src.dropped + src.shutdown_dropped;
     const RunState::StageState &sink = rs->state.back();
     rep.delivered_frames = sink.out;
-    const Clock::time_point end =
-        sink.delivered_any ? sink.last_delivery : Clock::now();
-    rep.wall_seconds = secondsBetween(rs->run_start, end);
+    const double end =
+        sink.delivered_any ? sink.last_delivery : clk->now();
+    rep.wall_seconds = end - rs->run_start;
     if (sink.out >= 2) {
         rep.measured_fps =
             static_cast<double>(sink.out - 1) /
-            secondsBetween(sink.first_delivery, sink.last_delivery);
+            (sink.last_delivery - sink.first_delivery);
     } else if (rep.wall_seconds > 0.0) {
         rep.measured_fps =
             static_cast<double>(sink.out) / rep.wall_seconds;
@@ -885,11 +957,11 @@ StreamingPipeline::finishRun()
 
     std::sort(rs->latencies.begin(), rs->latencies.end());
     rep.latency_p50 =
-        percentile(rs->latencies, 0.50) / opts.time_scale;
+        nearestRankPercentile(rs->latencies, 0.50) / opts.time_scale;
     rep.latency_p95 =
-        percentile(rs->latencies, 0.95) / opts.time_scale;
+        nearestRankPercentile(rs->latencies, 0.95) / opts.time_scale;
     rep.latency_p99 =
-        percentile(rs->latencies, 0.99) / opts.time_scale;
+        nearestRankPercentile(rs->latencies, 0.99) / opts.time_scale;
     rep.reconfigurations =
         epoch_count.load(std::memory_order_acquire) - 1;
 

@@ -56,48 +56,18 @@
 #include "core/pipeline.hh"
 #include "runtime/executor.hh"
 #include "runtime/frame.hh"
+#include "runtime/report.hh"
+#include "runtime/uplink.hh"
 
 namespace incam {
+
+namespace sim {
+class Clock; // sim/clock.hh
+}
 
 class TokenBucket;   // runtime/pacer.hh
 class ContentTrace;  // trace/trace.hh
 class FaultInjector; // fault/fault.hh
-
-/**
- * Arbitrated access to an uplink shared between pipelines, or driven
- * by a time-varying link trace — anything that decides *when* bytes
- * may cross and what radio energy they cost.
- *
- * A StreamingPipeline's uplink stage normally paces itself against a
- * private token bucket at its static link's goodput. When several
- * pipelines (a camera fleet) share one physical link, or the link's
- * conditions vary over time, attach an arbiter instead: every byte
- * that crosses any camera's cut is then acquired through one
- * policy-governed grant queue. Implementations must be thread-safe;
- * the canonical ones are fleet/SharedLink (weighted fair sharing) and
- * trace/DynamicLink (trace-driven capacity and pricing).
- */
-class UplinkArbiter
-{
-  public:
-    virtual ~UplinkArbiter() = default;
-
-    /**
-     * Block until @p endpoint may transmit @p bytes, and return the
-     * camera-side radio energy the transmission cost (time-varying
-     * links price it against the link state in force while the bytes
-     * drained). @p trace_time_hint is the frame's position on the
-     * model-time trace clock in seconds, or negative when the caller
-     * has no frame clock — arbiters with their own clock ignore it.
-     * A disabled (counting-only) arbiter returns immediately but
-     * still accounts and prices the traffic.
-     */
-    virtual Energy acquire(int endpoint, double bytes,
-                           double trace_time_hint = -1.0) = 0;
-
-    /** The endpoint's stream ended; its share frees up immediately. */
-    virtual void release(int endpoint) = 0;
-};
 
 /** How filter blocks decide which frames continue downstream. */
 enum class GatingMode
@@ -135,39 +105,6 @@ struct StagePolicy
     /** Slowdown factor at which the watchdog declares the attempt
      *  faulted; 0 disables the watchdog. */
     double watchdog_slowdown = 0.0;
-};
-
-/**
- * Uplink delivery semantics under transmission loss: how many times a
- * frame is retransmitted, and what each detected loss costs in model
- * time, before the frame is shed. Every attempt — first or retry —
- * pays full bytes, airtime and radio energy; the loss ledger tracks
- * the retry share separately.
- */
-struct DeliveryPolicy
-{
-    /** Retransmissions after the first attempt; 0 = send once. */
-    int max_retries = 0;
-
-    /** Model seconds to detect a lost attempt (ACK timeout). */
-    double ack_timeout = 0.0;
-
-    /** Model seconds of backoff before retry k, doubling per retry:
-     *  backoff_base * 2^(k-1). 0 retries immediately after timeout. */
-    double backoff_base = 0.0;
-
-    /** +-fraction of jitter on each backoff step, hash-drawn from the
-     *  fault plan so the wait sequence stays deterministic. */
-    double backoff_jitter = 0.0;
-
-    /**
-     * Degraded (local-delivery) epochs still probe the link: every
-     * probe_every-th frame attempts one real transmission. A probe
-     * that succeeds is delivered remotely and feeds the telemetry
-     * that lets the adaptive controller see the link heal; a probe
-     * that fails falls back to local delivery. 0 never probes.
-     */
-    int64_t probe_every = 8;
 };
 
 /** Knobs of a streaming run. */
@@ -252,136 +189,64 @@ struct RuntimeOptions
 };
 
 /**
- * Exact frame accounting of one run under failure. Every frame the
- * source offered is accounted to exactly one fate — the invariant
- *
- *     offered == delivered + dropped
- *
- * (with delivered and dropped each split by cause) holds under every
- * fault plan and is asserted when a run finishes. Retry traffic is
- * priced into the run's byte and energy totals; the ledger reports
- * the retry share so the cost of recovery is visible on its own.
+ * How a run executes — the *shape* of its concurrency. All shapes
+ * produce the same reports, and in counting mode (pace_stages and
+ * pace_link off, Model or None gating, a frame clock) they produce
+ * bit-identical ledgers, energies and adaptive decisions; the shape
+ * only decides what host resources the run consumes.
  */
-struct LossLedger
+enum class ExecutionMode
 {
-    int64_t offered = 0;   ///< frames the source emitted (or crashed)
-    int64_t delivered = 0; ///< delivered_remote + delivered_local
-    int64_t delivered_remote = 0; ///< crossed the uplink
-    int64_t delivered_local = 0;  ///< degraded epochs: kept in-camera
-    int64_t dropped = 0;          ///< sum of the dropped_* causes
-    int64_t dropped_gated = 0;    ///< filter blocks gated away
-    int64_t dropped_source = 0;   ///< camera crash windows
-    int64_t dropped_link = 0;     ///< transmission retry budget spent
-    int64_t dropped_fault = 0;    ///< stage fault policy exhausted
-    int64_t dropped_shutdown = 0; ///< downstream closed mid-flight
-
-    int64_t retried_frames = 0; ///< frames needing > 1 attempt
-    int64_t tx_attempts = 0;    ///< transmission attempts, total
-    int64_t tx_losses = 0;      ///< attempts the fault plan lost
-    int64_t stage_retries = 0;  ///< compute re-executions
-    int64_t probe_attempts = 0; ///< degraded-mode link probes
-    int64_t probe_successes = 0;
-
-    DataSize retry_bytes; ///< air bytes beyond each frame's first try
-    Energy retry_energy;  ///< radio energy of those extra attempts
-    double backoff_seconds = 0.0;  ///< model-time timeout/backoff waits
-    double blackout_seconds = 0.0; ///< plan blackout time in the run
-
-    /** Delivered *remote* payload bits per model second — what the
-     *  link actually yielded after loss, retries and blackouts. */
-    double goodput_after_loss_bps = 0.0;
-
-    /** The frame-accounting invariant. */
-    bool
-    consistent() const
-    {
-        return offered == delivered + dropped &&
-               delivered == delivered_remote + delivered_local &&
-               dropped == dropped_gated + dropped_source +
-                              dropped_link + dropped_fault +
-                              dropped_shutdown;
-    }
-
-    /** Fleet aggregation: fold @p o's counts into this ledger
-     *  (rates are left to the caller). */
-    void add(const LossLedger &o);
-};
-
-/** Measured behaviour of one stage over a run. */
-struct StageReport
-{
-    std::string name;
-    int64_t frames_in = 0;      ///< frames popped from the input queue
-    int64_t frames_out = 0;     ///< frames forwarded downstream
-    int64_t frames_dropped = 0; ///< frames gated away
-    double busy_seconds = 0.0;  ///< time spent serving (work + pacing)
-    double occupancy = 0.0;     ///< busy_seconds / run wall time
-    int peak_queue_depth = 0;   ///< high-watermark of the input queue
-    Energy energy;              ///< modeled energy charged to the block
-};
-
-/** Measured behaviour of the uplink stage. */
-struct LinkReport
-{
-    int64_t frames_sent = 0;
-    DataSize bytes_sent;
-    Energy energy;            ///< per-bit radio cost of bytes_sent
-    double utilization = 0.0; ///< bytes_sent / (goodput * wall time)
-    int peak_queue_depth = 0; ///< high-watermark of the uplink queue
-};
-
-/** The measured counterpart of EnergyReport / ThroughputReport. */
-struct RuntimeReport
-{
-    std::string config;          ///< PipelineConfig::toString form
-    int64_t source_frames = 0;   ///< frames the source emitted
-    int64_t delivered_frames = 0;///< frames that crossed the uplink
-    double wall_seconds = 0.0;   ///< first source emission -> last delivery
+    /**
+     * One host thread per pipeline stage, bounded SPSC queues between
+     * them (the original run() shape). Real concurrency: frames
+     * pipeline across stages. Requires a wall clock.
+     */
+    ThreadedStages,
 
     /**
-     * Steady-state delivery rate at the sink: (delivered - 1) / (last
-     * delivery - first delivery), which excises the pipeline-fill
-     * latency a short run would otherwise smear into the rate.
+     * The whole chain serially on the calling thread, no queues (the
+     * original runInline() shape). Works on any clock; on a
+     * VirtualClock the run executes in model time at memory speed.
      */
-    double measured_fps = 0.0;
-
-    /** measured_fps normalized back to model time (x time_scale) —
-     *  the number to hold against ThroughputReport::total_fps. */
-    double model_fps = 0.0;
-
-    Energy compute_energy; ///< sum of in-camera stage energies
-    Energy comm_energy;    ///< uplink radio energy
-
-    /** Total modeled J per *source* frame — the EnergyReport analogue
-     *  (duty-scaling emerges from gated frame counts). */
-    Energy joules_per_frame;
+    Inline,
 
     /**
-     * End-to-end latency percentiles over delivered frames, source
-     * emission to uplink completion, normalized to model time
-     * (measured wall latency / time_scale), in seconds. Zero when
-     * nothing was delivered. The adaptive controller's service-level
-     * view of the pipeline; nearest-rank percentiles.
+     * Fleet-only: every camera runs its chain inline on its own
+     * pool thread (the fleet's historical default). Core-count bound
+     * (~kMaxWorkers cameras).
      */
-    double latency_p50 = 0.0;
-    double latency_p95 = 0.0;
-    double latency_p99 = 0.0;
+    ThreadPerCamera,
 
-    /** Mid-run reconfigure() calls that took effect (epochs - 1). */
-    int64_t reconfigurations = 0;
+    /**
+     * Fleet-scale simulation: every camera is an event source on its
+     * own VirtualClock, serialized by one EventScheduler; the shared
+     * uplink drains in virtual time (sim/SimLink). One host core
+     * simulates 100k cameras. For a solo pipeline this is Inline on a
+     * self-owned VirtualClock.
+     */
+    DiscreteEvent,
+};
 
-    /** Exact frame accounting under failure; consistent() always
-     *  holds when the run finished without error. */
-    LossLedger ledger;
+/**
+ * The one run entry point's options: which execution shape, and on
+ * which clock. Everything else about a run (frames, pacing, gating,
+ * policies) stays in RuntimeOptions / FleetOptions — RunOptions is
+ * deliberately only the *execution* choice, so the same configured
+ * pipeline can be run threaded today and discrete-event tomorrow
+ * without touching its configuration.
+ */
+struct RunOptions
+{
+    ExecutionMode mode = ExecutionMode::ThreadedStages;
 
-    std::vector<StageReport> stages; ///< one per pipeline block, in order
-    LinkReport link;
-
-    Energy
-    total_energy() const
-    {
-        return compute_energy + comm_energy;
-    }
+    /**
+     * Time source for the run; null uses the process-wide WallClock.
+     * A VirtualClock is only legal with Inline (the caller advances
+     * time by the pipeline's own sleeps) — DiscreteEvent owns its
+     * clocks and ThreadedStages/ThreadPerCamera need real sleeps.
+     */
+    sim::Clock *clock = nullptr;
 };
 
 /**
@@ -508,20 +373,44 @@ class StreamingPipeline
     /** The configuration the pipeline was constructed with. */
     const PipelineConfig &initialConfig() const { return cfg; }
 
+    /** The options the pipeline was constructed with. */
+    const RuntimeOptions &runtimeOptions() const { return opts; }
+
     /** Live counters (valid before, during and after the run). */
     const Telemetry &telemetry() const { return probe; }
 
-    /** Execute the stream to completion and report measurements. */
+    /**
+     * Inject the time source every pacer, deadline check, backoff
+     * sleep and latency stamp of this pipeline reads. Defaults to the
+     * process-wide WallClock; the discrete-event engine installs one
+     * VirtualClock per camera. Must be set before the run starts and
+     * must outlive it.
+     */
+    void setClock(sim::Clock *clock);
+
+    /**
+     * THE run entry point: execute the stream to completion under
+     * @p options' execution shape and clock, and report measurements.
+     * ThreadedStages must not be invoked from inside a thread-pool
+     * worker (stage loops need real concurrency); Inline and
+     * DiscreteEvent may. ThreadPerCamera is fleet-only and panics
+     * here. Each instance is single-use regardless of shape.
+     */
+    RuntimeReport run(const RunOptions &options);
+
+    /**
+     * Deprecated shape-specific entry point; forwards to
+     * run({ExecutionMode::ThreadedStages}). Prefer run(RunOptions).
+     */
     RuntimeReport run();
 
     /**
-     * Execute the whole chain serially on the calling thread: one loop
-     * drives each frame source -> stages -> uplink with no queues.
-     * Token buckets accrue credit in parallel wall time, so the
-     * steady-state rate is still min(stage rates, link rate) — the
-     * execution mode a CameraFleet uses to run up to kMaxWorkers
-     * cameras concurrently at one thread per camera. Unlike run(),
-     * this may be called from inside a thread-pool worker.
+     * Deprecated shape-specific entry point; forwards to
+     * run({ExecutionMode::Inline}) on the installed clock. One loop
+     * drives each frame source -> stages -> uplink with no queues;
+     * token buckets accrue credit in parallel wall time, so the
+     * steady-state rate is still min(stage rates, link rate). May be
+     * called from inside a thread-pool worker. Prefer run(RunOptions).
      */
     RuntimeReport runInline();
 
@@ -537,6 +426,83 @@ class StreamingPipeline
     void beginRun();
     void runStage(int stage);
     RuntimeReport finishRun();
+
+    // ------- event composition: externally scheduled frame steps -----
+    // The discrete-event engine (sim/SimEngine) drives many pipelines
+    // from one event loop, so it needs the inline loop's per-frame
+    // steps exposed individually: beginEventRun() once, then repeat
+    // { nextFrame() -> planDelivery() -> its own transmission schedule
+    // -> finishDelivery() } until nextFrame() returns Done, then
+    // finishRun(). The split is exact: runInline() itself is now
+    // written in these same steps, which is what makes discrete-event
+    // runs bit-identical to inline ones by construction.
+
+    /** What one source step produced. */
+    enum class SourceStep
+    {
+        Emitted, ///< @p frame holds a live frame past all stages
+        Skipped, ///< frame consumed pre-uplink (gated/crashed/shed)
+        Done,    ///< stream over (frame budget or deadline)
+    };
+
+    /**
+     * The delivery plan for one frame that reached the uplink stage:
+     * whether to transmit at all (degraded epochs deliver locally),
+     * whether this transmission is a degraded-mode probe, and how
+     * many attempts the retry budget allows.
+     */
+    struct TxPlan
+    {
+        bool attempt_remote = false; ///< transmit (vs local delivery)
+        bool is_probe = false;       ///< degraded-epoch link probe
+        int budget = 1;              ///< attempts allowed (1+retries)
+        bool local_epoch = false;    ///< frame's epoch is degraded
+        double start_t = 0.0;        ///< clock time entering the sink
+    };
+
+    /** What the engine's transmission schedule measured. */
+    struct TxOutcome
+    {
+        int attempts = 0;      ///< attempts actually made
+        bool remote_ok = false;///< an attempt crossed the uplink
+        Energy energy;         ///< radio energy, all attempts
+        Energy retry_energy;   ///< share beyond the first attempt
+        DataSize retry_bytes;  ///< air bytes beyond the first attempt
+        double backoff_seconds = 0.0; ///< model-time waits accrued
+    };
+
+    /** beginRun() minus the stage threads: arm the run state so
+     *  nextFrame() can be called. */
+    void beginEventRun();
+
+    /**
+     * Execute one full source step inline on the caller's clock:
+     * source the next frame, run it through every stage. Emitted
+     * leaves the frame in @p frame, ready for planDelivery().
+     */
+    SourceStep nextFrame(Frame &frame);
+
+    /** Resolve @p frame's delivery plan and account its arrival at
+     *  the sink. Call exactly once per Emitted frame. */
+    TxPlan planDelivery(const Frame &frame);
+
+    /** Does the fault plan lose attempt @p attempt (1-based) of
+     *  @p frame? Pure (counter-hash draw); interleaving-independent. */
+    bool txAttemptLost(const Frame &frame, int attempt) const;
+
+    /** Model-time wait after @p failed_attempts lost attempts:
+     *  ack_timeout + jittered exponential backoff. Pure. */
+    double txBackoffWait(const Frame &frame, int failed_attempts) const;
+
+    /** Book @p outcome for @p frame under @p plan: ledger, telemetry,
+     *  latency, per-stage busy time. Call exactly once per Emitted
+     *  frame, after the transmission schedule resolves. */
+    void finishDelivery(const Frame &frame, const TxPlan &plan,
+                        const TxOutcome &outcome);
+
+    /** Next source frame id nextFrame() will emit (the engine's frame
+     *  clock position). */
+    int64_t nextSourceId() const;
 
   private:
     struct RunState; // stage queues + measurement state of one run
@@ -564,6 +530,8 @@ class StreamingPipeline
     };
 
     void initRun();
+    /** The ThreadedStages body (the original run()). */
+    RuntimeReport runThreaded();
     void sourceLoop();
     void blockLoop(size_t b);
     void uplinkLoop();
@@ -584,10 +552,9 @@ class StreamingPipeline
      *  rate the stage pacer currently runs at. */
     bool processBlockFrame(size_t b, Frame &frame, TokenBucket &pacer,
                            int &pacer_epoch, double &pass_credit);
-    /** Per-frame uplink body: pace (arbiter or @p pacer), charge the
-     *  radio, record the delivery. */
-    void deliverFrame(Frame &frame, TokenBucket &pacer,
-                      int64_t &last_id);
+    /** Per-frame uplink body: planDelivery + the clock-paced retry
+     *  loop (arbiter or the run's link pacer) + finishDelivery. */
+    void deliverFrame(Frame &frame);
     /** Resolve a validated config into per-block plans. */
     Epoch makeEpoch(const PipelineConfig &config) const;
 
@@ -614,6 +581,7 @@ class StreamingPipeline
     int arbiter_endpoint = -1;
     const FaultInjector *injector = nullptr; ///< non-owning
     int fault_camera = 0; ///< this run's identity to the injector
+    sim::Clock *clk; ///< non-owning; ctor defaults to WallClock::shared()
 
     /**
      * The epoch table. Readers (stage threads) index it with a

@@ -1,0 +1,43 @@
+#include "sim/clock.hh"
+
+#include <thread>
+
+namespace incam::sim {
+
+void
+Clock::sleepFor(double dt)
+{
+    if (dt > 0.0) {
+        sleepUntil(now() + dt);
+    }
+}
+
+WallClock::WallClock() : epoch(std::chrono::steady_clock::now()) {}
+
+double
+WallClock::now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+void
+WallClock::sleepUntil(double t)
+{
+    std::this_thread::sleep_until(
+        epoch + std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(t)));
+}
+
+WallClock &
+WallClock::shared()
+{
+    // Construct-on-first-use: components constructed during static
+    // init still get a valid shared epoch.
+    static WallClock instance;
+    return instance;
+}
+
+} // namespace incam::sim

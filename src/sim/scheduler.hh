@@ -1,0 +1,114 @@
+/**
+ * @file
+ * EventScheduler — the discrete-event engine's ordered event queue.
+ *
+ * A discrete-event run is a loop over "the earliest pending thing":
+ * pop the event with the smallest model time, advance that camera's
+ * VirtualClock to it, execute its handler (which schedules future
+ * events), repeat until the queue drains. The scheduler is therefore
+ * nothing but a binary heap — but its *ordering* is load-bearing:
+ * whenever two events carry the same model time (ubiquitous in
+ * counting-mode runs, where whole frame cascades happen "at" the
+ * frame clock instant), the pop order decides the interleaving of
+ * cameras, and the interleaving decides cross-camera-visible state
+ * like a fleet controller's reconfigure sweep. Ties break
+ * deterministically on
+ *
+ *     (time, camera, kind, seq)
+ *
+ * — camera index first (camera 0, the fleet ticker, acts before its
+ * siblings at the same instant, mirroring how it leads decisions),
+ * then the event kind, then a global monotone sequence number so no
+ * two events ever compare equal. The same run therefore pops the same
+ * sequence on every host, which is what makes discrete-event ledgers
+ * and adaptive decision logs bit-reproducible.
+ *
+ * Handlers are not stored in the event (a std::function per event
+ * would cost an allocation per frame at 100k-camera scale); events
+ * carry plain data and the engine dispatches on `kind`. `payload`
+ * carries a version stamp for lazily-invalidated events (SimLink
+ * departure estimates go stale whenever an arrival changes the GPS
+ * rates; the engine just schedules a fresh estimate and skips stale
+ * pops).
+ */
+
+#ifndef INCAM_SIM_SCHEDULER_HH
+#define INCAM_SIM_SCHEDULER_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace incam::sim {
+
+/** One scheduled occurrence; plain data, dispatched by the engine. */
+struct Event
+{
+    double t = 0.0;       ///< model time
+    int32_t camera = -1;  ///< owning camera index (-1 = link-global)
+    int32_t kind = 0;     ///< engine-defined dispatch tag ("stage")
+    uint64_t seq = 0;     ///< global schedule order (final tie-break)
+    uint64_t payload = 0; ///< kind-specific data (e.g. a version stamp)
+};
+
+/** Binary-heap event queue with the deterministic tie-break. */
+class EventScheduler
+{
+  public:
+    /** Enqueue; events in the past are legal (they pop first). */
+    void
+    schedule(double t, int32_t camera, int32_t kind,
+             uint64_t payload = 0)
+    {
+        Event ev;
+        ev.t = t;
+        ev.camera = camera;
+        ev.kind = kind;
+        ev.seq = next_seq++;
+        ev.payload = payload;
+        heap.push(ev);
+    }
+
+    bool empty() const { return heap.empty(); }
+    size_t pending() const { return heap.size(); }
+
+    /** Total events ever scheduled (the engine's event count). */
+    uint64_t scheduled() const { return next_seq; }
+
+    /** Pop the earliest event under (t, camera, kind, seq) order. */
+    Event
+    pop()
+    {
+        Event ev = heap.top();
+        heap.pop();
+        return ev;
+    }
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            // priority_queue keeps the *largest* on top, so "later
+            // than" ordering yields the earliest event at top().
+            if (a.t != b.t) {
+                return a.t > b.t;
+            }
+            if (a.camera != b.camera) {
+                return a.camera > b.camera;
+            }
+            if (a.kind != b.kind) {
+                return a.kind > b.kind;
+            }
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap;
+    uint64_t next_seq = 0;
+};
+
+} // namespace incam::sim
+
+#endif // INCAM_SIM_SCHEDULER_HH

@@ -2,15 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "common/logging.hh"
 #include "fleet/shared_link.hh"
+#include "sim/clock.hh"
 
 namespace incam {
 
 DynamicLink::DynamicLink(const NetworkTrace &trace, Options options)
-    : schedule(trace), opts(options)
+    : schedule(trace), opts(options),
+      clk(options.clock != nullptr ? options.clock
+                                   : &sim::WallClock::shared())
 {
     incam_assert(opts.time_scale > 0.0, "time_scale must be positive");
     incam_assert(schedule.segmentCount() > 0, "empty trace");
@@ -24,7 +26,7 @@ DynamicLink::DynamicLink(const NetworkTrace &trace, SharedLink &link,
 }
 
 void
-DynamicLink::startLocked(Clock::time_point now)
+DynamicLink::startLocked(double now)
 {
     if (!started) {
         started = true;
@@ -36,14 +38,13 @@ void
 DynamicLink::start()
 {
     std::lock_guard<std::mutex> lk(mu);
-    startLocked(Clock::now());
+    startLocked(clk->now());
 }
 
 double
-DynamicLink::wallTraceTimeLocked(Clock::time_point now) const
+DynamicLink::wallTraceTimeLocked(double now) const
 {
-    return std::chrono::duration<double>(now - epoch0).count() /
-           opts.time_scale;
+    return (now - epoch0) / opts.time_scale;
 }
 
 Time
@@ -54,7 +55,7 @@ DynamicLink::traceTime() const
         return Time{};
     }
     return Time::seconds(opts.pace
-                             ? wallTraceTimeLocked(Clock::now())
+                             ? wallTraceTimeLocked(clk->now())
                              : free_t);
 }
 
@@ -125,7 +126,7 @@ DynamicLink::acquire(int endpoint, double bytes, double trace_time_hint)
         double t;
         {
             std::lock_guard<std::mutex> lk(mu);
-            const Clock::time_point now = Clock::now();
+            const double now = clk->now();
             startLocked(now);
             if (opts.pace) {
                 t = wallTraceTimeLocked(now);
@@ -156,7 +157,7 @@ DynamicLink::acquire(int endpoint, double bytes, double trace_time_hint)
     Energy e;
     {
         std::lock_guard<std::mutex> lk(mu);
-        const Clock::time_point now = Clock::now();
+        const double now = clk->now();
         startLocked(now);
         if (!opts.pace) {
             // Counting mode: price the transmission at the frame's
@@ -189,10 +190,9 @@ DynamicLink::acquire(int endpoint, double bytes, double trace_time_hint)
         free_t = finish_t;
         syncSharedLocked(finish_t);
     }
-    std::this_thread::sleep_until(
-        epoch0 + std::chrono::duration_cast<Clock::duration>(
-                     std::chrono::duration<double>(finish_t *
-                                                   opts.time_scale)));
+    // On a WallClock this really sleeps; on a VirtualClock it advances
+    // model time to the drain's finish — the discrete-event path.
+    clk->sleepUntil(epoch0 + finish_t * opts.time_scale);
     (void)endpoint;
     return e;
 }

@@ -40,13 +40,16 @@
 #ifndef INCAM_TRACE_DYNAMIC_LINK_HH
 #define INCAM_TRACE_DYNAMIC_LINK_HH
 
-#include <chrono>
 #include <mutex>
 
-#include "runtime/runtime.hh"
+#include "runtime/uplink.hh"
 #include "trace/trace.hh"
 
 namespace incam {
+
+namespace sim {
+class Clock; // sim/clock.hh
+}
 
 class SharedLink; // fleet/shared_link.hh
 
@@ -75,6 +78,14 @@ class DynamicLink : public UplinkArbiter
          * bank still shows up as idle link time.
          */
         double burst_bytes = 0.0;
+
+        /**
+         * Time source; null uses the process WallClock. On a
+         * VirtualClock the paced drain advances model time instead of
+         * sleeping, so a solo trace-paced pipeline runs discrete-event
+         * at memory speed with the same occupancy timeline.
+         */
+        sim::Clock *clock = nullptr;
     };
 
     /** Solo mode: this link alone paces (or prices) the uplink. */
@@ -116,8 +127,6 @@ class DynamicLink : public UplinkArbiter
     int64_t segmentSwitches() const;
 
   private:
-    using Clock = std::chrono::steady_clock;
-
     /**
      * Integrate @p bytes over the trace starting at trace time @p t:
      * returns the finish time and accumulates the per-segment radio
@@ -125,8 +134,8 @@ class DynamicLink : public UplinkArbiter
      */
     double drainLocked(double t, double bytes, Energy &energy) const;
 
-    void startLocked(Clock::time_point now);
-    double wallTraceTimeLocked(Clock::time_point now) const;
+    void startLocked(double now);
+    double wallTraceTimeLocked(double now) const;
     /** Push the segment state at trace time @p t into the wrapped
      *  SharedLink when it moved to a new segment. Caller holds mu. */
     void syncSharedLocked(double t);
@@ -134,11 +143,12 @@ class DynamicLink : public UplinkArbiter
     const NetworkTrace &schedule;
     SharedLink *shared = nullptr; ///< non-owning; fleet mode only
     Options opts;
+    sim::Clock *clk;          ///< non-owning time source
     mutable std::mutex mu;
     bool started = false;
-    Clock::time_point epoch0;  ///< wall instant of trace time zero
-    double free_t = 0.0;       ///< occupancy timeline: link free at
-    size_t last_segment = 0;   ///< segment last synced / transmitted in
+    double epoch0 = 0.0;      ///< clock instant of trace time zero
+    double free_t = 0.0;      ///< occupancy timeline: link free at
+    size_t last_segment = 0;  ///< segment last synced / transmitted in
     int64_t switches = 0;
 };
 
