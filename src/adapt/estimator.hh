@@ -18,6 +18,20 @@
  * crossed the uplink says nothing about goodput, so the goodput EWMA
  * simply keeps its last belief. Time is the model-time trace clock
  * throughout.
+ *
+ * Threading contract: nothing in this module takes a lock, by design.
+ * ConditionEstimator and TelemetrySampler are confined to the
+ * controller's thread (the source tick); their only cross-thread edge
+ * is TelemetrySampler reading the runtime's Telemetry probe, whose
+ * counters are individually-atomic monotonic accumulators written by
+ * the stage threads. Each counter read is a relaxed atomic load;
+ * differencing two reads gives an exact per-window delta per counter,
+ * though counters within one sample are not a consistent cross-counter
+ * snapshot (windows are long against stage latencies, so the skew is
+ * noise the EWMA already absorbs). Because there are no mutexes here,
+ * thread-safety annotations have nothing to check — the contract is
+ * "single-threaded plus atomics", documented here and enforced by the
+ * TSan jobs (docs/static-analysis.md, "Lock-free boundaries").
  */
 
 #ifndef INCAM_ADAPT_ESTIMATOR_HH

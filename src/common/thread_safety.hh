@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotations + the annotated lock types.
+ *
+ * The repo's concurrency story used to be enforced only dynamically
+ * (TSan at 1/2/8 threads): a lock protocol violation on a schedule
+ * TSan never ran shipped silently. This header moves the protocol to
+ * compile time. Every mutex in the runtime is an AnnotatedMutex, every
+ * guarded member says which mutex guards it (INCAM_GUARDED_BY), every
+ * caller-holds-the-lock helper says so (INCAM_REQUIRES) — and a Clang
+ * build with -Wthread-safety (CMake: -DINCAM_THREAD_SAFETY=ON, gated
+ * in CI with -Werror) turns "locks protect what they claim" into a
+ * build failure.
+ *
+ * Off Clang the macros expand to nothing and the annotated types
+ * degrade to a plain std::mutex + std::unique_lock, so GCC builds are
+ * byte-for-byte the same locking code with zero overhead beyond
+ * unique_lock's owns-lock flag.
+ *
+ * Patterns the analysis cannot express (and how this repo handles
+ * them) are documented in docs/static-analysis.md:
+ *
+ *  - release/acquire *publication* (the runtime's epoch table, the
+ *    lock-free Telemetry probe) has no GUARDED_BY spelling; those
+ *    members carry a protocol comment instead of an annotation.
+ *  - std::condition_variable waits: the scoped MutexLock exposes its
+ *    underlying std::unique_lock via raw() for cv waits. Write the
+ *    wait predicate as an explicit while-loop around cv.wait(raw())
+ *    rather than the lambda-predicate overload — the analysis treats
+ *    a lambda as a separate unannotated function, so guarded reads
+ *    inside a predicate lambda would be (spuriously) flagged.
+ *
+ * The invariant linter (tools/lint_invariants.py) forbids raw
+ * std::mutex / std::lock_guard / std::unique_lock spellings anywhere
+ * in src/ outside this header, so the annotated protocol cannot be
+ * bypassed by accident.
+ */
+
+#ifndef INCAM_COMMON_THREAD_SAFETY_HH
+#define INCAM_COMMON_THREAD_SAFETY_HH
+
+#include <mutex>
+
+// ---------------------------------------------------------------------
+// Attribute macros (no-ops off Clang).
+// ---------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define INCAM_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef INCAM_TSA
+#define INCAM_TSA(x)
+#endif
+
+/** Declares a type that models a capability (a lock). */
+#define INCAM_CAPABILITY(x) INCAM_TSA(capability(x))
+
+/** Declares an RAII type that acquires on construction, releases on
+ *  destruction (std::lock_guard-shaped). */
+#define INCAM_SCOPED_CAPABILITY INCAM_TSA(scoped_lockable)
+
+/** Data member readable/writable only while holding the given lock. */
+#define INCAM_GUARDED_BY(x) INCAM_TSA(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by the given lock. */
+#define INCAM_PT_GUARDED_BY(x) INCAM_TSA(pt_guarded_by(x))
+
+/** Function that must be called with the given lock(s) held. */
+#define INCAM_REQUIRES(...) INCAM_TSA(requires_capability(__VA_ARGS__))
+
+/** Function that acquires the given lock(s) and returns holding them. */
+#define INCAM_ACQUIRE(...) INCAM_TSA(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the given lock(s). */
+#define INCAM_RELEASE(...) INCAM_TSA(release_capability(__VA_ARGS__))
+
+/** Function that tries to acquire; first arg is the success value. */
+#define INCAM_TRY_ACQUIRE(...) INCAM_TSA(try_acquire_capability(__VA_ARGS__))
+
+/** Function that must be called with the given lock(s) NOT held. */
+#define INCAM_EXCLUDES(...) INCAM_TSA(locks_excluded(__VA_ARGS__))
+
+/** Function returning a reference to the given capability. */
+#define INCAM_RETURN_CAPABILITY(x) INCAM_TSA(lock_returned(x))
+
+/** Escape hatch: function opted out of the analysis. Every use must
+ *  carry a comment saying why the protocol cannot be expressed. */
+#define INCAM_NO_THREAD_SAFETY_ANALYSIS INCAM_TSA(no_thread_safety_analysis)
+
+namespace incam {
+
+// ---------------------------------------------------------------------
+// Annotated lock types.
+// ---------------------------------------------------------------------
+
+/**
+ * A std::mutex the analysis can see. Use MutexLock to hold it; lock()
+ * and unlock() exist for the analysis contract and for the rare
+ * manually-paired case.
+ */
+class INCAM_CAPABILITY("mutex") AnnotatedMutex
+{
+  public:
+    AnnotatedMutex() = default;
+    AnnotatedMutex(const AnnotatedMutex &) = delete;
+    AnnotatedMutex &operator=(const AnnotatedMutex &) = delete;
+
+    void lock() INCAM_ACQUIRE() { mu.lock(); }
+    void unlock() INCAM_RELEASE() { mu.unlock(); }
+    bool try_lock() INCAM_TRY_ACQUIRE(true) { return mu.try_lock(); }
+
+    /**
+     * The underlying std::mutex, for std::condition_variable plumbing
+     * only (a cv must name the native mutex type). Lock state through
+     * this reference is invisible to the analysis — never lock it
+     * directly; go through MutexLock.
+     */
+    std::mutex &native() { return mu; }
+
+  private:
+    std::mutex mu;
+};
+
+/**
+ * Scoped holder of an AnnotatedMutex — the std::unique_lock of the
+ * annotated world. Construction acquires, destruction releases
+ * whatever is still held; unlock()/lock() support the early-release
+ * and cv-wait patterns:
+ *
+ *     MutexLock lk(mu);
+ *     while (!ready) {        // guarded reads: lock is held
+ *         cv.wait(lk.raw());  // releases + reacquires underneath
+ *     }
+ *     ...
+ *     lk.unlock();            // release before notifying
+ *     cv.notify_one();
+ */
+class INCAM_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(AnnotatedMutex &m) INCAM_ACQUIRE(m)
+        : lk(m.native())
+    {
+    }
+
+    ~MutexLock() INCAM_RELEASE() {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Release before scope end (idempotent via unique_lock). */
+    void unlock() INCAM_RELEASE() { lk.unlock(); }
+
+    /** Re-acquire after an early unlock(). */
+    void lock() INCAM_ACQUIRE() { lk.lock(); }
+
+    /**
+     * The underlying std::unique_lock, for condition-variable waits
+     * (cv.wait(lk.raw())). A wait releases and reacquires the mutex
+     * underneath the analysis; that is sound — the capability is held
+     * on entry and on return — but any state read before the wait
+     * must be re-checked after it, which the while-loop wait pattern
+     * does by construction.
+     */
+    std::unique_lock<std::mutex> &raw() { return lk; }
+
+  private:
+    std::unique_lock<std::mutex> lk;
+};
+
+} // namespace incam
+
+#endif // INCAM_COMMON_THREAD_SAFETY_HH

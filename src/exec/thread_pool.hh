@@ -25,9 +25,10 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_safety.hh"
 
 namespace incam {
 
@@ -64,7 +65,10 @@ class ThreadPool
     int workerCount() const;
 
   private:
-    /** One fork-join job: a chunk counter plus completion tracking. */
+    /** One fork-join job: a chunk counter plus completion tracking.
+     *  fn/chunks are set before the job is published to the workers
+     *  (via ThreadPool::current under mu) and immutable afterwards,
+     *  so they carry no guard; the counters are atomics. */
     struct Job
     {
         const std::function<void(uint64_t)> *fn = nullptr;
@@ -73,22 +77,24 @@ class ThreadPool
         std::atomic<uint64_t> done{0};
         std::atomic<int> helper_slots{0};
         std::atomic<bool> failed{false};
-        std::exception_ptr error;
-        std::mutex error_mu;
-        std::mutex done_mu;
+        AnnotatedMutex error_mu;
+        std::exception_ptr error INCAM_GUARDED_BY(error_mu);
+        /** Guards nothing by itself — it is the cv protocol mutex for
+         *  done_cv; the completion count lives in the atomic `done`. */
+        AnnotatedMutex done_mu;
         std::condition_variable done_cv;
     };
 
     void workerLoop();
-    void ensureWorkers(int target);
+    void ensureWorkers(int target) INCAM_REQUIRES(mu);
     static void execute(Job &job);
 
-    mutable std::mutex mu;
+    mutable AnnotatedMutex mu;
     std::condition_variable cv;
-    std::vector<std::thread> workers;
-    std::shared_ptr<Job> current;
-    uint64_t generation = 0;
-    bool stopping = false;
+    std::vector<std::thread> workers INCAM_GUARDED_BY(mu);
+    std::shared_ptr<Job> current INCAM_GUARDED_BY(mu);
+    uint64_t generation INCAM_GUARDED_BY(mu) = 0;
+    bool stopping INCAM_GUARDED_BY(mu) = false;
 };
 
 } // namespace incam

@@ -1,13 +1,13 @@
 #include "fleet/fleet.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/thread_safety.hh"
 #include "exec/thread_pool.hh"
+#include "sim/clock.hh"
 #include "sim/engine.hh"
 #include "trace/dynamic_link.hh"
 #include "trace/trace.hh"
@@ -209,16 +209,22 @@ CameraFleet::runThreaded(bool threaded_stages)
     }
 
     std::vector<RuntimeReport> reports(n);
-    std::mutex error_mu;
+    AnnotatedMutex error_mu;
     std::exception_ptr first_error;
     auto record = [&](std::exception_ptr e) {
-        std::lock_guard<std::mutex> lk(error_mu);
+        MutexLock lk(error_mu);
         if (!first_error) {
             first_error = std::move(e);
         }
     };
 
-    const auto t0 = std::chrono::steady_clock::now();
+    // Elapsed time comes from the run's clock, not a raw steady_clock
+    // read: threaded fleet shapes run on the shared WallClock (same
+    // timebase every camera pipeline stamps latencies against), and
+    // the determinism linter keeps raw wall-clock reads confined to
+    // sim/clock — the boundary a future injected-clock fleet relies on.
+    sim::Clock &run_clock = sim::WallClock::shared();
+    const double t0 = run_clock.now();
     if (!threaded_stages) {
         // One serial camera loop per pool chunk; all run concurrently.
         incam_assert(
@@ -267,9 +273,7 @@ CameraFleet::runThreaded(bool threaded_stages)
             }
         }
     }
-    const double wall = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+    const double wall = run_clock.now() - t0;
     if (first_error) {
         std::rethrow_exception(first_error);
     }

@@ -24,7 +24,7 @@ SharedLink::addEndpoint(std::string name, double weight)
 {
     incam_assert(weight > 0.0, "endpoint '", name,
                  "' needs a positive weight");
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     Endpoint ep;
     ep.name = std::move(name);
     ep.weight = weight;
@@ -158,7 +158,7 @@ SharedLink::acquire(int endpoint, double bytes, double trace_time_hint)
     (void)trace_time_hint; // a static link prices every instant alike
 
     const double t0 = clk->now();
-    std::unique_lock<std::mutex> lk(mu);
+    MutexLock lk(mu);
     incam_assert(endpoint >= 0 &&
                      static_cast<size_t>(endpoint) < endpoints.size(),
                  "unknown endpoint ", endpoint);
@@ -220,14 +220,14 @@ SharedLink::acquire(int endpoint, double bytes, double trace_time_hint)
                 if (my_rate <= 0.0) {
                     // A higher StrictPriority tier owns the medium;
                     // wait for the active set to change.
-                    cv.wait(lk);
+                    cv.wait(lk.raw());
                     continue;
                 }
                 const double wait_s =
                     last_advance + ep.remaining / my_rate - clk->now();
                 if (wait_s > 0.0) {
-                    cv.wait_for(lk, std::chrono::duration<double>(
-                                        wait_s));
+                    cv.wait_for(lk.raw(),
+                                std::chrono::duration<double>(wait_s));
                 }
             }
         }
@@ -249,7 +249,7 @@ void
 SharedLink::setLink(const NetworkLink &link)
 {
     {
-        std::lock_guard<std::mutex> lk(mu);
+        MutexLock lk(mu);
         // Settle the fluid state first: bytes drained before this
         // instant drained (and were priced) under the old link.
         advanceLocked(clk->now());
@@ -270,7 +270,7 @@ SharedLink::setCapacity(Bandwidth bandwidth)
     {
         // One critical section: a read-modify-write through setLink
         // could lose a concurrent setLink's price change.
-        std::lock_guard<std::mutex> lk(mu);
+        MutexLock lk(mu);
         advanceLocked(clk->now());
         net.bandwidth = bandwidth;
         rate_bps = net.goodput().bytesPerSecond() / opts.time_scale;
@@ -285,7 +285,7 @@ SharedLink::setWeight(int endpoint, double weight)
 {
     incam_assert(weight > 0.0, "endpoint weights must be positive");
     {
-        std::lock_guard<std::mutex> lk(mu);
+        MutexLock lk(mu);
         incam_assert(endpoint >= 0 &&
                          static_cast<size_t>(endpoint) <
                              endpoints.size(),
@@ -300,7 +300,7 @@ SharedLink::setWeight(int endpoint, double weight)
 NetworkLink
 SharedLink::link() const
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     return net;
 }
 
@@ -308,7 +308,7 @@ void
 SharedLink::release(int endpoint)
 {
     {
-        std::lock_guard<std::mutex> lk(mu);
+        MutexLock lk(mu);
         incam_assert(endpoint >= 0 &&
                          static_cast<size_t>(endpoint) <
                              endpoints.size(),
@@ -321,7 +321,7 @@ SharedLink::release(int endpoint)
 std::vector<LinkEndpointReport>
 SharedLink::report() const
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     std::vector<LinkEndpointReport> out;
     out.reserve(endpoints.size());
     for (const Endpoint &ep : endpoints) {

@@ -52,10 +52,10 @@
 
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_safety.hh"
 #include "core/fleet_model.hh"
 #include "core/network.hh"
 #include "runtime/report.hh"
@@ -164,24 +164,26 @@ class SharedLink : public UplinkArbiter
     };
 
     /** Drain every eligible in-flight transmission for the clock time
-     *  elapsed since the last call. Caller holds mu. */
-    void advanceLocked(double now);
+     *  elapsed since the last call. */
+    void advanceLocked(double now) INCAM_REQUIRES(mu);
 
     /** This endpoint's current drain rate in bytes/s (0 while a
-     *  higher StrictPriority tier transmits). Caller holds mu. */
-    double drainRateLocked(const Endpoint &ep) const;
+     *  higher StrictPriority tier transmits). */
+    double drainRateLocked(const Endpoint &ep) const INCAM_REQUIRES(mu);
 
-    NetworkLink net;
-    Options opts;
+    mutable AnnotatedMutex mu;
+    NetworkLink net INCAM_GUARDED_BY(mu);
+    Options opts;          ///< immutable after construction
     sim::Clock *clk;       ///< non-owning time source
-    double rate_bps = 0.0; ///< goodput / time_scale, real bytes/s
-    mutable std::mutex mu;
+    /** goodput / time_scale, real bytes/s. */
+    double rate_bps INCAM_GUARDED_BY(mu) = 0.0;
     std::condition_variable cv;
     /** Deque: Endpoint addresses stay stable across addEndpoint, so a
      *  waiter blocked in acquire() never holds a dangling reference. */
-    std::deque<Endpoint> endpoints;
-    double last_advance = 0.0; ///< clock seconds of the last drain
-    bool clock_started = false;
+    std::deque<Endpoint> endpoints INCAM_GUARDED_BY(mu);
+    /** Clock seconds of the last fluid drain. */
+    double last_advance INCAM_GUARDED_BY(mu) = 0.0;
+    bool clock_started INCAM_GUARDED_BY(mu) = false;
 };
 
 } // namespace incam

@@ -16,10 +16,13 @@ FrameQueue::FrameQueue(int capacity) : cap(capacity)
 bool
 FrameQueue::push(Frame f)
 {
-    std::unique_lock<std::mutex> lk(mu);
-    not_full.wait(lk, [&] {
-        return closed || count < static_cast<size_t>(cap);
-    });
+    MutexLock lk(mu);
+    // Explicit wait loops throughout: the thread-safety analysis sees
+    // the guarded reads under the held lock, where the predicate-
+    // lambda overload would hide them in an unannotated function.
+    while (!closed && count >= static_cast<size_t>(cap)) {
+        not_full.wait(lk.raw());
+    }
     if (closed) {
         return false;
     }
@@ -34,8 +37,10 @@ FrameQueue::push(Frame f)
 bool
 FrameQueue::pop(Frame &out)
 {
-    std::unique_lock<std::mutex> lk(mu);
-    not_empty.wait(lk, [&] { return closed || count > 0; });
+    MutexLock lk(mu);
+    while (!closed && count == 0) {
+        not_empty.wait(lk.raw());
+    }
     if (count == 0) {
         return false; // closed and drained
     }
@@ -51,7 +56,7 @@ void
 FrameQueue::close()
 {
     {
-        std::lock_guard<std::mutex> lk(mu);
+        MutexLock lk(mu);
         closed = true;
     }
     not_full.notify_all();
@@ -61,14 +66,14 @@ FrameQueue::close()
 int
 FrameQueue::peakDepth() const
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     return peak;
 }
 
 int
 FrameQueue::depth() const
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     return static_cast<int>(count);
 }
 

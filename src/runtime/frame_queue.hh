@@ -21,9 +21,9 @@
 #define INCAM_RUNTIME_FRAME_QUEUE_HH
 
 #include <condition_variable>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_safety.hh"
 #include "runtime/frame.hh"
 
 namespace incam {
@@ -64,14 +64,14 @@ class FrameQueue
 
   private:
     const int cap;
-    mutable std::mutex mu;
+    mutable AnnotatedMutex mu;
     std::condition_variable not_full;
     std::condition_variable not_empty;
-    std::vector<Frame> ring;
-    size_t head = 0; ///< next pop slot
-    size_t count = 0;
-    int peak = 0;
-    bool closed = false;
+    std::vector<Frame> ring INCAM_GUARDED_BY(mu);
+    size_t head INCAM_GUARDED_BY(mu) = 0; ///< next pop slot
+    size_t count INCAM_GUARDED_BY(mu) = 0;
+    int peak INCAM_GUARDED_BY(mu) = 0;
+    bool closed INCAM_GUARDED_BY(mu) = false;
 };
 
 } // namespace incam

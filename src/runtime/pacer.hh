@@ -22,6 +22,13 @@
  * precisely on the modeled schedule with zero jitter, which is what
  * lets a discrete-event run pace thousands of cameras at memory
  * speed.
+ *
+ * Determinism boundary: nothing in this header touches std::chrono
+ * clocks directly — all wall time enters through the injected Clock,
+ * and tools/lint_invariants.py keeps it that way (raw steady_clock /
+ * system_clock / sleep_for reads are confined to sim/clock.*). That is
+ * what guarantees a pipeline rebuilt on a VirtualClock has *zero*
+ * hidden wall-time dependencies left in its pacing.
  */
 
 #ifndef INCAM_RUNTIME_PACER_HH

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <exception>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/thread_safety.hh"
 #include "exec/thread_pool.hh"
 #include "fault/fault.hh"
 #include "runtime/frame_queue.hh"
@@ -68,8 +68,8 @@ struct StreamingPipeline::RunState
     std::vector<StageState> state;
     LinkCounters lc;
     std::vector<double> latencies; ///< e2e per delivery (clock seconds)
-    std::mutex error_mu;
-    std::exception_ptr first_error;
+    AnnotatedMutex error_mu;
+    std::exception_ptr first_error INCAM_GUARDED_BY(error_mu);
     DataSize typical_bytes;
     double run_start = 0.0; ///< clock seconds
     int64_t next_id = 0;    ///< next source frame (stepwise drive)
@@ -151,7 +151,7 @@ StreamingPipeline::reconfigure(const PipelineConfig &next,
     PipelineEvaluator(pipe, net).check(next);
     Epoch ep = makeEpoch(next);
     ep.local = deliver_local;
-    std::lock_guard<std::mutex> lk(epoch_mu);
+    MutexLock lk(epoch_mu);
     incam_assert(epochs.size() < epochs.capacity(),
                  "epoch table full (", epochs.capacity(),
                  "): raise RuntimeOptions::epoch_capacity");
@@ -701,7 +701,7 @@ StreamingPipeline::runStage(int stage)
         }
     } catch (...) {
         {
-            std::lock_guard<std::mutex> lk(rs->error_mu);
+            MutexLock lk(rs->error_mu);
             if (!rs->first_error) {
                 rs->first_error = std::current_exception();
             }
@@ -872,8 +872,15 @@ RuntimeReport
 StreamingPipeline::finishRun()
 {
     incam_assert(rs != nullptr, "no run to finish");
-    if (rs->first_error) {
-        std::exception_ptr err = rs->first_error;
+    // The stage threads have joined by now, but the read still takes
+    // error_mu: the analysis has no join-order notion, and the lock is
+    // uncontended here anyway.
+    std::exception_ptr err;
+    {
+        MutexLock lk(rs->error_mu);
+        err = rs->first_error;
+    }
+    if (err) {
         rs.reset();
         std::rethrow_exception(err);
     }

@@ -49,10 +49,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_safety.hh"
 #include "core/pipeline.hh"
 #include "runtime/executor.hh"
 #include "runtime/frame.hh"
@@ -589,10 +589,18 @@ class StreamingPipeline
      * epoch_mu and publishes through epoch_count with release order.
      * Reserved to epoch_capacity up front so concurrent reads never
      * race a reallocation.
+     *
+     * `epochs` deliberately carries no INCAM_GUARDED_BY: readers are
+     * lock-free by design — an acquire load of epoch_count makes every
+     * entry below it immutable and visible, so only *appends* need
+     * epoch_mu. Thread-safety analysis cannot express this
+     * release/acquire publication protocol (docs/static-analysis.md,
+     * "What the annotations cannot see"); the invariants live in this
+     * comment and in the adaptive determinism tests instead.
      */
     std::vector<Epoch> epochs;
     std::atomic<int> epoch_count{0};
-    std::mutex epoch_mu;
+    AnnotatedMutex epoch_mu; ///< serializes reconfigure() appends
 
     Telemetry probe;
     std::unique_ptr<RunState> rs;

@@ -31,6 +31,13 @@
  * is deliberately NOT thread-safe: virtual time belongs to exactly one
  * driving thread (the event loop), and handing it to concurrent stage
  * threads is a programming error the runtime asserts against.
+ *
+ * This module is the repo's *determinism boundary*: sim/clock.{hh,cc}
+ * are the only files allowed to name std::chrono::steady_clock /
+ * system_clock or to sleep on the host directly. Everything else must
+ * go through a Clock, and tools/lint_invariants.py (run in CI) fails
+ * the build on any raw wall-clock read outside this boundary — see
+ * docs/static-analysis.md.
  */
 
 #ifndef INCAM_SIM_CLOCK_HH

@@ -37,7 +37,7 @@ DynamicLink::startLocked(double now)
 void
 DynamicLink::start()
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     startLocked(clk->now());
 }
 
@@ -50,7 +50,7 @@ DynamicLink::wallTraceTimeLocked(double now) const
 Time
 DynamicLink::traceTime() const
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     if (!started) {
         return Time{};
     }
@@ -125,7 +125,7 @@ DynamicLink::acquire(int endpoint, double bytes, double trace_time_hint)
         // the energy across any setLink that lands mid-drain.
         double t;
         {
-            std::lock_guard<std::mutex> lk(mu);
+            MutexLock lk(mu);
             const double now = clk->now();
             startLocked(now);
             if (opts.pace) {
@@ -154,9 +154,10 @@ DynamicLink::acquire(int endpoint, double bytes, double trace_time_hint)
     }
 
     double finish_t;
+    double trace_epoch0;
     Energy e;
     {
-        std::lock_guard<std::mutex> lk(mu);
+        MutexLock lk(mu);
         const double now = clk->now();
         startLocked(now);
         if (!opts.pace) {
@@ -189,10 +190,14 @@ DynamicLink::acquire(int endpoint, double bytes, double trace_time_hint)
         finish_t = drainLocked(t0, bytes, e);
         free_t = finish_t;
         syncSharedLocked(finish_t);
+        // Copy the epoch out while mu is held: the post-lock sleep
+        // must not read guarded state (the annotations catch exactly
+        // this — the seed code read epoch0 after releasing the lock).
+        trace_epoch0 = epoch0;
     }
     // On a WallClock this really sleeps; on a VirtualClock it advances
     // model time to the drain's finish — the discrete-event path.
-    clk->sleepUntil(epoch0 + finish_t * opts.time_scale);
+    clk->sleepUntil(trace_epoch0 + finish_t * opts.time_scale);
     (void)endpoint;
     return e;
 }
@@ -208,7 +213,7 @@ DynamicLink::release(int endpoint)
 int64_t
 DynamicLink::segmentSwitches() const
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     return switches;
 }
 

@@ -40,8 +40,7 @@
 #ifndef INCAM_TRACE_DYNAMIC_LINK_HH
 #define INCAM_TRACE_DYNAMIC_LINK_HH
 
-#include <mutex>
-
+#include "common/thread_safety.hh"
 #include "runtime/uplink.hh"
 #include "trace/trace.hh"
 
@@ -130,26 +129,36 @@ class DynamicLink : public UplinkArbiter
     /**
      * Integrate @p bytes over the trace starting at trace time @p t:
      * returns the finish time and accumulates the per-segment radio
-     * energy. Caller holds mu.
+     * energy.
      */
-    double drainLocked(double t, double bytes, Energy &energy) const;
+    double drainLocked(double t, double bytes, Energy &energy) const
+        INCAM_REQUIRES(mu);
 
-    void startLocked(double now);
-    double wallTraceTimeLocked(double now) const;
-    /** Push the segment state at trace time @p t into the wrapped
-     *  SharedLink when it moved to a new segment. Caller holds mu. */
-    void syncSharedLocked(double t);
+    void startLocked(double now) INCAM_REQUIRES(mu);
+    double wallTraceTimeLocked(double now) const INCAM_REQUIRES(mu);
+    /**
+     * Push the segment state at trace time @p t into the wrapped
+     * SharedLink when it moved to a new segment. Lock order: this
+     * holds mu *while acquiring* the SharedLink's internal mutex via
+     * setLink — DynamicLink::mu always precedes SharedLink's lock,
+     * and SharedLink never calls back into DynamicLink, so the order
+     * is acyclic (docs/static-analysis.md, "Lock ordering").
+     */
+    void syncSharedLocked(double t) INCAM_REQUIRES(mu);
 
     const NetworkTrace &schedule;
     SharedLink *shared = nullptr; ///< non-owning; fleet mode only
     Options opts;
     sim::Clock *clk;          ///< non-owning time source
-    mutable std::mutex mu;
-    bool started = false;
-    double epoch0 = 0.0;      ///< clock instant of trace time zero
-    double free_t = 0.0;      ///< occupancy timeline: link free at
-    size_t last_segment = 0;  ///< segment last synced / transmitted in
-    int64_t switches = 0;
+    mutable AnnotatedMutex mu;
+    bool started INCAM_GUARDED_BY(mu) = false;
+    /** Clock instant of trace time zero. */
+    double epoch0 INCAM_GUARDED_BY(mu) = 0.0;
+    /** Occupancy timeline: link free at this trace time. */
+    double free_t INCAM_GUARDED_BY(mu) = 0.0;
+    /** Segment last synced / transmitted in. */
+    size_t last_segment INCAM_GUARDED_BY(mu) = 0;
+    int64_t switches INCAM_GUARDED_BY(mu) = 0;
 };
 
 } // namespace incam
