@@ -5,10 +5,35 @@
 
 #include "common/logging.hh"
 #include "fault/fault.hh"
+#include "obs/trace.hh"
 
 namespace incam {
 
 namespace {
+
+/** Control-instant sequence keys (the runtime's obsSeq scheme:
+ *  site * 256). Decision < Degrade < Heal at one instant. */
+constexpr uint32_t kSeqDecision = 251u * 256u;
+constexpr uint32_t kSeqDegrade = 252u * 256u;
+constexpr uint32_t kSeqHeal = 253u * 256u;
+
+/** One controller instant: model-time stamp, controller track. */
+void
+controlInstant(const obs::ObsConfig &ob, int camera,
+               obs::EventKind kind, uint32_t seq, double t, int32_t a)
+{
+    if (ob.recorder == nullptr) {
+        return;
+    }
+    obs::TraceEvent ev;
+    ev.t = t;
+    ev.kind = kind;
+    ev.camera = camera;
+    ev.tid = obs::kTidController;
+    ev.seq = seq;
+    ev.a = a;
+    ob.recorder->record(ev);
+}
 
 /** Relative improvement of @p candidate over @p live (lower-is-better
  *  objectives, possibly negative — MaxThroughput is -FPS). */
@@ -104,6 +129,23 @@ void
 AdaptiveController::useTraceClock(std::function<double()> now)
 {
     clock_fn = std::move(now);
+}
+
+void
+AdaptiveController::setObs(const obs::ObsConfig &config, int camera)
+{
+    ob = config;
+    ob_camera = camera;
+}
+
+void
+AdaptiveController::obsInstant(obs::EventKind kind, double t,
+                               int32_t a) const
+{
+    const uint32_t seq = kind == obs::EventKind::Degrade ? kSeqDegrade
+                         : kind == obs::EventKind::Heal ? kSeqHeal
+                                                        : kSeqDecision;
+    controlInstant(ob, ob_camera, kind, seq, t, a);
 }
 
 void
@@ -247,6 +289,8 @@ AdaptiveController::enterDegrade(double t)
     degraded_mode = true;
     ++n_switches;
     decisions_since_switch = 0;
+    obsInstant(obs::EventKind::Decision, t, 1);
+    obsInstant(obs::EventKind::Degrade, t, 1);
     log.push_back(std::move(d));
 }
 
@@ -271,6 +315,7 @@ AdaptiveController::decideAt(double t)
             d.chosen = live.toString(pipe) + " [local]";
             d.config = live;
             ++decisions_since_switch;
+            obsInstant(obs::EventKind::Decision, t, 0);
             log.push_back(std::move(d));
             return;
         } else {
@@ -344,6 +389,10 @@ AdaptiveController::decideAt(double t)
     if (restore) {
         degraded_mode = false;
     }
+    obsInstant(obs::EventKind::Decision, t, d.switched ? 1 : 0);
+    if (restore) {
+        obsInstant(obs::EventKind::Heal, t, 1);
+    }
     log.push_back(std::move(d));
 }
 
@@ -388,6 +437,24 @@ void
 FleetAdaptiveController::useFaultPlan(const FaultPlan *plan)
 {
     fault_plan = plan;
+}
+
+void
+FleetAdaptiveController::setObs(const obs::ObsConfig &config,
+                                int camera)
+{
+    ob = config;
+    ob_camera = camera;
+}
+
+void
+FleetAdaptiveController::obsInstant(obs::EventKind kind, double t,
+                                    int32_t a) const
+{
+    const uint32_t seq = kind == obs::EventKind::Degrade ? kSeqDegrade
+                         : kind == obs::EventKind::Heal ? kSeqHeal
+                                                        : kSeqDecision;
+    controlInstant(ob, ob_camera, kind, seq, t, a);
 }
 
 void
@@ -465,6 +532,8 @@ FleetAdaptiveController::enterDegrade(double t)
     degraded_mode = true;
     ++n_switches;
     decisions_since_switch = 0;
+    obsInstant(obs::EventKind::Decision, t, 1);
+    obsInstant(obs::EventKind::Degrade, t, 1);
     log.push_back(std::move(d));
 }
 
@@ -488,6 +557,7 @@ FleetAdaptiveController::decideAt(double t)
             }
             d.chosen += " [local]";
             ++decisions_since_switch;
+            obsInstant(obs::EventKind::Decision, t, 0);
             log.push_back(std::move(d));
             return;
         } else {
@@ -570,6 +640,10 @@ FleetAdaptiveController::decideAt(double t)
     }
     if (restore) {
         degraded_mode = false;
+    }
+    obsInstant(obs::EventKind::Decision, t, d.switched ? 1 : 0);
+    if (restore) {
+        obsInstant(obs::EventKind::Heal, t, 1);
     }
     log.push_back(std::move(d));
 }

@@ -174,6 +174,15 @@ class AdaptiveController
     void useTraceClock(std::function<double()> now);
 
     /**
+     * Record decision/degrade/heal instants into @p config's trace
+     * recorder, attributed to camera @p camera. Decision timestamps
+     * are model time (the controller's clock), so they line up with
+     * frame-time traces and are deterministic wherever the decision
+     * sequence is.
+     */
+    void setObs(const obs::ObsConfig &config, int camera = 0);
+
+    /**
      * The clock body: advance sampling/decisions to frame @p id's
      * model time. attach() wires it to the source; tests may call it
      * directly to replay a decision sequence without a runtime.
@@ -200,11 +209,14 @@ class AdaptiveController
     void enterDegrade(double t);
     /** The planning pipeline with estimated pass fractions folded in. */
     Pipeline planningPipeline() const;
+    void obsInstant(obs::EventKind kind, double t, int32_t a) const;
 
     Pipeline pipe; ///< copied: planning model
     NetworkLink base;
     ControllerOptions opts;
     ConditionEstimator est;
+    obs::ObsConfig ob;
+    int ob_camera = 0;
     StreamingPipeline *sp = nullptr;
     const NetworkTrace *net_trace = nullptr;
     const ContentTrace *content_trace = nullptr;
@@ -246,6 +258,11 @@ class FleetAdaptiveController
     /** Ground-truth loss sampling; see the solo controller's. */
     void useFaultPlan(const FaultPlan *plan);
 
+    /** Decision/degrade/heal instants; see the solo controller's.
+     *  Fleet decisions are attributed to the ticker, camera 0, unless
+     *  @p camera says otherwise. */
+    void setObs(const obs::ObsConfig &config, int camera = 0);
+
     /** Register camera @p index's pipeline; index 0 is the ticker. */
     void attachCamera(StreamingPipeline &sp, size_t index);
 
@@ -263,6 +280,7 @@ class FleetAdaptiveController
   private:
     void decideAt(double t);
     void enterDegrade(double t);
+    void obsInstant(obs::EventKind kind, double t, int32_t a) const;
 
     std::vector<FleetCameraModel> cams;
     /** Owned pipeline copies cams' pointers reference. */
@@ -272,6 +290,8 @@ class FleetAdaptiveController
     FleetOptimizerGoal goal;
     ControllerOptions opts;
     ConditionEstimator est;
+    obs::ObsConfig ob;
+    int ob_camera = 0;
     const NetworkTrace *net_trace = nullptr;
     const FaultPlan *fault_plan = nullptr;
     std::vector<StreamingPipeline *> attached;

@@ -54,6 +54,12 @@ ConditionEstimator::observe(double t, const ConditionSample &s)
     if (s.loss_rate >= 0.0) {
         loss.fold(t, s.loss_rate, tau);
     }
+    if (s.retry_rate >= 0.0) {
+        retries.fold(t, s.retry_rate, tau);
+    }
+    if (s.backoff_fraction >= 0.0) {
+        backoff.fold(t, s.backoff_fraction, tau);
+    }
 }
 
 NetworkLink
@@ -95,6 +101,18 @@ ConditionEstimator::lossRate(double fallback) const
     return loss.seen ? loss.value : fallback;
 }
 
+double
+ConditionEstimator::retryRate(double fallback) const
+{
+    return retries.seen ? retries.value : fallback;
+}
+
+double
+ConditionEstimator::backoffFraction(double fallback) const
+{
+    return backoff.seen ? backoff.value : fallback;
+}
+
 void
 ConditionEstimator::reset()
 {
@@ -112,6 +130,8 @@ ConditionEstimator::resetNetwork()
     goodput = Ewma{};
     ebit = Ewma{};
     loss = Ewma{};
+    retries = Ewma{};
+    backoff = Ewma{};
 }
 
 TelemetrySampler::TelemetrySampler(const Telemetry &probe,
@@ -139,6 +159,10 @@ TelemetrySampler::sample(double t)
         src->tx_attempts.load(std::memory_order_relaxed);
     const int64_t tx_l =
         src->tx_losses.load(std::memory_order_relaxed);
+    const int64_t retry_a =
+        src->retry_attempts.load(std::memory_order_relaxed);
+    const double backoff_s =
+        src->backoff_seconds.load(std::memory_order_relaxed);
 
     ConditionSample s;
     s.queue_depth = static_cast<double>(
@@ -166,6 +190,14 @@ TelemetrySampler::sample(double t)
         if (tx_a > tx_attempts0) {
             s.loss_rate = static_cast<double>(tx_l - tx_losses0) /
                           static_cast<double>(tx_a - tx_attempts0);
+            s.retry_rate =
+                static_cast<double>(retry_a - retry_attempts0) /
+                static_cast<double>(tx_a - tx_attempts0);
+        }
+        if (dt > 0.0) {
+            // Backoff waits accrue in model seconds (never scaled by
+            // time_scale), the same clock as the window itself.
+            s.backoff_fraction = (backoff_s - backoff0) / dt;
         }
     }
     primed = true;
@@ -178,6 +210,8 @@ TelemetrySampler::sample(double t)
     gate_pass0 = g_pass;
     tx_attempts0 = tx_a;
     tx_losses0 = tx_l;
+    retry_attempts0 = retry_a;
+    backoff0 = backoff_s;
     return s;
 }
 

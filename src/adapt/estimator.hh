@@ -69,6 +69,19 @@ struct ConditionSample
      * which is why degraded epochs keep probing the link.
      */
     double loss_rate = -1.0;
+    /**
+     * Retry attempts per transmission attempt this window (measured:
+     * retry_attempts / tx_attempts deltas). A leading indicator of
+     * link distress: retries climb before deliveries start failing
+     * outright. Unobservable in windows with no attempts.
+     */
+    double retry_rate = -1.0;
+    /**
+     * Fraction of the window spent in uplink timeout/backoff
+     * (measured: backoff_seconds delta / window model seconds) — how
+     * much of the camera's time the retry machinery is eating.
+     */
+    double backoff_fraction = -1.0;
 };
 
 /** Per-field EWMA over ConditionSamples on a model-time clock. */
@@ -105,6 +118,12 @@ class ConditionEstimator
     /** Believed uplink loss fraction; fallback until observed. */
     double lossRate(double fallback) const;
 
+    /** Believed retries per tx attempt; fallback until observed. */
+    double retryRate(double fallback) const;
+
+    /** Believed fraction of time in backoff; fallback until observed. */
+    double backoffFraction(double fallback) const;
+
     void reset();
 
     /**
@@ -128,7 +147,7 @@ class ConditionEstimator
     };
 
     double tau; ///< horizon in model seconds
-    Ewma goodput, ebit, motion, face, lat, loss;
+    Ewma goodput, ebit, motion, face, lat, loss, retries, backoff;
 };
 
 /**
@@ -156,6 +175,8 @@ class TelemetrySampler
     double bytes0 = 0.0, energy0 = 0.0, latency0 = 0.0;
     int64_t gate_in0 = 0, gate_pass0 = 0, lat_n0 = 0;
     int64_t tx_attempts0 = 0, tx_losses0 = 0;
+    int64_t retry_attempts0 = 0;
+    double backoff0 = 0.0;
 };
 
 } // namespace incam

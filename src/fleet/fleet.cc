@@ -132,11 +132,11 @@ CameraFleet::run(const RunOptions &options)
                  "a solo-pipeline knob");
     switch (options.mode) {
       case ExecutionMode::ThreadedStages:
-        return runThreaded(true);
+        return runThreaded(options, true);
       case ExecutionMode::ThreadPerCamera:
-        return runThreaded(false);
+        return runThreaded(options, false);
       case ExecutionMode::DiscreteEvent:
-        return runDiscreteEvent();
+        return runDiscreteEvent(options);
       case ExecutionMode::Inline:
         incam_panic("a fleet's serial shape is ThreadPerCamera (one "
                     "inline loop per camera); ExecutionMode::Inline "
@@ -146,7 +146,8 @@ CameraFleet::run(const RunOptions &options)
 }
 
 FleetRunReport
-CameraFleet::runThreaded(bool threaded_stages)
+CameraFleet::runThreaded(const RunOptions &options,
+                         bool threaded_stages)
 {
     incam_assert(!ThreadPool::inWorker(),
                  "a fleet cannot run nested inside a thread-pool "
@@ -198,6 +199,11 @@ CameraFleet::runThreaded(bool threaded_stages)
             // fleet index, so crash windows and hash streams are per
             // camera while the plan itself is shared.
             sp->setFaultInjector(opts.faults, endpoint);
+        }
+        if (options.obs.active()) {
+            // Events and metric series identify by fleet index (the
+            // exporter pid) and camera name (the series label).
+            sp->setObs(options.obs, endpoint, cam.name);
         }
         if (cam.customize) {
             cam.customize(*sp);
@@ -283,7 +289,7 @@ CameraFleet::runThreaded(bool threaded_stages)
 }
 
 FleetRunReport
-CameraFleet::runDiscreteEvent()
+CameraFleet::runDiscreteEvent(const RunOptions &options)
 {
     // Model time needs no stretching: the run is as fast as the host
     // can replay events, and time_scale would only distort the model.
@@ -312,6 +318,9 @@ CameraFleet::runDiscreteEvent()
         sp->setClock(engine.cameraClock(endpoint));
         if (opts.faults != nullptr) {
             sp->setFaultInjector(opts.faults, endpoint);
+        }
+        if (options.obs.active()) {
+            sp->setObs(options.obs, endpoint, cam.name);
         }
         if (cam.customize) {
             cam.customize(*sp);

@@ -169,8 +169,9 @@ class CameraFleet
     FleetRunReport run();
 
   private:
-    FleetRunReport runThreaded(bool threaded_stages);
-    FleetRunReport runDiscreteEvent();
+    FleetRunReport runThreaded(const RunOptions &options,
+                               bool threaded_stages);
+    FleetRunReport runDiscreteEvent(const RunOptions &options);
 
     NetworkLink net;
     FleetOptions opts;

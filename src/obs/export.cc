@@ -1,0 +1,259 @@
+#include "obs/export.hh"
+
+#include <cstdio>
+#include <fstream>
+
+namespace incam {
+namespace obs {
+
+namespace {
+
+/** Fixed-format double: deterministic, locale-independent enough for
+ *  byte-identity across runs in one build ("%.9g", C numeric forms). */
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/** Microsecond timestamp with fixed millinanosecond precision. */
+std::string
+usec(double seconds)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+    return buf;
+}
+
+/** Minimal JSON string escape (labels are camera/metric names). */
+std::string
+jstr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+const char *
+category(EventKind k)
+{
+    switch (k) {
+      case EventKind::Source:
+      case EventKind::QueueWait:
+      case EventKind::Stage:
+      case EventKind::Deliver:
+        return "frame";
+      case EventKind::Crash:
+      case EventKind::StageFault:
+      case EventKind::TxLoss:
+        return "fault";
+      case EventKind::TxAttempt:
+      case EventKind::TxGrant:
+      case EventKind::TxBackoff:
+        return "link";
+      case EventKind::Reconfigure:
+      case EventKind::Decision:
+      case EventKind::Degrade:
+      case EventKind::Heal:
+        return "control";
+    }
+    return "?";
+}
+
+/** Kind-specific args object (see TraceEvent's field contract). */
+std::string
+eventArgs(const TraceEvent &e)
+{
+    std::string args;
+    auto put = [&args](const char *key, const std::string &val) {
+        if (!args.empty()) {
+            args += ',';
+        }
+        args += '"';
+        args += key;
+        args += "\":";
+        args += val;
+    };
+    if (e.frame >= 0) {
+        put("frame", std::to_string(e.frame));
+    }
+    switch (e.kind) {
+      case EventKind::Source:
+        put("bytes", num(e.v));
+        break;
+      case EventKind::Stage:
+        put("retries", std::to_string(e.a));
+        put("gated", std::to_string(e.b));
+        break;
+      case EventKind::StageFault:
+        put("attempt", std::to_string(e.a));
+        break;
+      case EventKind::TxAttempt:
+        put("attempt", std::to_string(e.a));
+        put("bytes", num(e.v));
+        break;
+      case EventKind::TxGrant:
+        put("attempt", std::to_string(e.a));
+        put("joules", num(e.v));
+        break;
+      case EventKind::TxLoss:
+        put("attempt", std::to_string(e.a));
+        break;
+      case EventKind::TxBackoff:
+        put("attempt", std::to_string(e.a));
+        put("wait_s", num(e.v));
+        break;
+      case EventKind::Deliver:
+        put("attempts", std::to_string(e.a));
+        put("outcome", e.b == 1   ? "\"remote\""
+                       : e.b == 2 ? "\"local\""
+                                  : "\"dropped\"");
+        put("air_bytes", num(e.v));
+        break;
+      case EventKind::Decision:
+        put("switched", std::to_string(e.a));
+        break;
+      case EventKind::Reconfigure:
+        put("epoch", std::to_string(e.b));
+        break;
+      case EventKind::Crash:
+      case EventKind::QueueWait:
+      case EventKind::Degrade:
+      case EventKind::Heal:
+        break;
+    }
+    return "{" + args + "}";
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const TraceRecorder &recorder)
+{
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&out, &first](const std::string &obj) {
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += '\n';
+        out += obj;
+    };
+    // Process-name metadata rows first, sorted by camera (std::map).
+    for (const auto &[camera, label] : recorder.cameraLabels()) {
+        emit("{\"ph\":\"M\",\"pid\":" + std::to_string(camera) +
+             ",\"name\":\"process_name\",\"args\":{\"name\":" +
+             jstr(label) + "}}");
+    }
+    for (const TraceEvent &e : recorder.sortedEvents()) {
+        std::string obj = "{\"name\":\"";
+        obj += eventKindName(e.kind);
+        obj += "\",\"cat\":\"";
+        obj += category(e.kind);
+        obj += "\",\"ph\":\"";
+        obj += e.dur > 0.0 ? "X" : "i";
+        obj += "\",\"ts\":";
+        obj += usec(e.t);
+        if (e.dur > 0.0) {
+            obj += ",\"dur\":";
+            obj += usec(e.dur);
+        } else {
+            obj += ",\"s\":\"t\"";
+        }
+        obj += ",\"pid\":" + std::to_string(e.camera);
+        obj += ",\"tid\":" + std::to_string(e.tid);
+        obj += ",\"args\":" + eventArgs(e);
+        obj += "}";
+        emit(obj);
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+bool
+writeChromeTrace(const TraceRecorder &recorder, const std::string &path)
+{
+    std::ofstream f(path);
+    if (!f.good()) {
+        return false;
+    }
+    f << chromeTraceJson(recorder);
+    return f.good();
+}
+
+std::string
+metricsJsonl(const MetricsSnapshot &snapshot)
+{
+    std::string out;
+    for (const MetricValue &v : snapshot.values) {
+        out += "{\"name\":" + jstr(v.name);
+        if (!v.label.empty()) {
+            out += ",\"label\":" + jstr(v.label);
+        }
+        switch (v.kind) {
+          case MetricKind::Counter:
+            out += ",\"kind\":\"counter\",\"value\":" + num(v.value);
+            break;
+          case MetricKind::Gauge:
+            out += ",\"kind\":\"gauge\",\"value\":" + num(v.value);
+            break;
+          case MetricKind::Histogram:
+            out += ",\"kind\":\"histogram\",\"count\":" +
+                   std::to_string(v.count) + ",\"mean\":" +
+                   num(v.value) + ",\"p50\":" + num(v.p50) +
+                   ",\"p95\":" + num(v.p95) + ",\"p99\":" + num(v.p99);
+            break;
+        }
+        out += "}\n";
+    }
+    return out;
+}
+
+bool
+writeMetricsJsonl(const MetricsSnapshot &snapshot,
+                  const std::string &path)
+{
+    std::ofstream f(path);
+    if (!f.good()) {
+        return false;
+    }
+    f << metricsJsonl(snapshot);
+    return f.good();
+}
+
+TableWriter
+metricsTable(const MetricsSnapshot &snapshot)
+{
+    TableWriter table({"metric", "label", "value", "count", "p50",
+                       "p95", "p99"});
+    for (const MetricValue &v : snapshot.values) {
+        const bool hist = v.kind == MetricKind::Histogram;
+        table.addRow({v.name, v.label, TableWriter::num(v.value, 4),
+                      hist ? TableWriter::num(
+                                 static_cast<long long>(v.count))
+                           : "",
+                      hist ? TableWriter::num(v.p50, 6) : "",
+                      hist ? TableWriter::num(v.p95, 6) : "",
+                      hist ? TableWriter::num(v.p99, 6) : ""});
+    }
+    return table;
+}
+
+} // namespace obs
+} // namespace incam

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Exporters for the observability layer.
+ *
+ * Three output forms, all deterministic byte-for-byte given the same
+ * recorded data (fixed printf formats, sorted iteration, no locale or
+ * host-time dependence):
+ *
+ *  - Chrome trace-event JSON: load the file in Perfetto
+ *    (https://ui.perfetto.dev) or chrome://tracing. Cameras map to
+ *    processes (pid, named by TraceRecorder::setCameraLabel), stages
+ *    to tracks (tid), spans to "X" events and instants to "i".
+ *    Timestamps are exported in microseconds of the recorder's
+ *    timebase — wall, virtual or frame time, per the run.
+ *
+ *  - JSONL metric snapshots: one self-contained JSON object per line
+ *    per series, greppable and trivially machine-readable.
+ *
+ *  - A plain-text summary table (common/table) for run postmortems.
+ */
+
+#ifndef INCAM_OBS_EXPORT_HH
+#define INCAM_OBS_EXPORT_HH
+
+#include <string>
+
+#include "common/table.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace incam {
+namespace obs {
+
+/** The recorder's events as a Chrome trace-event JSON document. */
+std::string chromeTraceJson(const TraceRecorder &recorder);
+
+/** Write chromeTraceJson to @p path; false on I/O failure. */
+bool writeChromeTrace(const TraceRecorder &recorder,
+                      const std::string &path);
+
+/** The snapshot as JSONL: one object per series, (name,label) order. */
+std::string metricsJsonl(const MetricsSnapshot &snapshot);
+
+/** Write metricsJsonl to @p path; false on I/O failure. */
+bool writeMetricsJsonl(const MetricsSnapshot &snapshot,
+                       const std::string &path);
+
+/** The snapshot as an aligned text table (render()/print() it). */
+TableWriter metricsTable(const MetricsSnapshot &snapshot);
+
+} // namespace obs
+} // namespace incam
+
+#endif // INCAM_OBS_EXPORT_HH

@@ -1,0 +1,132 @@
+#include "obs/histogram.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace incam {
+namespace obs {
+
+namespace {
+
+/** Geometric bucket index of @p v: floor(log(v) / log(kRatio)). */
+int
+bucketIndex(double v)
+{
+    return static_cast<int>(
+        std::floor(std::log(v) / std::log(LogHistogram::kRatio)));
+}
+
+/** Lower boundary of bucket @p idx. */
+double
+bucketLo(int idx)
+{
+    return std::pow(LogHistogram::kRatio, static_cast<double>(idx));
+}
+
+} // namespace
+
+void
+LogHistogram::record(double v)
+{
+    ++n;
+    if (v > 0.0) {
+        total += v;
+    }
+    if (!(v > kMinValue)) { // includes negatives and NaN -> zero bucket
+        ++zeros;
+        return;
+    }
+    const int idx = bucketIndex(v);
+    if (counts.empty()) {
+        base = idx;
+        counts.assign(1, 0);
+    } else if (idx < base) {
+        counts.insert(counts.begin(),
+                      static_cast<size_t>(base - idx), 0);
+        base = idx;
+    } else if (idx >= base + static_cast<int>(counts.size())) {
+        counts.resize(static_cast<size_t>(idx - base) + 1, 0);
+    }
+    ++counts[static_cast<size_t>(idx - base)];
+}
+
+double
+LogHistogram::percentile(double q) const
+{
+    if (n == 0) {
+        return 0.0;
+    }
+    incam_assert(q >= 0.0 && q <= 1.0, "percentile q out of [0,1]: ", q);
+    // Nearest rank: the ceil(q*n)-th smallest sample (1-based).
+    int64_t rank = static_cast<int64_t>(
+        std::ceil(q * static_cast<double>(n) - 1e-9));
+    if (rank < 1) {
+        rank = 1;
+    }
+    if (rank <= zeros) {
+        return 0.0;
+    }
+    int64_t seen = zeros;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (seen >= rank) {
+            // Geometric midpoint of the bucket: at most half a bucket
+            // width from either boundary, so within one width of any
+            // sample the bucket holds.
+            const double lo = bucketLo(base + static_cast<int>(i));
+            return lo * std::sqrt(kRatio);
+        }
+    }
+    incam_panic("histogram rank ", rank, " beyond ", n, " samples");
+}
+
+void
+LogHistogram::forEachBucket(
+    const std::function<void(double, double, int64_t)> &fn) const
+{
+    if (zeros > 0) {
+        fn(0.0, kMinValue, zeros);
+    }
+    for (size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] > 0) {
+            const double lo = bucketLo(base + static_cast<int>(i));
+            fn(lo, lo * kRatio, counts[i]);
+        }
+    }
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    n += other.n;
+    total += other.total;
+    zeros += other.zeros;
+    if (other.counts.empty()) {
+        return;
+    }
+    if (counts.empty()) {
+        counts = other.counts;
+        base = other.base;
+        return;
+    }
+    const int lo = other.base < base ? other.base : base;
+    const int hi_this = base + static_cast<int>(counts.size());
+    const int hi_other =
+        other.base + static_cast<int>(other.counts.size());
+    const int hi = hi_other > hi_this ? hi_other : hi_this;
+    if (lo < base) {
+        counts.insert(counts.begin(), static_cast<size_t>(base - lo), 0);
+        base = lo;
+    }
+    if (hi > base + static_cast<int>(counts.size())) {
+        counts.resize(static_cast<size_t>(hi - base), 0);
+    }
+    for (size_t i = 0; i < other.counts.size(); ++i) {
+        counts[static_cast<size_t>(other.base - base) + i] +=
+            other.counts[i];
+    }
+}
+
+} // namespace obs
+} // namespace incam

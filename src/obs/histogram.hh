@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Log-bucketed latency/size histogram — bounded-memory percentiles.
+ *
+ * RuntimeReport's percentiles originally sorted a stored-all-latencies
+ * vector: exact, but O(delivered frames) memory per camera — a dead
+ * end for the ROADMAP's 1M-camera diet. LogHistogram replaces it with
+ * geometric buckets of ratio 2^(1/16) (~4.4% relative width): a
+ * nearest-rank percentile read off the bucket geometric midpoint is
+ * within one bucket width of the exact sample value (the regression
+ * test in tests/test_obs.cc holds this bound), and memory is O(log of
+ * the value range) regardless of sample count.
+ *
+ * Values at or below kMinValue land in a dedicated zero bucket that
+ * reports exactly 0.0 — counting-mode runs on a virtual clock deliver
+ * every frame at zero elapsed clock time, and those percentiles must
+ * stay exactly zero across execution shapes.
+ *
+ * Threading contract: none. A LogHistogram is single-writer (the
+ * uplink stage owns the latency histogram) and is read only after the
+ * run joins; MetricsRegistry documents the same contract for
+ * registered histograms.
+ */
+
+#ifndef INCAM_OBS_HISTOGRAM_HH
+#define INCAM_OBS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace incam {
+namespace obs {
+
+/** Geometric-bucket histogram with nearest-rank percentile reads. */
+class LogHistogram
+{
+  public:
+    /** Bucket boundary ratio: 2^(1/16) per bucket, ~4.4% relative
+     *  resolution — 16 buckets per octave. */
+    static constexpr double kRatio = 1.0442737824274138;
+
+    /** Values at or below this are the zero bucket (reported 0.0). */
+    static constexpr double kMinValue = 1e-9;
+
+    /** Fold one sample in. */
+    void record(double v);
+
+    /** Samples recorded so far. */
+    int64_t count() const { return n; }
+
+    /** Sum of recorded samples (exact, for mean reads). */
+    double sum() const { return total; }
+
+    /**
+     * Nearest-rank percentile, q in [0, 1]: the geometric midpoint of
+     * the bucket holding the rank-ceil(q*n) sample — within one bucket
+     * width (relative kRatio - 1) of the exact sorted-sample value.
+     * 0.0 on an empty histogram.
+     */
+    double percentile(double q) const;
+
+    /** Largest relative error a percentile read can have vs exact. */
+    static constexpr double relativeError() { return kRatio - 1.0; }
+
+    /** Visit non-empty buckets ascending as (lo, hi, count); the zero
+     *  bucket visits as (0, kMinValue, count) first. */
+    void forEachBucket(
+        const std::function<void(double lo, double hi, int64_t c)> &fn)
+        const;
+
+    /** Fold @p other's buckets into this histogram. */
+    void merge(const LogHistogram &other);
+
+  private:
+    /** counts[i] holds bucket index base + i (geometric); grown lazily
+     *  toward whichever end a sample lands beyond. */
+    std::vector<int64_t> counts;
+    int base = 0; ///< bucket index of counts[0]
+    int64_t zeros = 0;
+    int64_t n = 0;
+    double total = 0.0;
+};
+
+} // namespace obs
+} // namespace incam
+
+#endif // INCAM_OBS_HISTOGRAM_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Observability configuration — the one knob a run carries.
+ *
+ * ObsConfig is deliberately tiny: two non-owning sink pointers and a
+ * timestamp-mode flag, so RunOptions can embed it without dragging the
+ * recorder or registry machinery into every runtime include. A default
+ * ObsConfig (both sinks null) is *off*: every instrumentation site in
+ * the runtime guards on one cached pointer test, which is what keeps
+ * the disabled cost below measurement noise (gated in
+ * bench_observability).
+ *
+ * Timestamp contract: every event timestamp flows through the run's
+ * injected sim::Clock — wall seconds under the threaded shapes,
+ * virtual model seconds under DiscreteEvent (bit-deterministic across
+ * repeats). With `frame_time` set, events are instead stamped at the
+ * emitting frame's trace-clock position (Frame::trace_time) with a
+ * deterministic per-site sequence key, which makes counting-mode
+ * traces byte-identical across ThreadedStages / Inline / DiscreteEvent
+ * — the cross-shape determinism contract docs/observability.md pins
+ * down. src/obs/ itself never names a host time API; the repo linter's
+ * obs-clock rule enforces that.
+ */
+
+#ifndef INCAM_OBS_OBS_HH
+#define INCAM_OBS_OBS_HH
+
+namespace incam {
+namespace obs {
+
+class TraceRecorder;   // obs/trace.hh
+class MetricsRegistry; // obs/metrics.hh
+
+/** Per-run observability sinks; default (null sinks) is off. */
+struct ObsConfig
+{
+    /** Span/instant event sink; null disables tracing. Non-owning —
+     *  the recorder must outlive the run. */
+    TraceRecorder *recorder = nullptr;
+
+    /** Counter/gauge/histogram sink; null disables metrics. Non-owning
+     *  — the registry must outlive the run. */
+    MetricsRegistry *registry = nullptr;
+
+    /**
+     * Stamp events on the frame clock (Frame::trace_time) instead of
+     * the run clock, dropping wall-time-only events (queue waits,
+     * reconfigure instants). Requires RuntimeOptions::trace_fps.
+     * Counting-mode runs then export byte-identical traces across all
+     * execution shapes.
+     */
+    bool frame_time = false;
+
+    bool active() const { return recorder != nullptr || registry != nullptr; }
+};
+
+} // namespace obs
+} // namespace incam
+
+#endif // INCAM_OBS_OBS_HH

@@ -1,0 +1,154 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <tuple>
+
+namespace incam {
+namespace obs {
+
+namespace {
+
+/** Process-unique id per recorder instance; never reused, so a stale
+ *  TLS cache entry can never alias a new recorder at an old address. */
+std::atomic<uint64_t> next_serial{1};
+
+/** Process-unique id per thread (no <thread> dependency). */
+uint64_t
+threadKey()
+{
+    static std::atomic<uint64_t> next{1};
+    thread_local const uint64_t key =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return key;
+}
+
+} // namespace
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Source: return "source";
+      case EventKind::Crash: return "crash";
+      case EventKind::QueueWait: return "queue_wait";
+      case EventKind::Stage: return "stage";
+      case EventKind::StageFault: return "stage_fault";
+      case EventKind::TxAttempt: return "tx_attempt";
+      case EventKind::TxGrant: return "tx_grant";
+      case EventKind::TxLoss: return "tx_loss";
+      case EventKind::TxBackoff: return "tx_backoff";
+      case EventKind::Deliver: return "deliver";
+      case EventKind::Reconfigure: return "reconfigure";
+      case EventKind::Decision: return "decision";
+      case EventKind::Degrade: return "degrade";
+      case EventKind::Heal: return "heal";
+    }
+    return "?";
+}
+
+TraceRecorder::TraceRecorder(size_t capacity_per_thread)
+    : serial(next_serial.fetch_add(1, std::memory_order_relaxed)),
+      cap(capacity_per_thread > 0 ? capacity_per_thread : 1)
+{
+}
+
+void
+TraceRecorder::Buffer::addChunk()
+{
+    chunks.emplace_back(new TraceEvent[kChunkEvents]);
+}
+
+TraceRecorder::Buffer *
+TraceRecorder::resolveThreadBuffer(TlsCache &c)
+{
+    const uint64_t key = threadKey();
+    MutexLock lk(mu);
+    Buffer *found = nullptr;
+    for (Buffer &b : buffers) {
+        if (b.thread_key == key) {
+            found = &b;
+            break;
+        }
+    }
+    if (found == nullptr) {
+        buffers.emplace_back();
+        found = &buffers.back();
+        found->thread_key = key;
+    }
+    c.serial = serial;
+    c.buf = found;
+    return found;
+}
+
+void
+TraceRecorder::setCameraLabel(int camera, const std::string &label)
+{
+    MutexLock lk(mu);
+    labels[camera] = label;
+}
+
+void
+TraceRecorder::reset()
+{
+    MutexLock lk(mu);
+    for (Buffer &b : buffers) {
+        b.count = 0;
+        b.lost = 0;
+        // chunks intentionally kept: that is the point of reset().
+    }
+    labels.clear();
+}
+
+std::vector<TraceEvent>
+TraceRecorder::sortedEvents() const
+{
+    std::vector<TraceEvent> all;
+    {
+        MutexLock lk(mu);
+        size_t n = 0;
+        for (const Buffer &b : buffers) {
+            n += b.count;
+        }
+        all.reserve(n);
+        for (const Buffer &b : buffers) {
+            for (size_t i = 0; i < b.count; ++i) {
+                all.push_back(b.chunks[i / kChunkEvents]
+                                      [i & (kChunkEvents - 1)]);
+            }
+        }
+    }
+    // The key totally orders any event set the instrumentation sites
+    // can emit (per-site seq disambiguates within a frame), so the
+    // merged order is independent of buffer registration order.
+    std::stable_sort(
+        all.begin(), all.end(),
+        [](const TraceEvent &x, const TraceEvent &y) {
+            return std::make_tuple(x.t, x.camera, x.frame, x.seq,
+                                   static_cast<int>(x.kind), x.tid) <
+                   std::make_tuple(y.t, y.camera, y.frame, y.seq,
+                                   static_cast<int>(y.kind), y.tid);
+        });
+    return all;
+}
+
+int64_t
+TraceRecorder::dropped() const
+{
+    MutexLock lk(mu);
+    int64_t n = 0;
+    for (const Buffer &b : buffers) {
+        n += b.lost;
+    }
+    return n;
+}
+
+std::map<int, std::string>
+TraceRecorder::cameraLabels() const
+{
+    MutexLock lk(mu);
+    return labels;
+}
+
+} // namespace obs
+} // namespace incam

@@ -58,6 +58,11 @@ struct Frame
     /** Emission instant in the run clock's seconds — wall or model
      *  time, per the installed sim::Clock (end-to-end latency). */
     double emit_s = 0.0;
+
+    /** Observability scratch: clock seconds at the last queue push,
+     *  so the popping stage can emit a queue-wait span. Only stamped
+     *  when a trace recorder is installed. */
+    double obs_ts = 0.0;
 };
 
 } // namespace incam

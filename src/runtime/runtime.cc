@@ -9,12 +9,53 @@
 #include "common/thread_safety.hh"
 #include "exec/thread_pool.hh"
 #include "fault/fault.hh"
+#include "obs/histogram.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runtime/frame_queue.hh"
 #include "runtime/pacer.hh"
 #include "sim/clock.hh"
 #include "trace/trace.hh"
 
 namespace incam {
+
+namespace {
+
+/**
+ * Deterministic per-site sequence keys for trace events. Within one
+ * frame, every instrumentation site gets a distinct seq so the
+ * exporter's total order (t, camera, frame, seq, ...) is independent
+ * of which thread recorded what — in frame_time mode all of a frame's
+ * events share one timestamp and seq alone orders them in pipeline
+ * order: source < stage spans/faults < queue waits < tx attempts <
+ * delivery < control instants.
+ */
+constexpr uint32_t
+obsSeq(uint32_t site, uint32_t k = 0)
+{
+    return site * 256u + k;
+}
+
+constexpr uint32_t kSiteSource = 0;
+constexpr uint32_t kSiteCrash = 1;
+/** Block b's span: site 2 + 2b; its fault instants: site 3 + 2b. */
+constexpr uint32_t kSiteStage0 = 2;
+constexpr uint32_t kSiteQueueWait = 190; ///< k = consuming tid
+/** Uplink attempt k (1-based): k = 4*min(k-1, 63) + offset, offsets
+ *  attempt 0 / grant 1 / loss 2 / backoff 3. */
+constexpr uint32_t kSiteTx = 200;
+constexpr uint32_t kSiteDeliver = 240;
+constexpr uint32_t kSiteReconfigure = 250;
+
+constexpr uint32_t
+txSeq(int attempt, uint32_t offset)
+{
+    const uint32_t k = attempt > 64 ? 63u
+                                    : static_cast<uint32_t>(attempt - 1);
+    return obsSeq(kSiteTx, 4u * k + offset);
+}
+
+} // namespace
 
 /** Queues plus measurement state of one run (threaded or inline). */
 struct StreamingPipeline::RunState
@@ -67,7 +108,10 @@ struct StreamingPipeline::RunState
 
     std::vector<StageState> state;
     LinkCounters lc;
-    std::vector<double> latencies; ///< e2e per delivery (clock seconds)
+    /** End-to-end delivery latency (clock seconds), log-bucketed: the
+     *  report's percentiles come from here at ~4.4% relative error
+     *  with O(buckets) memory instead of one double per delivery. */
+    obs::LogHistogram latency_hist;
     AnnotatedMutex error_mu;
     std::exception_ptr first_error INCAM_GUARDED_BY(error_mu);
     DataSize typical_bytes;
@@ -158,6 +202,14 @@ StreamingPipeline::reconfigure(const PipelineConfig &next,
     epochs.push_back(std::move(ep));
     epoch_count.store(static_cast<int>(epochs.size()),
                       std::memory_order_release);
+    if (ob.recorder != nullptr && !ob.frame_time) {
+        // Epoch publication is a run-clock instant, not a frame event
+        // (frames stamp their epoch at the source); frame_time traces
+        // skip it, like queue waits.
+        obsRecord(obs::EventKind::Reconfigure, -1, clk->now(), 0.0,
+                  obs::kTidController, obsSeq(kSiteReconfigure), 0,
+                  static_cast<int32_t>(epochs.size()) - 1, 0.0);
+    }
 }
 
 void
@@ -230,6 +282,86 @@ StreamingPipeline::setClock(sim::Clock *clock)
     incam_assert(rs == nullptr && !consumed,
                  "the clock must be installed before the run starts");
     clk = clock;
+}
+
+void
+StreamingPipeline::setObs(const obs::ObsConfig &config, int camera,
+                          const std::string &label)
+{
+    incam_assert(rs == nullptr && !consumed,
+                 "observability must be installed before the run starts");
+    incam_assert(camera >= 0, "obs camera identity must be >= 0");
+    incam_assert(!config.frame_time || opts.trace_fps > 0.0,
+                 "ObsConfig::frame_time needs the frame clock: set "
+                 "RuntimeOptions::trace_fps");
+    ob = config;
+    ob_camera = camera;
+    if (ob.recorder != nullptr && !label.empty()) {
+        ob.recorder->setCameraLabel(camera, label);
+    }
+    oh = ObsHandles{};
+    if (ob.registry != nullptr) {
+        obs::MetricsRegistry &reg = *ob.registry;
+        oh.sourced = &reg.counter("frames_sourced", label);
+        oh.frames_delivered = &reg.counter("frames_delivered", label);
+        oh.frames_dropped = &reg.counter("frames_dropped", label);
+        oh.attempts = &reg.counter("tx_attempts", label);
+        oh.losses = &reg.counter("tx_losses", label);
+        oh.retries = &reg.counter("retry_attempts", label);
+        oh.backoff = &reg.counter("backoff_seconds", label);
+        oh.bytes = &reg.counter("bytes_sent", label);
+        oh.energy = &reg.counter("comm_energy_j", label);
+        oh.latency = &reg.histogram("latency_s", label);
+        oh.qdepth = &reg.gauge("uplink_queue_depth", label);
+    }
+}
+
+double
+StreamingPipeline::obsT(const Frame &f, double clock_t) const
+{
+    return ob.frame_time ? f.trace_time : clock_t;
+}
+
+void
+StreamingPipeline::obsTxAttempt(const Frame &f, int attempt)
+{
+    if (ob.recorder == nullptr) {
+        return;
+    }
+    obsRecord(obs::EventKind::TxAttempt, f.id, obsT(f, clk->now()),
+              0.0, obs::kTidUplink, txSeq(attempt, 0), attempt, 0,
+              f.bytes.b());
+}
+
+void
+StreamingPipeline::obsTxGrant(const Frame &f, int attempt, Energy e)
+{
+    if (ob.recorder == nullptr) {
+        return;
+    }
+    obsRecord(obs::EventKind::TxGrant, f.id, obsT(f, clk->now()), 0.0,
+              obs::kTidUplink, txSeq(attempt, 1), attempt, 0, e.j());
+}
+
+void
+StreamingPipeline::obsTxLoss(const Frame &f, int attempt)
+{
+    if (ob.recorder == nullptr) {
+        return;
+    }
+    obsRecord(obs::EventKind::TxLoss, f.id, obsT(f, clk->now()), 0.0,
+              obs::kTidUplink, txSeq(attempt, 2), attempt, 0, 0.0);
+}
+
+void
+StreamingPipeline::obsTxBackoff(const Frame &f, int attempt, double wait)
+{
+    if (ob.recorder == nullptr) {
+        return;
+    }
+    obsRecord(obs::EventKind::TxBackoff, f.id, obsT(f, clk->now()),
+              wait * opts.time_scale, obs::kTidUplink,
+              txSeq(attempt, 3), attempt, 0, wait);
 }
 
 void
@@ -328,6 +460,15 @@ StreamingPipeline::processBlockFrame(size_t b, Frame &f,
             completed = true;
             break;
         }
+        if (ob.recorder != nullptr) {
+            obsRecord(obs::EventKind::StageFault, f.id,
+                      obsT(f, clk->now()), 0.0,
+                      obs::kTidBlock0 + static_cast<int>(b),
+                      obsSeq(kSiteStage0 + 1 +
+                                 2 * static_cast<uint32_t>(b),
+                             static_cast<uint32_t>(attempt)),
+                      attempt, 0, 0.0);
+        }
         if (spec.policy.on_fault == StageFaultAction::Retry &&
             attempt < spec.policy.max_retries) {
             ++attempt;
@@ -339,7 +480,18 @@ StreamingPipeline::processBlockFrame(size_t b, Frame &f,
     if (!completed) {
         ++st.dropped;
         ++st.fault_dropped;
-        st.busy_seconds += clk->now() - t0;
+        const double t_done = clk->now();
+        st.busy_seconds += t_done - t0;
+        if (ob.recorder != nullptr) {
+            obsRecord(obs::EventKind::Stage, f.id, obsT(f, t0),
+                      t_done - t0,
+                      obs::kTidBlock0 + static_cast<int>(b),
+                      obsSeq(kSiteStage0 + 2 * static_cast<uint32_t>(b)),
+                      attempt, 2, 0.0);
+        }
+        if (oh.frames_dropped != nullptr) {
+            oh.frames_dropped->add(1.0);
+        }
         return false;
     }
     double pass_fraction = plan.pass_fraction;
@@ -379,9 +531,19 @@ StreamingPipeline::processBlockFrame(size_t b, Frame &f,
             probe.gate_pass.fetch_add(1, std::memory_order_relaxed);
         }
     }
-    st.busy_seconds += clk->now() - t0;
+    const double t_done = clk->now();
+    st.busy_seconds += t_done - t0;
+    if (ob.recorder != nullptr) {
+        obsRecord(obs::EventKind::Stage, f.id, obsT(f, t0),
+                  t_done - t0, obs::kTidBlock0 + static_cast<int>(b),
+                  obsSeq(kSiteStage0 + 2 * static_cast<uint32_t>(b)),
+                  attempt, pass ? 0 : 1, 0.0);
+    }
     if (!pass) {
         ++st.dropped;
+        if (oh.frames_dropped != nullptr) {
+            oh.frames_dropped->add(1.0);
+        }
     }
     return pass;
 }
@@ -467,6 +629,24 @@ StreamingPipeline::finishDelivery(const Frame &f, const TxPlan &plan,
         probe.tx_losses.fetch_add(out.attempts -
                                       (out.remote_ok ? 1 : 0),
                                   std::memory_order_relaxed);
+        if (out.attempts > 1) {
+            probe.retry_attempts.fetch_add(out.attempts - 1,
+                                           std::memory_order_relaxed);
+        }
+        if (out.backoff_seconds > 0.0) {
+            probe.backoff_seconds.fetch_add(out.backoff_seconds,
+                                            std::memory_order_relaxed);
+        }
+        if (oh.attempts != nullptr) {
+            oh.attempts->add(static_cast<double>(out.attempts));
+            oh.losses->add(static_cast<double>(
+                out.attempts - (out.remote_ok ? 1 : 0)));
+            if (out.attempts > 1) {
+                oh.retries->add(
+                    static_cast<double>(out.attempts - 1));
+            }
+            oh.backoff->add(out.backoff_seconds);
+        }
     }
 
     // Air bytes: every attempt crossed the radio, so byte and energy
@@ -484,13 +664,32 @@ StreamingPipeline::finishDelivery(const Frame &f, const TxPlan &plan,
     if (!rs->queues.empty()) {
         probe.uplink_queue_depth.store(rs->queues.back()->depth(),
                                        std::memory_order_relaxed);
+        if (oh.qdepth != nullptr) {
+            oh.qdepth->set(static_cast<double>(
+                rs->queues.back()->depth()));
+        }
+    }
+    if (oh.bytes != nullptr) {
+        oh.bytes->add(air_bytes);
+        oh.energy->add(out.energy.j());
     }
 
     const bool delivered = out.remote_ok || plan.local_epoch;
+    if (ob.recorder != nullptr) {
+        const int outcome =
+            out.remote_ok ? 1 : (plan.local_epoch ? 2 : 0);
+        obsRecord(obs::EventKind::Deliver, f.id,
+                  obsT(f, plan.start_t), t1 - plan.start_t,
+                  obs::kTidUplink, obsSeq(kSiteDeliver), out.attempts,
+                  outcome, air_bytes);
+    }
     if (!delivered) {
         // Retry budget spent: the frame is shed at the link.
         ++st.dropped;
         probe.link_dropped.fetch_add(1, std::memory_order_relaxed);
+        if (oh.frames_dropped != nullptr) {
+            oh.frames_dropped->add(1.0);
+        }
         return;
     }
     ++st.out;
@@ -508,10 +707,16 @@ StreamingPipeline::finishDelivery(const Frame &f, const TxPlan &plan,
     st.last_delivery = t1;
 
     const double latency = t1 - f.emit_s;
-    rs->latencies.push_back(latency);
+    rs->latency_hist.record(latency);
     probe.delivered_frames.fetch_add(1, std::memory_order_relaxed);
     probe.latency_sum_s.fetch_add(latency, std::memory_order_relaxed);
     probe.latency_count.fetch_add(1, std::memory_order_relaxed);
+    if (oh.frames_delivered != nullptr) {
+        oh.frames_delivered->add(1.0);
+    }
+    if (oh.latency != nullptr) {
+        oh.latency->record(latency / opts.time_scale);
+    }
 }
 
 void
@@ -524,6 +729,7 @@ StreamingPipeline::deliverFrame(Frame &f)
         // attempt pays full bytes, airtime and Joules.
         for (;;) {
             ++out.attempts;
+            obsTxAttempt(f, out.attempts);
             Energy attempt_e;
             if (arbiter) {
                 attempt_e = arbiter->acquire(arbiter_endpoint,
@@ -533,6 +739,7 @@ StreamingPipeline::deliverFrame(Frame &f)
                 attempt_e = net.transferEnergy(f.bytes);
             }
             out.energy += attempt_e;
+            obsTxGrant(f, out.attempts, attempt_e);
             if (out.attempts > 1) {
                 out.retry_bytes += f.bytes;
                 out.retry_energy += attempt_e;
@@ -541,11 +748,13 @@ StreamingPipeline::deliverFrame(Frame &f)
                 out.remote_ok = true;
                 break;
             }
+            obsTxLoss(f, out.attempts);
             if (out.attempts >= plan.budget) {
                 break;
             }
             const double wait = txBackoffWait(f, out.attempts);
             out.backoff_seconds += wait;
+            obsTxBackoff(f, out.attempts, wait);
             if (opts.pace_link && wait > 0.0) {
                 clk->sleepFor(wait * opts.time_scale);
             }
@@ -596,7 +805,18 @@ StreamingPipeline::sourceLoop()
             // leaves it. The frame clock keeps advancing, so the
             // restarted camera rejoins the schedule on time.
             ++st.dropped;
+            if (ob.recorder != nullptr) {
+                obsRecord(obs::EventKind::Crash, f.id,
+                          obsT(f, f.emit_s), 0.0, obs::kTidSource,
+                          obsSeq(kSiteCrash), 0, 0, 0.0);
+            }
+            if (oh.frames_dropped != nullptr) {
+                oh.frames_dropped->add(1.0);
+            }
             continue;
+        }
+        if (ob.recorder != nullptr && !ob.frame_time) {
+            f.obs_ts = clk->now();
         }
         if (!out.push(std::move(f))) {
             // Downstream shut down early: a clean reject, counted so
@@ -641,6 +861,14 @@ StreamingPipeline::makeSourceFrame(int64_t id, TokenBucket &pacer)
     f.emit_s = clk->now();
     probe.source_frames.fetch_add(1, std::memory_order_relaxed);
     st.busy_seconds += f.emit_s - t0;
+    if (ob.recorder != nullptr) {
+        obsRecord(obs::EventKind::Source, f.id, obsT(f, f.emit_s),
+                  0.0, obs::kTidSource, obsSeq(kSiteSource), 0, 0,
+                  f.bytes.b());
+    }
+    if (oh.sourced != nullptr) {
+        oh.sourced->add(1.0);
+    }
     return f;
 }
 
@@ -652,10 +880,22 @@ StreamingPipeline::blockLoop(size_t b)
     FrameQueue &out = *rs->queues[b + 1];
     Frame f;
     while (in.pop(f)) {
+        if (ob.recorder != nullptr && !ob.frame_time) {
+            const int tid = obs::kTidBlock0 + static_cast<int>(b);
+            const double now = clk->now();
+            obsRecord(obs::EventKind::QueueWait, f.id, f.obs_ts,
+                      now - f.obs_ts, tid,
+                      obsSeq(kSiteQueueWait,
+                             static_cast<uint32_t>(tid)),
+                      0, 0, 0.0);
+        }
         if (!processBlockFrame(b, f, rs->stage_pacers[b],
                                rs->pacer_epochs[b],
                                rs->pass_credits[b])) {
             continue;
+        }
+        if (ob.recorder != nullptr && !ob.frame_time) {
+            f.obs_ts = clk->now();
         }
         if (!out.push(std::move(f))) {
             ++st.shutdown_dropped;
@@ -673,6 +913,13 @@ StreamingPipeline::uplinkLoop()
     FrameQueue &in = *rs->queues.back();
     Frame f;
     while (in.pop(f)) {
+        if (ob.recorder != nullptr && !ob.frame_time) {
+            const double now = clk->now();
+            obsRecord(obs::EventKind::QueueWait, f.id, f.obs_ts,
+                      now - f.obs_ts, obs::kTidUplink,
+                      obsSeq(kSiteQueueWait, obs::kTidUplink), 0, 0,
+                      0.0);
+        }
         deliverFrame(f);
     }
     in.close();
@@ -760,6 +1007,14 @@ StreamingPipeline::nextFrame(Frame &f)
     if (injector != nullptr &&
         injector->cameraDown(fault_camera, f.trace_time)) {
         ++rs->state[0].dropped; // crash window: see sourceLoop
+        if (ob.recorder != nullptr) {
+            obsRecord(obs::EventKind::Crash, f.id, obsT(f, f.emit_s),
+                      0.0, obs::kTidSource, obsSeq(kSiteCrash), 0, 0,
+                      0.0);
+        }
+        if (oh.frames_dropped != nullptr) {
+            oh.frames_dropped->add(1.0);
+        }
         return SourceStep::Skipped;
     }
     ++rs->state[0].out;
@@ -784,6 +1039,9 @@ StreamingPipeline::nextSourceId() const
 RuntimeReport
 StreamingPipeline::run(const RunOptions &options)
 {
+    if (options.obs.active() && !ob.active()) {
+        setObs(options.obs); // solo run: camera 0, unlabeled
+    }
     switch (options.mode) {
       case ExecutionMode::ThreadedStages:
         if (options.clock != nullptr) {
@@ -825,7 +1083,9 @@ StreamingPipeline::run(const RunOptions &options)
 RuntimeReport
 StreamingPipeline::run()
 {
-    return run(RunOptions{ExecutionMode::ThreadedStages, nullptr});
+    RunOptions ro;
+    ro.mode = ExecutionMode::ThreadedStages;
+    return run(ro);
 }
 
 RuntimeReport
@@ -962,13 +1222,14 @@ StreamingPipeline::finishRun()
             rep.total_energy() / static_cast<double>(rep.source_frames);
     }
 
-    std::sort(rs->latencies.begin(), rs->latencies.end());
+    // Log-bucketed percentiles: within one bucket width (~4.4%) of
+    // the exact nearest-rank value, at O(buckets) memory.
     rep.latency_p50 =
-        nearestRankPercentile(rs->latencies, 0.50) / opts.time_scale;
+        rs->latency_hist.percentile(0.50) / opts.time_scale;
     rep.latency_p95 =
-        nearestRankPercentile(rs->latencies, 0.95) / opts.time_scale;
+        rs->latency_hist.percentile(0.95) / opts.time_scale;
     rep.latency_p99 =
-        nearestRankPercentile(rs->latencies, 0.99) / opts.time_scale;
+        rs->latency_hist.percentile(0.99) / opts.time_scale;
     rep.reconfigurations =
         epoch_count.load(std::memory_order_acquire) - 1;
 

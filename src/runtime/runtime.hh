@@ -54,6 +54,8 @@
 
 #include "common/thread_safety.hh"
 #include "core/pipeline.hh"
+#include "obs/obs.hh"
+#include "obs/trace.hh"
 #include "runtime/executor.hh"
 #include "runtime/frame.hh"
 #include "runtime/report.hh"
@@ -63,6 +65,13 @@ namespace incam {
 
 namespace sim {
 class Clock; // sim/clock.hh
+}
+
+namespace obs {
+enum class EventKind : uint8_t; // obs/trace.hh
+class Counter;                  // obs/metrics.hh
+class Gauge;                    // obs/metrics.hh
+class LogHistogram;             // obs/histogram.hh
 }
 
 class TokenBucket;   // runtime/pacer.hh
@@ -247,6 +256,15 @@ struct RunOptions
      * clocks and ThreadedStages/ThreadPerCamera need real sleeps.
      */
     sim::Clock *clock = nullptr;
+
+    /**
+     * Observability sinks for the run (default: off). A solo run
+     * installs them as camera 0; CameraFleet::run(RunOptions) forwards
+     * them to every camera pipeline under its fleet endpoint and name,
+     * so one recorder/registry collects the whole fleet. Equivalent to
+     * calling StreamingPipeline::setObs before the run.
+     */
+    obs::ObsConfig obs;
 };
 
 /**
@@ -273,6 +291,12 @@ struct Telemetry
     std::atomic<int64_t> tx_losses{0};       ///< attempts lost
     std::atomic<int64_t> link_dropped{0};    ///< retry budget spent
     std::atomic<int64_t> delivered_local{0}; ///< degraded deliveries
+    /** Transmission attempts beyond each frame's first — the fault
+     *  pressure signal TelemetrySampler turns into a retry rate. */
+    std::atomic<int64_t> retry_attempts{0};
+    /** Cumulative model-time timeout/backoff waits accrued at the
+     *  uplink (seconds) — how long recovery stalled the stream. */
+    std::atomic<double> backoff_seconds{0.0};
 
     Telemetry() = default;
     Telemetry(const Telemetry &) = delete;
@@ -387,6 +411,35 @@ class StreamingPipeline
      * must outlive it.
      */
     void setClock(sim::Clock *clock);
+
+    /**
+     * Install observability sinks (see obs/obs.hh): events and metric
+     * updates carry @p camera as their identity (the exporter pid /
+     * per-camera metric label) and @p label names both. Must be called
+     * before the run starts; the sinks must outlive it. A RunOptions
+     * with an active ObsConfig installs itself here as camera 0; a
+     * fleet installs per camera. Every timestamp flows through the
+     * run's sim::Clock (or, with ObsConfig::frame_time, the frame
+     * clock) — src/obs never reads host time.
+     */
+    void setObs(const obs::ObsConfig &config, int camera = 0,
+                const std::string &label = "");
+
+    // ------- observability taps for external delivery schedulers ----
+    // The discrete-event engine owns transmission scheduling, so the
+    // per-attempt uplink events are exposed as helpers; deliverFrame()
+    // emits through these same calls, which keeps the event sequence
+    // of a frame identical across execution shapes. All are cheap
+    // no-ops when no recorder is installed.
+
+    /** Attempt @p attempt (1-based) of @p f started. */
+    void obsTxAttempt(const Frame &f, int attempt);
+    /** The medium granted attempt @p attempt's airtime for @p e. */
+    void obsTxGrant(const Frame &f, int attempt, Energy e);
+    /** The fault plan lost attempt @p attempt. */
+    void obsTxLoss(const Frame &f, int attempt);
+    /** Post-loss timeout/backoff of @p wait model seconds began. */
+    void obsTxBackoff(const Frame &f, int attempt, double wait);
 
     /**
      * THE run entry point: execute the stream to completion under
@@ -603,6 +656,58 @@ class StreamingPipeline
     AnnotatedMutex epoch_mu; ///< serializes reconfigure() appends
 
     Telemetry probe;
+
+    /** Resolved metric series handles for this camera's label, bound
+     *  once in setObs() so hot paths update through stable pointers
+     *  with no registry lookups. All null when no registry installed. */
+    struct ObsHandles
+    {
+        obs::Counter *sourced = nullptr;
+        obs::Counter *frames_delivered = nullptr;
+        obs::Counter *frames_dropped = nullptr;
+        obs::Counter *attempts = nullptr;
+        obs::Counter *losses = nullptr;
+        obs::Counter *retries = nullptr;
+        obs::Counter *backoff = nullptr;
+        obs::Counter *bytes = nullptr;
+        obs::Counter *energy = nullptr;
+        obs::LogHistogram *latency = nullptr;
+        obs::Gauge *qdepth = nullptr;
+    };
+
+    /** Event timestamp for @p frame: the frame clock in frame_time
+     *  mode (bit-deterministic across shapes), else @p clock_t. */
+    double obsT(const Frame &frame, double clock_t) const;
+    /** Record one event for this camera (no-op without a recorder);
+     *  frame_time mode forces dur = 0 so spans collapse to instants.
+     *  Inline: every emit site rides the per-frame hot loop, and the
+     *  marshalling cost shows up directly in the DES overhead gate. */
+    void
+    obsRecord(obs::EventKind kind, int64_t frame, double t,
+              double dur, int tid, uint32_t seq, int32_t a,
+              int32_t b, double v)
+    {
+        obs::TraceEvent ev;
+        ev.t = t;
+        // Frame-time events are pure instants: a span's wall duration
+        // is host noise, exactly what the byte-identity contract
+        // excludes.
+        ev.dur = ob.frame_time ? 0.0 : dur;
+        ev.kind = kind;
+        ev.camera = static_cast<int16_t>(ob_camera);
+        ev.tid = static_cast<int16_t>(tid);
+        ev.frame = frame;
+        ev.seq = seq;
+        ev.a = static_cast<int16_t>(a);
+        ev.b = static_cast<int16_t>(b);
+        ev.v = v;
+        ob.recorder->record(ev);
+    }
+
+    obs::ObsConfig ob; ///< observability sinks; inactive by default
+    int ob_camera = 0; ///< event/metric identity (exporter pid)
+    ObsHandles oh;
+
     std::unique_ptr<RunState> rs;
     bool consumed = false;
 };

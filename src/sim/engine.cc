@@ -141,10 +141,12 @@ SimEngine::countingDelivery(Cam &cam)
     // runs bit-identical to the threaded runtime.
     for (;;) {
         ++cam.out.attempts;
+        cam.sp->obsTxAttempt(cam.frame, cam.out.attempts);
         const Energy e =
             link.price(cam.frame.bytes.b(), cam.frame.trace_time);
         link.countGrant(cam.index, cam.frame.bytes.b());
         cam.out.energy += e;
+        cam.sp->obsTxGrant(cam.frame, cam.out.attempts, e);
         if (cam.out.attempts > 1) {
             cam.out.retry_bytes += cam.frame.bytes;
             cam.out.retry_energy += e;
@@ -153,11 +155,14 @@ SimEngine::countingDelivery(Cam &cam)
             cam.out.remote_ok = true;
             break;
         }
+        cam.sp->obsTxLoss(cam.frame, cam.out.attempts);
         if (cam.out.attempts >= cam.plan.budget) {
             break;
         }
-        cam.out.backoff_seconds +=
+        const double wait =
             cam.sp->txBackoffWait(cam.frame, cam.out.attempts);
+        cam.out.backoff_seconds += wait;
+        cam.sp->obsTxBackoff(cam.frame, cam.out.attempts, wait);
     }
     cam.sp->finishDelivery(cam.frame, cam.plan, cam.out);
 }
@@ -170,6 +175,7 @@ SimEngine::startAttempt(Cam &cam, double t)
     }
     cam.clock.advanceTo(t);
     ++cam.out.attempts;
+    cam.sp->obsTxAttempt(cam.frame, cam.out.attempts);
     link.submit(cam.index, cam.frame.bytes.b(), t);
     scheduleDeparture();
 }
@@ -182,6 +188,7 @@ SimEngine::resolveAttempt(Cam &cam, double t, Energy energy)
     }
     cam.clock.advanceTo(t);
     cam.out.energy += energy;
+    cam.sp->obsTxGrant(cam.frame, cam.out.attempts, energy);
     if (cam.out.attempts > 1) {
         cam.out.retry_bytes += cam.frame.bytes;
         cam.out.retry_energy += energy;
@@ -193,6 +200,7 @@ SimEngine::resolveAttempt(Cam &cam, double t, Energy energy)
             scheduleSource(cam);
             return;
         }
+        cam.sp->obsTxLoss(cam.frame, cam.out.attempts);
         if (cam.out.attempts >= cam.plan.budget) {
             cam.sp->finishDelivery(cam.frame, cam.plan, cam.out);
             scheduleSource(cam);
@@ -203,6 +211,7 @@ SimEngine::resolveAttempt(Cam &cam, double t, Energy energy)
         const double wait =
             cam.sp->txBackoffWait(cam.frame, cam.out.attempts);
         cam.out.backoff_seconds += wait;
+        cam.sp->obsTxBackoff(cam.frame, cam.out.attempts, wait);
         sched.schedule(t + wait, cam.index, kTx);
     } catch (...) {
         failCamera(cam, std::current_exception());

@@ -22,6 +22,7 @@
 #include "adapt/controller.hh"
 #include "adapt/estimator.hh"
 #include "core/network.hh"
+#include "fault/fault.hh"
 #include "fleet/fleet.hh"
 #include "fleet/shared_link.hh"
 #include "runtime/runtime.hh"
@@ -336,6 +337,80 @@ TEST(Estimator, TelemetrySamplerMeasuresLossRate)
     probe.tx_losses.store(20);
     const ConditionSample burst = sampler.sample(3.0);
     EXPECT_DOUBLE_EQ(burst.loss_rate, 1.0); // 10 of 10 lost
+}
+
+TEST(Estimator, TelemetrySamplerMeasuresRetryAndBackoff)
+{
+    Telemetry probe;
+    TelemetrySampler sampler(probe, /*time_scale=*/1.0);
+    sampler.sample(0.0); // priming snapshot
+
+    probe.tx_attempts.store(40);
+    probe.retry_attempts.store(10);
+    probe.backoff_seconds.store(0.5);
+    const ConditionSample s = sampler.sample(2.0);
+    // 10 of the 40 attempts this window were re-transmissions, and
+    // 0.5 s of the 2 s window was spent backing off.
+    EXPECT_DOUBLE_EQ(s.retry_rate, 0.25);
+    EXPECT_DOUBLE_EQ(s.backoff_fraction, 0.25);
+
+    // No attempts: retry pressure is unobservable, not zero; backoff
+    // is a wall fraction, so a quiet window legitimately reads 0.
+    const ConditionSample quiet = sampler.sample(3.0);
+    EXPECT_LT(quiet.retry_rate, 0.0);
+    EXPECT_DOUBLE_EQ(quiet.backoff_fraction, 0.0);
+}
+
+TEST(Estimator, FoldsRetryAndBackoffWithNetworkReset)
+{
+    ConditionEstimator est(Time::seconds(1.0));
+    EXPECT_DOUBLE_EQ(est.retryRate(0.7), 0.7); // fallback pre-sample
+    EXPECT_DOUBLE_EQ(est.backoffFraction(0.3), 0.3);
+
+    ConditionSample s;
+    s.retry_rate = 0.5;
+    s.backoff_fraction = 0.2;
+    est.observe(0.0, s);
+    EXPECT_DOUBLE_EQ(est.retryRate(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(est.backoffFraction(0.0), 0.2);
+
+    // Retry/backoff are network beliefs: a degrade->heal reset must
+    // discard them with the rest of the dead link's state.
+    est.resetNetwork();
+    EXPECT_DOUBLE_EQ(est.retryRate(0.7), 0.7);
+    EXPECT_DOUBLE_EQ(est.backoffFraction(0.3), 0.3);
+}
+
+TEST(Estimator, RunTelemetryExposesRetryPressure)
+{
+    // End to end: a lossy uplink with retries enabled leaves its
+    // pressure in the probe — the counters TelemetrySampler reads.
+    const Pipeline pipe = offloadablePipeline();
+    FaultPlan plan;
+    plan.seed = 5;
+    plan.tx_loss = 0.4;
+    const FaultInjector inj(plan);
+    RuntimeOptions opts = countingOptions(120);
+    opts.trace_fps = 4.0;
+    opts.delivery.max_retries = 3;
+    opts.delivery.ack_timeout = 0.02;
+    opts.delivery.backoff_base = 0.05;
+    StreamingPipeline sp(pipe, PipelineConfig::full(pipe, Impl::Asic, 0),
+                         radioLink("lossy", 1e6, 1.0), opts);
+    sp.setFaultInjector(&inj);
+    sp.run();
+
+    const Telemetry &probe = sp.telemetry();
+    const int64_t retries =
+        probe.retry_attempts.load(std::memory_order_relaxed);
+    EXPECT_GT(retries, 0);
+    // Every retry is an attempt beyond a frame's first.
+    EXPECT_EQ(probe.tx_attempts.load(std::memory_order_relaxed),
+              probe.source_frames.load(std::memory_order_relaxed) +
+                  retries);
+    // Each loss cost one ack timeout plus a backoff wait.
+    EXPECT_GT(probe.backoff_seconds.load(std::memory_order_relaxed),
+              0.0);
 }
 
 // ---------------------------------------------------------------------

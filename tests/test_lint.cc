@@ -69,7 +69,9 @@ runLinter(const std::string &files, std::string *output)
     return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
-/** Write @p body to a uniquely named fixture file; returns its path. */
+/** Write @p body to a uniquely named fixture file; returns its path.
+ *  @p name may contain directories (for path-scoped rules such as
+ *  obs-clock, whose scope is decided by the path prefix). */
 std::string
 writeFixture(const std::string &name, const std::string &body)
 {
@@ -81,6 +83,12 @@ writeFixture(const std::string &name, const std::string &body)
         return d;
     }();
     const std::string path = dir + "/" + name;
+    const auto slash = name.rfind('/');
+    if (slash != std::string::npos) {
+        const std::string mk =
+            "mkdir -p '" + dir + "/" + name.substr(0, slash) + "'";
+        EXPECT_EQ(std::system(mk.c_str()), 0);
+    }
     std::ofstream out(path);
     out << body;
     EXPECT_TRUE(out.good());
@@ -272,6 +280,46 @@ TEST(Lint, ArbiterContractRuleFiresOnBareDeclarations)
     EXPECT_NE(out.find("missing the audited contract statement"),
               std::string::npos)
         << out;
+}
+
+TEST(Lint, ObsClockRuleFiresUnderSrcObs)
+{
+    SKIP_WITHOUT_PYTHON();
+    // src/obs/ must never read host time: every timestamp arrives as
+    // an argument stamped off the run's sim::Clock. A chrono include
+    // or a libc time call under that prefix is a finding even though
+    // the wall-clock rule (named clocks only) would not fire.
+    const std::string f = writeFixture("src/obs/sneaky_time.cc",
+        "#include <chrono>\n"
+        "#include <ctime>\n"
+        "double stamp() {\n"
+        "    struct timeval tv;\n"
+        "    gettimeofday(&tv, nullptr);\n"
+        "    return std::chrono::duration<double>(1.0).count() + tv.tv_sec;\n"
+        "}\n");
+    std::string out;
+    EXPECT_EQ(runLinter(f, &out), 1) << out;
+    EXPECT_NE(out.find("[obs-clock]"), std::string::npos) << out;
+    EXPECT_NE(out.find("gettimeofday"), std::string::npos) << out;
+    EXPECT_NE(out.find("std::chrono use"), std::string::npos) << out;
+}
+
+TEST(Lint, ObsClockRuleScopedToSrcObs)
+{
+    SKIP_WITHOUT_PYTHON();
+    // The identical tokens outside src/obs/ are not obs-clock
+    // findings (and name no banned clock, so wall-clock stays quiet
+    // too): the rule is a scoped ban, not a global one.
+    const std::string f = writeFixture("elsewhere_time.cc",
+        "#include <chrono>\n"
+        "#include <ctime>\n"
+        "double stamp() {\n"
+        "    struct timeval tv;\n"
+        "    gettimeofday(&tv, nullptr);\n"
+        "    return std::chrono::duration<double>(1.0).count() + tv.tv_sec;\n"
+        "}\n");
+    std::string out;
+    EXPECT_EQ(runLinter(f, &out), 0) << out;
 }
 
 TEST(Lint, CleanTreeHasZeroFindings)

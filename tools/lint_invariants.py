@@ -32,6 +32,16 @@ The codebase keeps several invariants that no compiler checks:
                     acquire()/release() declaration, so the contract
                     cannot drift away from the interface it governs.
 
+  obs-clock         The observability layer (src/obs/) never reads time
+                    itself: every event timestamp is an *argument*,
+                    stamped by the runtime off its injected sim::Clock
+                    (or the frame clock). Any host time API under
+                    src/obs/ — std::chrono, gettimeofday, clock_gettime,
+                    timespec_get, clock() — would silently break the
+                    byte-identical-trace determinism contract. Unlike
+                    the other token rules, this one is *restricted to*
+                    a path prefix rather than allowing exceptions.
+
 Suppression: append `// lint:allow(rule)` (or `lint:allow(rule1,rule2)`)
 to the offending line, with a reason after a colon if you like:
 
@@ -62,6 +72,12 @@ ALLOWED = {
     "raw-mutex": ("src/common/thread_safety.hh",),
 }
 
+# Rules that only apply to files whose path contains one of the given
+# prefixes (the inverse of ALLOWED: scoped bans instead of exemptions).
+RESTRICTED = {
+    "obs-clock": ("src/obs/",),
+}
+
 TOKEN_RULES = {
     "wall-clock": [
         (re.compile(r"\bsteady_clock\b"), "raw steady_clock read"),
@@ -86,6 +102,15 @@ TOKEN_RULES = {
         (re.compile(r"\bstd\s*::\s*(recursive_|timed_|shared_)?mutex\b"),
          "raw std::mutex (use AnnotatedMutex)"),
     ],
+    "obs-clock": [
+        (re.compile(r"\bstd\s*::\s*chrono\b"), "std::chrono use"),
+        (re.compile(r"\bgettimeofday\b"), "gettimeofday()"),
+        (re.compile(r"\bclock_gettime\b"), "clock_gettime()"),
+        (re.compile(r"\btimespec_get\b"), "timespec_get()"),
+        (re.compile(r"(?<![\w:])clock\s*\("), "C clock()"),
+        (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+         "C time()"),
+    ],
 }
 
 TOKEN_HINTS = {
@@ -95,6 +120,9 @@ TOKEN_HINTS = {
            "reproducibility",
     "raw-mutex": "locks outside src/common/thread_safety.hh are "
                  "invisible to thread-safety analysis",
+    "obs-clock": "src/obs/ never reads host time: timestamps are "
+                 "arguments stamped off the run's sim::Clock, the "
+                 "byte-identical-trace determinism boundary",
 }
 
 LEDGER_WRITE = re.compile(
@@ -199,9 +227,18 @@ def is_allowed(path, rule):
     return any(p.endswith(s) for s in suffixes)
 
 
+def in_scope(path, rule):
+    """Restricted rules fire only under their path prefixes."""
+    prefixes = RESTRICTED.get(rule)
+    if prefixes is None:
+        return True
+    p = norm(path)
+    return any(pre in p for pre in prefixes)
+
+
 def lint_tokens(path, code_lines, sup, findings):
     for rule, patterns in TOKEN_RULES.items():
-        if is_allowed(path, rule):
+        if is_allowed(path, rule) or not in_scope(path, rule):
             continue
         for idx, line in enumerate(code_lines):
             lineno = idx + 1
